@@ -1,0 +1,487 @@
+(* shs_demo: command-line driver for the secret-handshake framework.
+
+   Everything runs inside the deterministic network simulation; the CLI
+   is a scenario driver, not a daemon.  Subcommands:
+
+     handshake   run an m-party handshake (optionally with outsiders,
+                 a cloned member, or a revoked member) and print the
+                 per-party outcomes and traffic statistics
+     lifecycle   walk a group through joins and revocations, showing
+                 epochs and key rotation
+     trace       run a handshake and let the authority trace it
+     params      display the embedded cryptographic parameter sets
+
+   plus a persistent mode operating on a state directory (--dir):
+
+     init        create a group and store the authority state
+     add         admit a member (updates every stored member)
+     revoke      revoke a member
+     members     list stored members and the group epoch
+     run         handshake between stored members, optional --trace *)
+
+let rng_of seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* ------------------------------------------------------------------ *)
+(* Group construction helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let uid_of i = Printf.sprintf "member-%02d" i
+
+type testbed = {
+  ga2 : Scheme2.authority;
+  members : Scheme2.member array;
+}
+
+(* Scheme 2 subsumes Scheme 1's behaviour when run with default hooks, so
+   the CLI builds on it and selects hooks per --scheme. *)
+let build ~seed ~n =
+  let ga2 = Scheme2.default_authority ~rng:(rng_of seed) () in
+  let members =
+    Array.init n (fun i ->
+        let m, upd =
+          match Scheme2.admit ga2 ~uid:(uid_of i) ~member_rng:(rng_of (seed + 100 + i)) with
+          | Some v -> v
+          | None -> failwith "admission failed"
+        in
+        (m, upd))
+  in
+  Array.iteri
+    (fun i (_, upd) ->
+      Array.iteri (fun j (m, _) -> if j < i then assert (Scheme2.update m upd)) members)
+    members;
+  { ga2; members = Array.map fst members }
+
+(* ------------------------------------------------------------------ *)
+(* handshake                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_handshake scheme m outsiders clone revoke_last seed verbose =
+  Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
+  let tb = build ~seed ~n:m in
+  if revoke_last then begin
+    let uid = uid_of (m - 1) in
+    Printf.printf "Revoking %s...\n%!" uid;
+    match Scheme2.remove tb.ga2 ~uid with
+    | None -> failwith "revocation failed"
+    | Some upd -> Array.iter (fun mm -> ignore (Scheme2.update mm upd)) tb.members
+  end;
+  let fmt = Scheme2.default_format tb.ga2 in
+  let gpub = Scheme2.group_public tb.ga2 in
+  let parts =
+    Array.concat
+      [ Array.map Scheme2.participant_of_member tb.members;
+        (if clone then [| Scheme2.participant_of_member tb.members.(m - 1) |] else [||]);
+        Array.init outsiders (fun i -> Scheme2.outsider ~rng:(rng_of (seed + 900 + i)));
+      ]
+  in
+  Printf.printf "Running a %d-party handshake (%d members%s%s) under scheme %d...\n%!"
+    (Array.length parts) m
+    (if clone then " + 1 clone" else "")
+    (if outsiders > 0 then Printf.sprintf " + %d outsiders" outsiders else "")
+    scheme;
+  let t0 = Unix.gettimeofday () in
+  let r =
+    if scheme = 2 then Scheme2.run_session_sd ~gpub ~fmt parts
+    else Scheme2.run_session ~fmt parts
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | None -> Printf.printf "  position %d: no outcome\n" i
+      | Some o ->
+        Printf.printf "  position %d: accepted=%-5b partners=[%s]%s\n" i
+          o.Gcd_types.accepted
+          (String.concat "; " (List.map string_of_int o.Gcd_types.partners))
+          (if verbose then
+             match o.Gcd_types.session_key with
+             | Some k -> "  key=" ^ String.sub (Sha256.hex k) 0 16 ^ "..."
+             | None -> "  (no session key)"
+           else ""))
+    r.Gcd_types.outcomes;
+  let st = r.Gcd_types.stats in
+  Printf.printf "Traffic: %d deliveries; per-party messages [%s]; bytes [%s]\n"
+    st.Engine.deliveries
+    (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.messages_sent)))
+    (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.bytes_sent)));
+  Printf.printf "Wall clock: %.2fs\n" dt;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_lifecycle n seed =
+  let ga = Scheme1.default_authority ~rng:(rng_of seed) () in
+  Printf.printf "epoch %d: group created\n" (Scheme1.group_epoch ga);
+  let members = ref [] in
+  for i = 0 to n - 1 do
+    match Scheme1.admit ga ~uid:(uid_of i) ~member_rng:(rng_of (seed + 100 + i)) with
+    | None -> failwith "admit"
+    | Some (m, upd) ->
+      List.iter (fun e -> ignore (Scheme1.update e upd)) !members;
+      members := !members @ [ m ];
+      Printf.printf "epoch %d: admitted %s (%d members current)\n"
+        (Scheme1.group_epoch ga) (uid_of i) (List.length !members)
+  done;
+  (match Scheme1.remove ga ~uid:(uid_of 0) with
+   | None -> failwith "remove"
+   | Some upd ->
+     List.iter (fun e -> ignore (Scheme1.update e upd)) !members;
+     members := List.filter Scheme1.member_active !members;
+     Printf.printf "epoch %d: revoked %s (%d members current)\n"
+       (Scheme1.group_epoch ga) (uid_of 0) (List.length !members));
+  let fmt = Scheme1.default_format ga in
+  (match !members with
+   | a :: b :: _ ->
+     let r =
+       Scheme1.run_session ~fmt
+         [| Scheme1.participant_of_member a; Scheme1.participant_of_member b |]
+     in
+     (match r.Gcd_types.outcomes.(0) with
+      | Some o ->
+        Printf.printf "post-churn 2-party handshake: accepted=%b\n" o.Gcd_types.accepted
+      | None -> print_endline "handshake did not complete")
+   | _ -> ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace m seed =
+  let tb = build ~seed ~n:m in
+  let fmt = Scheme2.default_format tb.ga2 in
+  let r =
+    Scheme2.run_session ~fmt (Array.map Scheme2.participant_of_member tb.members)
+  in
+  (match r.Gcd_types.outcomes.(0) with
+   | Some o when o.Gcd_types.accepted ->
+     Printf.printf "handshake succeeded (sid %s...)\n"
+       (String.sub (Sha256.hex o.Gcd_types.sid) 0 16);
+     let traced = Scheme2.trace_user tb.ga2 ~sid:o.Gcd_types.sid o.Gcd_types.transcript in
+     Array.iteri
+       (fun i u ->
+         Printf.printf "  position %d opened to: %s\n" i (Option.value ~default:"-" u))
+       traced
+   | _ -> print_endline "handshake failed; per the protocol the transcript is garbage");
+  0
+
+(* ------------------------------------------------------------------ *)
+(* params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_params () =
+  let show_schnorr name lz =
+    let g = Lazy.force lz in
+    Printf.printf "%s: p (%d bits) = %s...\n" name
+      (Bigint.num_bits g.Groupgen.p)
+      (String.sub (Bigint.to_hex g.Groupgen.p) 0 34)
+  in
+  let show_rsa name lz =
+    let m = Lazy.force lz in
+    Printf.printf "%s: n (%d bits) = %s...\n" name
+      (Bigint.num_bits m.Groupgen.n)
+      (String.sub (Bigint.to_hex m.Groupgen.n) 0 34)
+  in
+  show_schnorr "schnorr_256 " Params.schnorr_256;
+  show_schnorr "schnorr_512 " Params.schnorr_512;
+  show_schnorr "schnorr_1024" Params.schnorr_1024;
+  show_rsa "rsa_512     " Params.rsa_512;
+  show_rsa "rsa_768     " Params.rsa_768;
+  show_rsa "rsa_1024    " Params.rsa_1024;
+  0
+
+
+(* ------------------------------------------------------------------ *)
+(* Persistent group management (--dir): init / add / revoke / members / run *)
+(* ------------------------------------------------------------------ *)
+
+module Store = struct
+  let read_file path =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    end
+    else None
+
+  let write_file path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+
+  let ga_path dir = Filename.concat dir "authority.shs"
+  let member_path dir uid = Filename.concat dir (Printf.sprintf "member-%s.shs" uid)
+  let meta_path dir = Filename.concat dir "meta"
+
+  (* a per-directory operation counter drives the deterministic DRBG so
+     successive CLI invocations never reuse randomness *)
+  let next_rng dir =
+    let base, count =
+      match read_file (meta_path dir) with
+      | Some s ->
+        (match String.split_on_char ':' (String.trim s) with
+         | [ b; c ] -> (int_of_string b, int_of_string c)
+         | _ -> failwith "corrupt meta file")
+      | None -> failwith "state directory not initialized (run: init)"
+    in
+    write_file (meta_path dir) (Printf.sprintf "%d:%d" base (count + 1));
+    rng_of ((base * 1_000_003) + count)
+
+  let load_authority dir =
+    match read_file (ga_path dir) with
+    | None -> failwith "no authority in state directory (run: init)"
+    | Some bytes ->
+      (match Persist.Scheme1_store.import_authority ~rng:(next_rng dir) bytes with
+       | Some ga -> ga
+       | None -> failwith "corrupt authority state")
+
+  let save_authority dir ga =
+    write_file (ga_path dir) (Persist.Scheme1_store.export_authority ga)
+
+  let load_member dir uid =
+    match read_file (member_path dir uid) with
+    | None -> failwith (Printf.sprintf "no such member: %s" uid)
+    | Some bytes ->
+      (match Persist.Scheme1_store.import_member ~rng:(next_rng dir) bytes with
+       | Some m -> m
+       | None -> failwith (Printf.sprintf "corrupt member state: %s" uid))
+
+  let save_member dir m =
+    write_file (member_path dir (Scheme1.member_uid m))
+      (Persist.Scheme1_store.export_member m)
+
+  let member_uids dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if String.length f > 11
+              && String.sub f 0 7 = "member-"
+              && Filename.check_suffix f ".shs"
+           then Some (String.sub f 7 (String.length f - 11))
+           else None)
+    |> List.sort compare
+end
+
+let run_init dir seed =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  Store.write_file (Store.meta_path dir) (Printf.sprintf "%d:0" seed);
+  let ga = Scheme1.default_authority ~rng:(Store.next_rng dir) () in
+  Store.save_authority dir ga;
+  Printf.printf "initialized group state in %s (scheme 1, 512-bit parameters)\n" dir;
+  0
+
+let broadcast_update dir upd =
+  List.iter
+    (fun uid ->
+      let m = Store.load_member dir uid in
+      if Scheme1.update m upd then Store.save_member dir m
+      else begin
+        (* a member that cannot process a removal update has been revoked *)
+        Store.save_member dir m;
+        Printf.printf "  (member %s could not follow the update)\n" uid
+      end)
+    (Store.member_uids dir)
+
+let run_add dir uid =
+  let ga = Store.load_authority dir in
+  if Sys.file_exists (Store.member_path dir uid) then begin
+    Printf.eprintf "member %s already exists\n" uid;
+    1
+  end
+  else begin
+    match Scheme1.admit ga ~uid ~member_rng:(Store.next_rng dir) with
+    | None ->
+      Printf.eprintf "admission failed (duplicate uid or group full)\n";
+      1
+    | Some (m, upd) ->
+      broadcast_update dir upd;
+      Store.save_member dir m;
+      Store.save_authority dir ga;
+      Printf.printf "admitted %s (epoch %d)\n" uid (Scheme1.group_epoch ga);
+      0
+  end
+
+let run_revoke_cmd dir uid =
+  let ga = Store.load_authority dir in
+  match Scheme1.remove ga ~uid with
+  | None ->
+    Printf.eprintf "no such active member: %s\n" uid;
+    1
+  | Some upd ->
+    broadcast_update dir upd;
+    Store.save_authority dir ga;
+    Printf.printf "revoked %s (epoch %d)\n" uid (Scheme1.group_epoch ga);
+    0
+
+let run_members dir =
+  let ga = Store.load_authority dir in
+  List.iter
+    (fun uid ->
+      let m = Store.load_member dir uid in
+      Printf.printf "  %-16s %s\n" uid
+        (if Scheme1.member_active m then "active" else "revoked"))
+    (Store.member_uids dir);
+  Printf.printf "group epoch: %d\n" (Scheme1.group_epoch ga);
+  Store.save_authority dir ga;
+  0
+
+let run_session_cmd dir uids trace =
+  let ga = Store.load_authority dir in
+  let uids =
+    match uids with
+    | [] ->
+      List.filter
+        (fun u -> Scheme1.member_active (Store.load_member dir u))
+        (Store.member_uids dir)
+    | us -> us
+  in
+  if List.length uids < 2 then begin
+    Printf.eprintf "need at least two participants\n";
+    1
+  end
+  else begin
+    let members = List.map (Store.load_member dir) uids in
+    let fmt = Scheme1.default_format ga in
+    let r =
+      Scheme1.run_session ~fmt
+        (Array.of_list (List.map Scheme1.participant_of_member members))
+    in
+    List.iteri
+      (fun i uid ->
+        match r.Gcd_types.outcomes.(i) with
+        | None -> Printf.printf "  %s: no outcome\n" uid
+        | Some o ->
+          Printf.printf "  %-16s accepted=%-5b partners=[%s]\n" uid
+            o.Gcd_types.accepted
+            (String.concat "; " (List.map string_of_int o.Gcd_types.partners)))
+      uids;
+    (* member protocol state is session-local; only revocation flags can
+       change, so re-saving is cheap and keeps files current *)
+    List.iter (Store.save_member dir) members;
+    Store.save_authority dir ga;
+    (if trace then
+       match r.Gcd_types.outcomes.(0) with
+       | Some o ->
+         let traced =
+           Scheme1.trace_user ga ~sid:o.Gcd_types.sid o.Gcd_types.transcript
+         in
+         Printf.printf "authority traces: [%s]\n"
+           (String.concat "; "
+              (Array.to_list (Array.map (Option.value ~default:"-") traced)))
+       | None -> ());
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let verbose_flag =
+  Arg.(value & flag & info [ "debug" ] ~doc:"Enable protocol debug logging.")
+
+
+
+let handshake_cmd =
+  let scheme_t =
+    Arg.(value & opt int 1 & info [ "scheme" ] ~doc:"Instantiation: 1 (ACJT) or 2 (KTY, self-distinction).")
+  in
+  let m_t = Arg.(value & opt int 3 & info [ "m"; "members" ] ~doc:"Number of genuine members.") in
+  let outsiders_t = Arg.(value & opt int 0 & info [ "outsiders" ] ~doc:"Credential-less participants to add.") in
+  let clone_t = Arg.(value & flag & info [ "clone" ] ~doc:"Let the last member occupy a second seat.") in
+  let revoke_t = Arg.(value & flag & info [ "revoke-last" ] ~doc:"Revoke the last member before the handshake.") in
+  let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print session keys.") in
+  let run debug scheme m outsiders clone revoke seed verbose =
+    setup_logging debug;
+    if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
+    else if m < 2 then (prerr_endline "need at least 2 members"; 1)
+    else run_handshake scheme m outsiders clone revoke seed verbose
+  in
+  Cmd.v
+    (Cmd.info "handshake" ~doc:"Run an m-party secret handshake in simulation.")
+    Term.(
+      const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
+      $ seed_t $ verbose_t)
+
+let lifecycle_cmd =
+  let n_t = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Members to admit.") in
+  Cmd.v
+    (Cmd.info "lifecycle" ~doc:"Walk a group through joins and a revocation.")
+    Term.(const run_lifecycle $ n_t $ seed_t)
+
+let trace_cmd =
+  let m_t = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Participants.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a handshake and open the transcript as the authority.")
+    Term.(const run_trace $ m_t $ seed_t)
+
+let params_cmd =
+  Cmd.v
+    (Cmd.info "params" ~doc:"Show the embedded cryptographic parameter sets.")
+    Term.(const run_params $ const ())
+
+let dir_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir"; "d" ] ~doc:"Persistent state directory.")
+
+let wrap f = try f () with Failure msg -> prerr_endline msg; 1
+
+let init_cmd =
+  let run dir seed = wrap (fun () -> run_init dir seed) in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a persistent group in a state directory.")
+    Term.(const run $ dir_t $ seed_t)
+
+let add_cmd =
+  let uid_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"UID") in
+  let run dir uid = wrap (fun () -> run_add dir uid) in
+  Cmd.v
+    (Cmd.info "add" ~doc:"Admit a member to a persistent group.")
+    Term.(const run $ dir_t $ uid_t)
+
+let revoke_cmd =
+  let uid_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"UID") in
+  let run dir uid = wrap (fun () -> run_revoke_cmd dir uid) in
+  Cmd.v
+    (Cmd.info "revoke" ~doc:"Revoke a member of a persistent group.")
+    Term.(const run $ dir_t $ uid_t)
+
+let members_cmd =
+  let run dir = wrap (fun () -> run_members dir) in
+  Cmd.v
+    (Cmd.info "members" ~doc:"List the members of a persistent group.")
+    Term.(const run $ dir_t)
+
+let run_cmd =
+  let uids_t = Arg.(value & pos_all string [] & info [] ~docv:"UID") in
+  let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Open the transcript as the authority afterwards.") in
+  let run debug dir trace uids =
+    setup_logging debug;
+    wrap (fun () -> run_session_cmd dir uids trace)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a secret handshake between stored members (default: all active).")
+    Term.(const run $ verbose_flag $ dir_t $ trace_t $ uids_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "shs_demo" ~version:"1.0.0"
+       ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
+    [ handshake_cmd; lifecycle_cmd; trace_cmd; params_cmd; init_cmd; add_cmd;
+      revoke_cmd; members_cmd; run_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/agents.ml: Array Drbg Engine Gcd_types List Option Printf Scheme1 String Wire

@@ -1,0 +1,1 @@
+examples/clearance.ml: Array Drbg Gcd_types List Printf Roles String

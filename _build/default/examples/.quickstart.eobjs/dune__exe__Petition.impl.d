@@ -1,0 +1,1 @@
+examples/petition.ml: Bigint Drbg Hashtbl Kty Lazy List Option Params Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Drbg Gcd_types List Option Printf Scheme1 Sha256 String

@@ -1,0 +1,1 @@
+examples/revocation.ml: Array Bd Drbg Gcd Gcd_types Kty Lazy List Lkh Option Params Printf Wire

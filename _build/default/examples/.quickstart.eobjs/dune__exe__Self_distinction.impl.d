@@ -1,0 +1,1 @@
+examples/self_distinction.ml: Array Drbg Gcd_types List Option Printf Scheme2 Sha256 String

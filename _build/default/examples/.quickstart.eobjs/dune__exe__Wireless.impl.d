@@ -1,0 +1,1 @@
+examples/wireless.ml: Array Drbg Gcd_types Hashtbl List Option Printf Scheme1 Sha256 String

@@ -1,0 +1,86 @@
+(* The paper's §1 motivating scenario: FBI agents who want to recognize
+   each other without outing themselves to anyone else.
+
+   Three agents and one impostor run a 4-party handshake.  The agents
+   learn exactly which positions are fellow agents; the impostor learns
+   nothing — and, crucially, cannot even tell whether the other three are
+   agents at all (resistance to detection): the traffic it sees is
+   indistinguishable from a run between three random strangers.
+
+     dune exec examples/agents.exe *)
+
+let rng_of seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+let describe name r i =
+  match r.Gcd_types.outcomes.(i) with
+  | None -> Printf.printf "  %-8s did not finish\n" name
+  | Some o ->
+    Printf.printf "  %-8s accepted=%-5b sees fellow members at positions [%s]\n"
+      name o.Gcd_types.accepted
+      (String.concat "; " (List.map string_of_int o.Gcd_types.partners))
+
+let () =
+  print_endline "=== Scenario: three FBI agents and one impostor ===";
+  let fbi = Scheme1.default_authority ~rng:(rng_of 10) () in
+  let admit uid seed existing =
+    let m, upd = Option.get (Scheme1.admit fbi ~uid ~member_rng:(rng_of seed)) in
+    List.iter (fun e -> assert (Scheme1.update e upd)) existing;
+    m
+  in
+  let mulder = admit "mulder" 11 [] in
+  let scully = admit "scully" 12 [ mulder ] in
+  let skinner = admit "skinner" 13 [ mulder; scully ] in
+  let fmt = Scheme1.default_format fbi in
+
+  print_endline "\n-- 4-party handshake: mulder, scully, impostor, skinner --";
+  let r =
+    Scheme1.run_session ~fmt
+      [| Scheme1.participant_of_member mulder;
+         Scheme1.participant_of_member scully;
+         Scheme1.outsider ~rng:(rng_of 666);
+         Scheme1.participant_of_member skinner |]
+  in
+  describe "mulder" r 0;
+  describe "scully" r 1;
+  describe "impostor" r 2;
+  describe "skinner" r 3;
+  print_endline "\nThe agents found each other (positions 0, 1, 3); the impostor";
+  print_endline "was excluded and learned nothing about who it was talking to.";
+
+  (* Detection resistance, made visible: record every byte the impostor
+     receives in (a) the run above and (b) a run among three outsiders,
+     and compare the traffic's shape. *)
+  print_endline "\n-- What does the impostor actually see? --";
+  let shapes = ref [] in
+  let tap ~src ~dst ~payload =
+    if dst = 2 then begin
+      let tag = match Wire.decode payload with Some (t, _) -> t | None -> "?" in
+      shapes := (src, tag, String.length payload) :: !shapes
+    end;
+    Engine.Deliver
+  in
+  let _ =
+    Scheme1.run_session ~adversary:tap ~allow_partial:false ~fmt
+      [| Scheme1.participant_of_member mulder;
+         Scheme1.participant_of_member scully;
+         Scheme1.outsider ~rng:(rng_of 667);
+         Scheme1.participant_of_member skinner |]
+  in
+  let real = List.rev !shapes in
+  shapes := [];
+  let _ =
+    Scheme1.run_session ~adversary:tap ~allow_partial:false ~fmt
+      [| Scheme1.outsider ~rng:(rng_of 668);
+         Scheme1.outsider ~rng:(rng_of 669);
+         Scheme1.outsider ~rng:(rng_of 670);
+         Scheme1.outsider ~rng:(rng_of 671) |]
+  in
+  let fake = List.rev !shapes in
+  Printf.printf "  traffic shape with real agents    : %s\n"
+    (String.concat " "
+       (List.map (fun (s, t, l) -> Printf.sprintf "%d:%s/%d" s t l) real));
+  Printf.printf "  traffic shape with only strangers : %s\n"
+    (String.concat " "
+       (List.map (fun (s, t, l) -> Printf.sprintf "%d:%s/%d" s t l) fake));
+  Printf.printf "  identical: %b — the impostor cannot detect the agents.\n"
+    (real = fake)

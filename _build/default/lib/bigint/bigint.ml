@@ -1,0 +1,787 @@
+(* Arbitrary-precision integers.
+
+   Representation: a sign in {-1, 0, +1} and a magnitude stored as a
+   little-endian array of limbs in base 2^26.  26-bit limbs keep every
+   intermediate of schoolbook multiplication and Knuth algorithm-D division
+   inside OCaml's 63-bit native ints: a limb product is < 2^52, leaving
+   11 bits of headroom for carries and borrow bookkeeping. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariant: mag has no trailing (most-significant) zero limb, and
+   sign = 0 iff mag = [||]. *)
+
+let mul_counter = ref 0
+let pow_mod_counter = ref 0
+let mul_count () = !mul_counter
+let pow_mod_count () = !pow_mod_counter
+
+let reset_counters () =
+  mul_counter := 0;
+  pow_mod_counter := 0
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (natural-number) primitives on little-endian limb arrays  *)
+(* ------------------------------------------------------------------ *)
+
+module Nat = struct
+  let norm_len a =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do decr n done;
+    !n
+
+  let norm a =
+    let n = norm_len a in
+    if n = Array.length a then a else Array.sub a 0 n
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else begin
+      let rec go i =
+        if i < 0 then 0
+        else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+        else go (i - 1)
+      in
+      go (la - 1)
+    end
+
+  let add a b =
+    let la = Array.length a and lb = Array.length b in
+    let lr = (if la > lb then la else lb) + 1 in
+    let r = Array.make lr 0 in
+    let carry = ref 0 in
+    for i = 0 to lr - 2 do
+      let av = if i < la then a.(i) else 0 in
+      let bv = if i < lb then b.(i) else 0 in
+      let s = av + bv + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    r.(lr - 1) <- !carry;
+    norm r
+
+  (* Requires a >= b. *)
+  let sub a b =
+    let la = Array.length a and lb = Array.length b in
+    assert (la >= norm_len b);
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let bv = if i < lb then b.(i) else 0 in
+      let d = a.(i) - bv - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    assert (!borrow = 0);
+    norm r
+
+  let mul_school a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else begin
+      let r = Array.make (la + lb) 0 in
+      for i = 0 to la - 1 do
+        let ai = a.(i) in
+        if ai <> 0 then begin
+          let carry = ref 0 in
+          for j = 0 to lb - 1 do
+            let cur = r.(i + j) + (ai * b.(j)) + !carry in
+            r.(i + j) <- cur land mask;
+            carry := cur lsr limb_bits
+          done;
+          r.(i + lb) <- !carry
+        end
+      done;
+      norm r
+    end
+
+  (* Karatsuba pays off once both operands exceed ~24 limbs (~620 bits);
+     below that the split/recombine overhead dominates. *)
+  let karatsuba_threshold = 24
+
+  let shift_limbs a m =
+    let n = norm_len a in
+    if n = 0 then [||]
+    else begin
+      let r = Array.make (n + m) 0 in
+      Array.blit a 0 r m n;
+      r
+    end
+
+  let rec mul_raw a b =
+    let la = norm_len a and lb = norm_len b in
+    if la < karatsuba_threshold || lb < karatsuba_threshold then mul_school a b
+    else begin
+      let m = (Stdlib.max la lb + 1) / 2 in
+      let lo x lx = Array.sub x 0 (Stdlib.min m lx) in
+      let hi x lx = if lx <= m then [||] else Array.sub x m (lx - m) in
+      let a0 = lo a la and a1 = hi a la in
+      let b0 = lo b lb and b1 = hi b lb in
+      let z0 = mul_raw a0 b0 in
+      let z2 = mul_raw a1 b1 in
+      let z1 =
+        (* (a0+a1)(b0+b1) − z0 − z2 ≥ 0 *)
+        sub (sub (mul_raw (add a0 a1) (add b0 b1)) z0) z2
+      in
+      add (shift_limbs z2 (2 * m)) (add (shift_limbs z1 m) z0)
+    end
+
+  let mul a b =
+    incr mul_counter;
+    mul_raw a b
+
+  let num_bits a =
+    let n = norm_len a in
+    if n = 0 then 0
+    else begin
+      let top = a.(n - 1) in
+      let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+      ((n - 1) * limb_bits) + width top 0
+    end
+
+  let shift_left a k =
+    let n = norm_len a in
+    if n = 0 || k = 0 then norm a
+    else begin
+      let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+      let lr = n + limb_shift + 1 in
+      let r = Array.make lr 0 in
+      if bit_shift = 0 then
+        for i = 0 to n - 1 do r.(i + limb_shift) <- a.(i) done
+      else begin
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let v = (a.(i) lsl bit_shift) lor !carry in
+          r.(i + limb_shift) <- v land mask;
+          carry := v lsr limb_bits
+        done;
+        r.(n + limb_shift) <- !carry
+      end;
+      norm r
+    end
+
+  let shift_right a k =
+    let n = norm_len a in
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    if n <= limb_shift then [||]
+    else begin
+      let lr = n - limb_shift in
+      let r = Array.make lr 0 in
+      if bit_shift = 0 then
+        for i = 0 to lr - 1 do r.(i) <- a.(i + limb_shift) done
+      else
+        for i = 0 to lr - 1 do
+          let lo = a.(i + limb_shift) lsr bit_shift in
+          let hi =
+            if i + limb_shift + 1 < n then
+              (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done;
+      norm r
+    end
+
+  (* Division by a single limb. *)
+  let div_rem_limb a d =
+    let n = Array.length a in
+    let q = Array.make n 0 in
+    let r = ref 0 in
+    for i = n - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (norm q, !r)
+
+  (* Knuth TAOCP vol. 2 algorithm D.  Requires [v] normalized, non-zero. *)
+  let div_rem u v =
+    let n = norm_len v in
+    if n = 0 then raise Division_by_zero;
+    let u = norm u in
+    if compare u v < 0 then ([||], u)
+    else if n = 1 then begin
+      let q, r = div_rem_limb u v.(0) in
+      (q, if r = 0 then [||] else [| r |])
+    end else begin
+      let lu = Array.length u in
+      let m = lu - n in
+      (* D1: normalize so the divisor's top limb has its high bit set. *)
+      let rec top_width x acc = if x = 0 then acc else top_width (x lsr 1) (acc + 1) in
+      let s = limb_bits - top_width v.(n - 1) 0 in
+      let vn = Array.make n 0 in
+      if s = 0 then Array.blit v 0 vn 0 n
+      else begin
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let x = (v.(i) lsl s) lor !carry in
+          vn.(i) <- x land mask;
+          carry := x lsr limb_bits
+        done
+        (* the carry out of the top limb is zero by choice of s *)
+      end;
+      let un = Array.make (lu + 1) 0 in
+      if s = 0 then Array.blit u 0 un 0 lu
+      else begin
+        let carry = ref 0 in
+        for i = 0 to lu - 1 do
+          let x = (u.(i) lsl s) lor !carry in
+          un.(i) <- x land mask;
+          carry := x lsr limb_bits
+        done;
+        un.(lu) <- !carry
+      end;
+      let q = Array.make (m + 1) 0 in
+      let vtop = vn.(n - 1) and vsecond = vn.(n - 2) in
+      for j = m downto 0 do
+        (* D3: estimate the quotient digit. *)
+        let top = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+        let qhat = ref (top / vtop) and rhat = ref (top mod vtop) in
+        let adjusting = ref true in
+        while !adjusting do
+          if !qhat >= base
+             || !qhat * vsecond > (!rhat lsl limb_bits) lor un.(j + n - 2)
+          then begin
+            decr qhat;
+            rhat := !rhat + vtop;
+            if !rhat >= base then adjusting := false
+          end else adjusting := false
+        done;
+        (* D4: multiply and subtract. *)
+        let borrow = ref 0 in
+        for i = 0 to n - 1 do
+          let p = !qhat * vn.(i) in
+          let t = un.(i + j) - !borrow - (p land mask) in
+          un.(i + j) <- t land mask;
+          borrow := (p lsr limb_bits) - (t asr limb_bits)
+        done;
+        let t = un.(j + n) - !borrow in
+        un.(j + n) <- t land mask;
+        (* D5/D6: the estimate was one too large with tiny probability. *)
+        if t < 0 then begin
+          q.(j) <- !qhat - 1;
+          let carry = ref 0 in
+          for i = 0 to n - 1 do
+            let t = un.(i + j) + vn.(i) + !carry in
+            un.(i + j) <- t land mask;
+            carry := t lsr limb_bits
+          done;
+          un.(j + n) <- (un.(j + n) + !carry) land mask
+        end else q.(j) <- !qhat
+      done;
+      (* D8: denormalize the remainder. *)
+      let r = shift_right (Array.sub un 0 n) s in
+      (norm q, r)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Signed wrapper                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let zero = { sign = 0; mag = [||] }
+
+let make sign mag =
+  let mag = Nat.norm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let v = abs n in
+    let rec limbs v = if v = 0 then [] else (v land mask) :: limbs (v lsr limb_bits) in
+    { sign; mag = Array.of_list (limbs v) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int_opt { sign; mag } =
+  let n = Array.length mag in
+  if n = 0 then Some 0
+  else if Nat.num_bits mag > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do v := (!v lsl limb_bits) lor mag.(i) done;
+    Some (sign * !v)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: value does not fit in a native int"
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Nat.compare a.mag b.mag
+  else Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Nat.sub a.mag b.mag)
+    else make b.sign (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+
+let div_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Nat.div_rem a.mag b.mag in
+  (make (a.sign * b.sign) q, make a.sign r)
+
+let div a b = fst (div_rem a b)
+let rem a b = snd (div_rem a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  if t.sign = 0 then zero else make t.sign (Nat.shift_left t.mag k)
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  if t.sign = 0 then zero else make t.sign (Nat.shift_right t.mag k)
+
+let num_bits t = Nat.num_bits t.mag
+
+let testbit t i =
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length t.mag && (t.mag.(limb) lsr bit) land 1 = 1
+
+let is_even t = not (testbit t 0)
+let is_odd t = testbit t 0
+
+let logand a b =
+  if a.sign < 0 || b.sign < 0 then invalid_arg "Bigint.logand: negative argument";
+  let n = Stdlib.min (Array.length a.mag) (Array.length b.mag) in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do r.(i) <- a.mag.(i) land b.mag.(i) done;
+  make 1 r
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let add_mod a b m = erem (add a b) m
+let sub_mod a b m = erem (sub a b) m
+let mul_mod a b m = erem (mul a b) m
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (erem a b) in
+  go (abs a) (abs b)
+
+let ext_gcd a b =
+  (* Iterative extended Euclid over signed values. *)
+  let rec go r0 r1 u0 u1 v0 v1 =
+    if is_zero r1 then (r0, u0, v0)
+    else begin
+      let q, r2 = div_rem r0 r1 in
+      go r1 r2 u1 (sub u0 (mul q u1)) v1 (sub v0 (mul q v1))
+    end
+  in
+  let g, u, v = go a b one zero zero one in
+  if g.sign < 0 then (neg g, neg u, neg v) else (g, u, v)
+
+let invert a m =
+  let g, u, _ = ext_gcd (erem a m) m in
+  if not (equal g one) then raise Not_found;
+  erem u m
+
+let pow_mod_naive b e m =
+  if m.sign <= 0 then raise Division_by_zero;
+  if e.sign < 0 then invalid_arg "Bigint.pow_mod_naive: negative exponent";
+  incr pow_mod_counter;
+  let b = erem b m in
+  let nbits = num_bits e in
+  let acc = ref one in
+  for i = nbits - 1 downto 0 do
+    acc := mul_mod !acc !acc m;
+    if testbit e i then acc := mul_mod !acc b m
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Montgomery arithmetic: division-free modular multiplication for odd *)
+(* moduli (CIOS, word-by-word).  Exponentiation converts into the      *)
+(* Montgomery domain once and multiplies there, replacing the per-step *)
+(* Knuth division of the naive ladder.                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Montgomery = struct
+  type ctx = {
+    n_limbs : int array;  (* modulus magnitude, little-endian *)
+    k : int;  (* limb count *)
+    n0' : int;  (* -n^{-1} mod base *)
+    r2 : int array;  (* R^2 mod n, R = base^k *)
+    modulus : t;
+  }
+
+  (* inverse of odd [v] modulo 2^26, by Newton lifting *)
+  let inv_mod_base v =
+    let x = ref v in
+    (* x_{i+1} = x_i (2 - v x_i); doubling precision each step *)
+    for _ = 1 to 5 do
+      x := !x * (2 - (v * !x)) land mask
+    done;
+    !x land mask
+
+  let create modulus =
+    assert (modulus.sign > 0 && testbit modulus 0);
+    let n_limbs = modulus.mag in
+    let k = Array.length n_limbs in
+    let inv = inv_mod_base n_limbs.(0) in
+    let n0' = (base - inv) land mask in
+    let r = shift_left one (2 * k * limb_bits) in
+    let r2_v = erem r modulus in
+    let r2 = Array.make k 0 in
+    Array.blit r2_v.mag 0 r2 0 (Array.length r2_v.mag);
+    { n_limbs; k; n0'; r2; modulus }
+
+  let pad_to k v =
+    if Array.length v = k then v
+    else begin
+      let out = Array.make k 0 in
+      Array.blit v 0 out 0 (Array.length v);
+      out
+    end
+
+  (* t <- (a*b + m*n) / R, result < 2n *)
+  let mont_mul ctx a b =
+    incr mul_counter;
+    let k = ctx.k in
+    let a = pad_to k a and b = pad_to k b in
+    let n = ctx.n_limbs in
+    let t = Array.make (k + 2) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      (* t += a_i * b *)
+      let c = ref 0 in
+      for j = 0 to k - 1 do
+        let s = t.(j) + (ai * b.(j)) + !c in
+        t.(j) <- s land mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k) <- s land mask;
+      t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+      (* reduce one limb *)
+      let m = (t.(0) * ctx.n0') land mask in
+      let s = t.(0) + (m * n.(0)) in
+      let c = ref (s lsr limb_bits) in
+      for j = 1 to k - 1 do
+        let s = t.(j) + (m * n.(j)) + !c in
+        t.(j - 1) <- s land mask;
+        c := s lsr limb_bits
+      done;
+      let s = t.(k) + !c in
+      t.(k - 1) <- s land mask;
+      t.(k) <- t.(k + 1) + (s lsr limb_bits);
+      t.(k + 1) <- 0
+    done;
+    let out = Array.sub t 0 (k + 1) in
+    (* conditional subtraction: out may be in [0, 2n) *)
+    let out_n = Nat.norm out in
+    if Nat.compare out_n ctx.n_limbs >= 0 then Nat.sub out_n ctx.n_limbs
+    else out_n
+
+  let to_mont ctx x = mont_mul ctx x.mag ctx.r2
+
+  let one_limbs ctx =
+    let a = Array.make ctx.k 0 in
+    a.(0) <- 1;
+    a
+
+  let from_limbs ctx limbs = make 1 limbs |> fun v -> erem v ctx.modulus
+
+  (* windowed ladder in the Montgomery domain *)
+  let pow ctx b e =
+    let b = erem b ctx.modulus in
+    let bm = to_mont ctx b in
+    let nbits = num_bits e in
+    let acc_start = mont_mul ctx (one_limbs ctx) ctx.r2 (* = R mod n = mont(1) *) in
+    let wbits = 4 in
+    let table = Array.make (1 lsl wbits) acc_start in
+    for i = 1 to (1 lsl wbits) - 1 do
+      table.(i) <- mont_mul ctx table.(i - 1) bm
+    done;
+    let acc = ref acc_start in
+    let nwindows = (nbits + wbits - 1) / wbits in
+    for w = nwindows - 1 downto 0 do
+      for _ = 1 to wbits do
+        acc := mont_mul ctx !acc !acc
+      done;
+      let digit = ref 0 in
+      for j = wbits - 1 downto 0 do
+        let bit = (w * wbits) + j in
+        digit := (!digit lsl 1) lor (if testbit e bit then 1 else 0)
+      done;
+      if !digit <> 0 then acc := mont_mul ctx !acc table.(!digit)
+    done;
+    (* leave the Montgomery domain *)
+    from_limbs ctx (mont_mul ctx !acc (one_limbs ctx))
+end
+
+(* Fixed 4-bit window exponentiation. *)
+let window_bits = 4
+
+(* Threshold below which the Montgomery setup (one division + table) is
+   not worth it. *)
+let mont_threshold_bits = 64
+
+(* The pre-Montgomery implementation: windowed ladder with a Knuth
+   division after every multiplication.  Still used for even moduli, and
+   exposed as [pow_mod_div] for the E8 ablation. *)
+let windowed_div_pow b e m nbits =
+  let table = Array.make (1 lsl window_bits) one in
+  for i = 1 to (1 lsl window_bits) - 1 do
+    table.(i) <- mul_mod table.(i - 1) b m
+  done;
+  let nwindows = (nbits + window_bits - 1) / window_bits in
+  let acc = ref one in
+  for w = nwindows - 1 downto 0 do
+    for _ = 1 to window_bits do acc := mul_mod !acc !acc m done;
+    let digit = ref 0 in
+    for k = window_bits - 1 downto 0 do
+      let bit = (w * window_bits) + k in
+      digit := (!digit lsl 1) lor (if testbit e bit then 1 else 0)
+    done;
+    if !digit <> 0 then acc := mul_mod !acc table.(!digit) m
+  done;
+  !acc
+
+let mont_cache : (t * Montgomery.ctx) list ref = ref []
+
+let mont_ctx m =
+  match List.find_opt (fun (m', _) -> equal m m') !mont_cache with
+  | Some (_, ctx) -> ctx
+  | None ->
+    let ctx = Montgomery.create m in
+    let keep = List.filteri (fun i _ -> i < 7) !mont_cache in
+    mont_cache := (m, ctx) :: keep;
+    ctx
+
+let pow_mod_div b e m =
+  if m.sign <= 0 then raise Division_by_zero;
+  if e.sign < 0 then invalid_arg "Bigint.pow_mod_div: negative exponent";
+  incr pow_mod_counter;
+  windowed_div_pow (erem b m) e m (num_bits e)
+
+let pow_mod b e m =
+  if m.sign <= 0 then raise Division_by_zero;
+  if e.sign < 0 then
+    let inv = try invert b m with Not_found ->
+      invalid_arg "Bigint.pow_mod: base not invertible for negative exponent"
+    in
+    pow_mod_naive inv (neg e) m |> fun r -> r
+  else begin
+    incr pow_mod_counter;
+    let b = erem b m in
+    let nbits = num_bits e in
+    if nbits <= window_bits * 2 then begin
+      (* tiny exponent: plain ladder, skip table setup *)
+      let acc = ref one in
+      for i = nbits - 1 downto 0 do
+        acc := mul_mod !acc !acc m;
+        if testbit e i then acc := mul_mod !acc b m
+      done;
+      !acc
+    end
+    else if testbit m 0 && num_bits m >= mont_threshold_bits then
+      (* odd modulus, real exponent: Montgomery domain.  Contexts are
+         cached: a run touches only a handful of moduli (the RSA n, the
+         Schnorr p, ...) and context creation costs a full division. *)
+      Montgomery.pow (mont_ctx m) b e
+    else windowed_div_pow b e m nbits
+  end
+
+(* ------------------------------------------------------------------ *)
+(* String and byte conversions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let chunk = 10_000_000 (* 10^7 < 2^26 *)
+let chunk_digits = 7
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag acc =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = Nat.div_rem_limb mag chunk in
+        go q (r :: acc)
+      end
+    in
+    (match go t.mag [] with
+     | [] -> Buffer.add_char buf '0'
+     | hd :: tl ->
+       if t.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int hd);
+       List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%0*d" chunk_digits d)) tl);
+    Buffer.contents buf
+  end
+
+let to_hex t =
+  if t.sign = 0 then "0x0"
+  else begin
+    let nibbles = (num_bits t + 3) / 4 in
+    let buf = Buffer.create (nibbles + 3) in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    Buffer.add_string buf "0x";
+    let started = ref false in
+    for i = nibbles - 1 downto 0 do
+      let limb = (i * 4) / limb_bits and off = (i * 4) mod limb_bits in
+      let v =
+        if limb >= Array.length t.mag then 0
+        else begin
+          let lo = (t.mag.(limb) lsr off) land 0xf in
+          if off > limb_bits - 4 && limb + 1 < Array.length t.mag then
+            lo lor ((t.mag.(limb + 1) lsl (limb_bits - off)) land 0xf)
+          else lo
+        end
+      in
+      if v <> 0 || !started || i = 0 then begin
+        started := true;
+        Buffer.add_char buf "0123456789abcdef".[v]
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let hex = len - start > 2 && s.[start] = '0' && (s.[start + 1] = 'x' || s.[start + 1] = 'X') in
+  let digits_start = if hex then start + 2 else start in
+  if digits_start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  if hex then begin
+    let sixteen = of_int 16 in
+    for i = digits_start to len - 1 do
+      let c = Char.lowercase_ascii s.[i] in
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | '_' -> -1
+        | _ -> invalid_arg "Bigint.of_string: bad hex digit"
+      in
+      if d >= 0 then acc := add (mul !acc sixteen) (of_int d)
+    done
+  end else begin
+    let ten = of_int 10 in
+    for i = digits_start to len - 1 do
+      match s.[i] with
+      | '0' .. '9' as c -> acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Bigint.of_string: bad decimal digit"
+    done
+  end;
+  if negative then neg !acc else !acc
+
+let of_bytes_be s =
+  let acc = ref zero in
+  let byte = of_int 256 in
+  String.iter (fun c -> acc := add (mul !acc byte) (of_int (Char.code c))) s;
+  !acc
+
+let to_bytes_be ?len t =
+  if t.sign < 0 then invalid_arg "Bigint.to_bytes_be: negative value";
+  let nbytes = (num_bits t + 7) / 8 in
+  let total =
+    match len with
+    | None -> nbytes
+    | Some l ->
+      if l < nbytes then invalid_arg "Bigint.to_bytes_be: length too small";
+      l
+  in
+  let out = Bytes.make total '\000' in
+  let v = ref t in
+  let byte = of_int 256 in
+  for i = total - 1 downto total - nbytes do
+    let q, r = div_rem !v byte in
+    Bytes.set out i (Char.chr (to_int r));
+    v := q
+  done;
+  Bytes.to_string out
+
+let random_bits rng n =
+  if n <= 0 then zero
+  else begin
+    let nbytes = (n + 7) / 8 in
+    let raw = rng nbytes in
+    let v = of_bytes_be raw in
+    let excess = (nbytes * 8) - n in
+    shift_right v excess
+  end
+
+let random_below rng bound =
+  if bound.sign <= 0 then invalid_arg "Bigint.random_below: bound must be positive";
+  let n = num_bits bound in
+  let rec draw () =
+    let v = random_bits rng n in
+    if compare v bound < 0 then v else draw ()
+  in
+  draw ()
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = erem
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

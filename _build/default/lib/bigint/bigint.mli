@@ -1,0 +1,166 @@
+(** Arbitrary-precision signed integers, implemented in pure OCaml.
+
+    The sealed build environment provides no bignum library, so this module
+    supplies the arithmetic substrate for every cryptographic component of
+    the secret-handshake framework: schoolbook multiplication, Knuth
+    algorithm-D division, modular exponentiation with a sliding window,
+    modular inverses, and big-endian byte serialization.
+
+    Values are immutable.  Internally a number is a sign and a little-endian
+    array of 26-bit limbs; all exported operations are total unless
+    documented otherwise. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses decimal, or hexadecimal with a ["0x"] prefix; an optional leading
+    ['-'] negates.  @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal magnitude with ["0x"] prefix and sign. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val div_rem : t -> t -> t * t
+(** Truncated division: [div_rem a b = (q, r)] with [a = q*b + r] and
+    [r] carrying the sign of [a] (C semantics).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder: result is always in [\[0, |b|)].  This is the
+    reduction used everywhere in the cryptographic code. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0].  @raise Invalid_argument on negative [e]. *)
+
+(** {1 Bit operations} *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+
+val logand : t -> t -> t
+(** Bitwise AND of magnitudes; both arguments must be non-negative. *)
+
+(** {1 Modular arithmetic} *)
+
+val add_mod : t -> t -> t -> t
+val sub_mod : t -> t -> t -> t
+val mul_mod : t -> t -> t -> t
+
+val pow_mod : t -> t -> t -> t
+(** [pow_mod b e m] computes [b^e mod m] for [m > 0].  Negative exponents
+    are supported when [b] is invertible modulo [m] (the inverse is taken
+    first).  A 4-bit fixed-window ladder over Montgomery multiplication
+    for odd moduli (the common case in this code base); division-based
+    reduction otherwise.
+    @raise Division_by_zero if [m] is zero.
+    @raise Invalid_argument if [e < 0] and [b] is not invertible mod [m]. *)
+
+val pow_mod_naive : t -> t -> t -> t
+(** Plain square-and-multiply (window size 1); non-negative exponents only.
+    Kept as the baseline for the windowed-exponentiation ablation bench. *)
+
+val gcd : t -> t -> t
+
+val ext_gcd : t -> t -> t * t * t
+(** [ext_gcd a b = (g, u, v)] with [g = gcd a b = u*a + v*b]. *)
+
+val invert : t -> t -> t
+(** [invert a m] is [a^-1 mod m] in [\[0, m)].
+    @raise Not_found if [a] is not invertible modulo [m]. *)
+
+(** {1 Byte serialization} *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned interpretation; [""] maps to [zero]. *)
+
+val to_bytes_be : ?len:int -> t -> string
+(** Minimal big-endian encoding of the magnitude, left-padded with zero
+    bytes to [len] when given.  The value must be non-negative.
+    @raise Invalid_argument if [len] is too small for the magnitude. *)
+
+(** {1 Randomness} *)
+
+val random_bits : (int -> string) -> int -> t
+(** [random_bits rng n] draws a uniform integer in [\[0, 2^n)]; [rng k]
+    must return [k] fresh random bytes. *)
+
+val random_below : (int -> string) -> t -> t
+(** Uniform in [\[0, bound)] by rejection sampling; [bound] must be
+    positive. *)
+
+(** {1 Instrumentation} *)
+
+val mul_count : unit -> int
+(** Number of bignum multiplications performed since start-up; used by the
+    benchmark harness to report operation counts alongside wall-clock. *)
+
+val pow_mod_count : unit -> int
+(** Number of modular exponentiations performed since start-up. *)
+
+val reset_counters : unit -> unit
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+val pow_mod_div : t -> t -> t -> t
+(** The windowed ladder with a trial division after every multiplication —
+    the implementation [pow_mod] used before Montgomery reduction was
+    added.  Non-negative exponents only; kept for the E8 ablation. *)

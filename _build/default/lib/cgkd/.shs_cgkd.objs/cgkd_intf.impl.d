@@ -1,0 +1,1 @@
+lib/cgkd/cgkd_intf.ml:

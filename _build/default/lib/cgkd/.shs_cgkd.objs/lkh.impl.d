@@ -1,0 +1,1 @@
+lib/cgkd/lkh.ml: Array Hashtbl Hmac List Printf Secretbox Wire

@@ -1,0 +1,1 @@
+lib/cgkd/lkh.mli: Cgkd_intf

@@ -1,0 +1,1 @@
+lib/cgkd/lsd.ml: Sd_core Stdlib

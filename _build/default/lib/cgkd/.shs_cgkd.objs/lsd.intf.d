@@ -1,0 +1,1 @@
+lib/cgkd/lsd.mli: Cgkd_intf

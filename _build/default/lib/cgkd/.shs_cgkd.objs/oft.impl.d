@@ -1,0 +1,1 @@
+lib/cgkd/oft.ml: Array Hashtbl Hmac List Printf Secretbox Sha256 Wire

@@ -1,0 +1,1 @@
+lib/cgkd/oft.mli: Cgkd_intf

@@ -1,0 +1,1 @@
+lib/cgkd/sd.ml: Sd_core

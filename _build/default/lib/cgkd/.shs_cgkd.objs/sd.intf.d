@@ -1,0 +1,1 @@
+lib/cgkd/sd.mli: Cgkd_intf

@@ -1,0 +1,1 @@
+lib/cgkd/sd_core.ml: Array Hashtbl Hmac List Printf Secretbox String Wire

@@ -1,0 +1,58 @@
+(** The centralized group key distribution interface of paper Fig. 4, the
+    second input of the GCD compiler.
+
+    The group controller (GC) reacts to joins and leaves by minting a new
+    epoch and emitting one {e rekey broadcast}; each current member applies
+    it with [rekey] (the paper's CGKD.Rekey), after which
+    [group_key member = controller_key gc] — and a revoked member can no
+    longer recover the epoch key (the strong-security notion of [34]: even
+    corrupting a member later must not reveal earlier epochs' keys, which
+    both implementations achieve by making every epoch key fresh).
+
+    Members are handed their initial state over the assumed private
+    authenticated channel (here: the return value of [join]). *)
+
+module type S = sig
+  val name : string
+
+  type controller
+  type member
+
+  val setup : rng:(int -> string) -> capacity:int -> controller
+  (** [capacity] is the maximum concurrent membership; power of two. *)
+
+  val join : controller -> uid:string -> (controller * member * string) option
+  (** [(gc', new_member_state, rekey_broadcast)].  [None] when full or
+      [uid] already present.  The broadcast re-keys {e existing} members;
+      the joiner's state is already current. *)
+
+  val leave : controller -> uid:string -> (controller * string) option
+  (** [None] for unknown or already-removed members. *)
+
+  val rekey : member -> string -> member option
+  (** Apply a rekey broadcast.  [None] if this member cannot derive the
+      new epoch key — in particular when the member was just revoked. *)
+
+  val group_key : member -> string
+  (** 32-byte current epoch key. *)
+
+  val controller_key : controller -> string
+
+  val epoch : member -> int
+  val controller_epoch : controller -> int
+
+  val members : controller -> string list
+  (** Current (non-revoked) membership, for tests and the CLI. *)
+end
+
+(** Persistence for CGKD states.  Controllers capture their random source
+    at setup, so importing one requires a fresh [rng]. *)
+module type PERSISTENT = sig
+  type controller
+  type member
+
+  val export_controller : controller -> string
+  val import_controller : rng:(int -> string) -> string -> controller option
+  val export_member : member -> string
+  val import_member : string -> member option
+end

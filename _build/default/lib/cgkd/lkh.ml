@@ -1,0 +1,248 @@
+let name = "lkh"
+
+let key_len = 32
+
+(* Nodes in heap order: root = 1, children of v are 2v and 2v+1; leaves
+   are capacity .. 2*capacity-1. *)
+
+type controller = {
+  rng : int -> string;
+  cap : int;
+  keys : string array;  (* node id -> key; index 0 unused *)
+  leaf_of : (string, int) Hashtbl.t;
+  mutable free : int list;
+  mutable c_epoch : int;
+}
+
+type member = {
+  uid : string;
+  leaf : int;
+  cap_m : int;
+  path_keys : (int, string) Hashtbl.t;  (* node id -> key, leaf..root *)
+  mutable m_epoch : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let setup ~rng ~capacity =
+  if not (is_pow2 capacity && capacity >= 2) then
+    invalid_arg "Lkh.setup: capacity must be a power of two >= 2";
+  let keys = Array.init (2 * capacity) (fun _ -> rng key_len) in
+  { rng;
+    cap = capacity;
+    keys;
+    leaf_of = Hashtbl.create 16;
+    free = List.init capacity (fun i -> capacity + i);
+    c_epoch = 0;
+  }
+
+let capacity gc = gc.cap
+let controller_key gc = gc.keys.(1)
+let controller_epoch gc = gc.c_epoch
+let group_key m = Hashtbl.find m.path_keys 1
+let epoch m = m.m_epoch
+
+let members gc = Hashtbl.fold (fun uid _ acc -> uid :: acc) gc.leaf_of []
+
+let path_to_root leaf =
+  let rec go v acc = if v = 0 then List.rev acc else go (v / 2) (v :: acc) in
+  (* bottom-up list: leaf, parent, ..., root *)
+  List.rev (go leaf [])
+
+let confirmation ~epoch key =
+  Hmac.mac ~key (Printf.sprintf "lkh-confirm:%d" epoch)
+
+let encode_rekey ~epoch ~root_key entries =
+  let encoded_entries =
+    List.map
+      (fun (node, child, box) ->
+        Wire.encode ~tag:"e" [ string_of_int node; string_of_int child; box ])
+      entries
+  in
+  Wire.encode ~tag:"lkh-rekey"
+    (string_of_int epoch :: confirmation ~epoch root_key :: encoded_entries)
+
+(* Refresh every key strictly above [leaf] (or including it when
+   [refresh_leaf]), emitting for each refreshed node one ciphertext per
+   child key that remains valid.  [skip_leaf] omits ciphertexts addressed
+   to the departed leaf's key on a leave. *)
+let refresh_path gc ~leaf ~skip_leaf =
+  let entries = ref [] in
+  let rec go v =
+    if v >= 1 then begin
+      let fresh = gc.rng key_len in
+      let seal child =
+        if not (skip_leaf && child = leaf) then begin
+          let box = Secretbox.seal ~key:gc.keys.(child) ~rng:gc.rng fresh in
+          entries := (v, child, box) :: !entries
+        end
+      in
+      (* order matters: children keys are read before this node's key is
+         replaced; the on-path child was already replaced below us, which
+         is exactly what we want (joiner/leaver separation) *)
+      seal (2 * v);
+      seal ((2 * v) + 1);
+      gc.keys.(v) <- fresh;
+      go (v / 2)
+    end
+  in
+  go (leaf / 2);
+  (* entries were accumulated bottom-up via the recursion order: the
+     deepest node was processed first, so reversing yields bottom-up *)
+  List.rev !entries
+
+let join gc ~uid =
+  if Hashtbl.mem gc.leaf_of uid then None
+  else
+    match gc.free with
+    | [] -> None
+    | leaf :: rest ->
+      gc.free <- rest;
+      Hashtbl.add gc.leaf_of uid leaf;
+      (* fresh leaf key for the newcomer, then refresh its whole path *)
+      gc.keys.(leaf) <- gc.rng key_len;
+      let entries = refresh_path gc ~leaf ~skip_leaf:true in
+      gc.c_epoch <- gc.c_epoch + 1;
+      let path_keys = Hashtbl.create 16 in
+      List.iter (fun v -> Hashtbl.replace path_keys v gc.keys.(v)) (path_to_root leaf);
+      let m = { uid; leaf; cap_m = gc.cap; path_keys; m_epoch = gc.c_epoch } in
+      Some (gc, m, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
+
+let leave gc ~uid =
+  match Hashtbl.find_opt gc.leaf_of uid with
+  | None -> None
+  | Some leaf ->
+    Hashtbl.remove gc.leaf_of uid;
+    gc.free <- leaf :: gc.free;
+    gc.keys.(leaf) <- gc.rng key_len;  (* burn the departed leaf key *)
+    let entries = refresh_path gc ~leaf ~skip_leaf:true in
+    gc.c_epoch <- gc.c_epoch + 1;
+    Some (gc, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
+
+let rekey m msg =
+  match Wire.expect ~tag:"lkh-rekey" msg with
+  | Some (epoch_s :: confirm :: entries) ->
+    (match int_of_string_opt epoch_s with
+     | None -> None
+     | Some ep ->
+       (* work on a copy so failure leaves the member untouched *)
+       let keys = Hashtbl.copy m.path_keys in
+       List.iter
+         (fun entry ->
+           match Wire.expect ~tag:"e" entry with
+           | Some [ node_s; child_s; box ] ->
+             (match (int_of_string_opt node_s, int_of_string_opt child_s) with
+              | Some node, Some child ->
+                (match Hashtbl.find_opt keys child with
+                 | Some ck ->
+                   (match Secretbox.open_ ~key:ck box with
+                    | Some fresh -> Hashtbl.replace keys node fresh
+                    | None -> ())
+                 | None -> ())
+              | _ -> ())
+           | _ -> ())
+         entries;
+       match Hashtbl.find_opt keys 1 with
+       | Some root when Hmac.equal_ct confirm (confirmation ~epoch:ep root) ->
+         Some { m with path_keys = keys; m_epoch = ep }
+       | _ -> None)
+  | _ -> None
+
+let rekey_entry_count msg =
+  match Wire.expect ~tag:"lkh-rekey" msg with
+  | Some (_ :: _ :: entries) -> Some (List.length entries)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let export_controller gc =
+  let leaves =
+    Hashtbl.fold
+      (fun uid leaf acc -> Wire.encode ~tag:"lf" [ uid; string_of_int leaf ] :: acc)
+      gc.leaf_of []
+  in
+  Wire.encode ~tag:"lkh-gc"
+    [ string_of_int gc.cap;
+      string_of_int gc.c_epoch;
+      Wire.encode ~tag:"keys" (Array.to_list gc.keys);
+      Wire.encode ~tag:"free" (List.map string_of_int gc.free);
+      Wire.encode ~tag:"leaves" leaves ]
+
+let import_controller ~rng s =
+  match Wire.expect ~tag:"lkh-gc" s with
+  | Some [ cap_s; epoch_s; keys_s; free_s; leaves_s ] ->
+    (match
+       ( int_of_string_opt cap_s,
+         int_of_string_opt epoch_s,
+         Wire.expect ~tag:"keys" keys_s,
+         Wire.expect ~tag:"free" free_s,
+         Wire.expect ~tag:"leaves" leaves_s )
+     with
+     | Some cap, Some epoch, Some keys, Some free, Some leaves
+       when is_pow2 cap && List.length keys = 2 * cap ->
+       let leaf_of = Hashtbl.create 16 in
+       let ok =
+         List.for_all
+           (fun lf ->
+             match Wire.expect ~tag:"lf" lf with
+             | Some [ uid; leaf_s ] ->
+               (match int_of_string_opt leaf_s with
+                | Some leaf ->
+                  Hashtbl.replace leaf_of uid leaf;
+                  true
+                | None -> false)
+             | _ -> false)
+           leaves
+         && List.for_all (fun f -> int_of_string_opt f <> None) free
+       in
+       if ok then
+         Some
+           { rng;
+             cap;
+             keys = Array.of_list keys;
+             leaf_of;
+             free = List.map int_of_string free;
+             c_epoch = epoch;
+           }
+       else None
+     | _ -> None)
+  | _ -> None
+
+let export_member m =
+  let paths =
+    Hashtbl.fold
+      (fun node key acc -> Wire.encode ~tag:"pk" [ string_of_int node; key ] :: acc)
+      m.path_keys []
+  in
+  Wire.encode ~tag:"lkh-mem"
+    (m.uid :: string_of_int m.leaf :: string_of_int m.cap_m
+     :: string_of_int m.m_epoch :: paths)
+
+let import_member s =
+  match Wire.expect ~tag:"lkh-mem" s with
+  | Some (uid :: leaf_s :: cap_s :: epoch_s :: paths) ->
+    (match
+       (int_of_string_opt leaf_s, int_of_string_opt cap_s, int_of_string_opt epoch_s)
+     with
+     | Some leaf, Some cap_m, Some m_epoch ->
+       let path_keys = Hashtbl.create 16 in
+       let ok =
+         List.for_all
+           (fun pk ->
+             match Wire.expect ~tag:"pk" pk with
+             | Some [ node_s; key ] ->
+               (match int_of_string_opt node_s with
+                | Some node ->
+                  Hashtbl.replace path_keys node key;
+                  true
+                | None -> false)
+             | _ -> false)
+           paths
+       in
+       if ok && Hashtbl.mem path_keys 1 then
+         Some { uid; leaf; cap_m; path_keys; m_epoch }
+       else None
+     | _ -> None)
+  | _ -> None

@@ -1,0 +1,24 @@
+(** Logical Key Hierarchy (key graphs, Wong–Gouda–Lam [33]) — the stateful
+    CGKD instantiation suggested for Example Scheme 1.
+
+    A complete binary tree of symmetric keys; each member holds the keys on
+    the path from its leaf to the root, and the root key is the group key.
+    A membership change refreshes {e every} key on the affected path (on
+    joins as well as leaves — the strengthening of [34] that the paper's
+    footnote on strong security requires) and broadcasts O(log n)
+    ciphertexts: each fresh key encrypted under its children's keys.
+
+    Rekey broadcasts carry a key-confirmation MAC so members can detect
+    whether they derived the correct epoch key. *)
+
+include Cgkd_intf.S
+
+val capacity : controller -> int
+val rekey_entry_count : string -> int option
+(** Number of ciphertext entries in an encoded rekey broadcast (used by
+    the E5 bench to reproduce the O(log n) message-size claim). *)
+
+(** {1 Persistence} *)
+
+include
+  Cgkd_intf.PERSISTENT with type controller := controller and type member := member

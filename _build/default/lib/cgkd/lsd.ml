@@ -1,0 +1,19 @@
+(* Layer width ~ ceil(sqrt(height)); depths at multiples of the width are
+   "special".  S(v,w) is representable iff depth(v) is special or both
+   depths fall within one layer (boundaries inclusive on the right). *)
+
+let layer_width height =
+  let rec isqrt i = if i * i >= height then i else isqrt (i + 1) in
+  Stdlib.max 1 (isqrt 1)
+
+include Sd_core.Make (struct
+  let name = "lsd"
+
+  let useful ~height ~vd ~wd =
+    let s = layer_width height in
+    vd mod s = 0 || wd <= ((vd / s) + 1) * s
+
+  let split_depth ~height ~vd =
+    let s = layer_width height in
+    ((vd / s) + 1) * s
+end)

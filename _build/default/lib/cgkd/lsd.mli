@@ -1,0 +1,23 @@
+(** Halevy–Shamir layered subset difference (LSD, CRYPTO'02) — the
+    storage-reduced successor of {!Sd}.
+
+    Tree levels are partitioned into layers of ~√H levels, with the layer
+    boundaries "special".  A member stores labels only for subsets S(v,w)
+    whose endpoints lie in one layer or whose v is at a special level —
+    O(log^{3/2} N) labels instead of SD's O(log² N) — and the controller
+    splits every other subset S(v,w) into S(v,u) ∪ S(u,w) through the
+    special node u on the path, at most doubling the cover (≤ 2(2r−1)).
+
+    Shares all machinery with {!Sd} via {!Sd_core}; the E5 bench contrasts
+    the two storage/bandwidth trade-offs. *)
+
+include Cgkd_intf.S
+
+val cover_size : string -> int option
+val revoked_count : controller -> int
+val member_label_count : member -> int
+
+(** {1 Persistence} *)
+
+include
+  Cgkd_intf.PERSISTENT with type controller := controller and type member := member

@@ -1,0 +1,325 @@
+let name = "oft"
+
+let key_len = 32
+
+let blind k = Hmac.mac ~key:k "oft-blind"
+let mix bl br = Sha256.digest_list [ "oft-mix"; bl; br ]
+
+(* Heap numbering as in Lkh: root = 1, leaves are capacity..2*capacity-1. *)
+
+type controller = {
+  rng : int -> string;
+  cap : int;
+  leaf_keys : string array;  (* by node id; only leaf slots used *)
+  node_cache : string array;  (* derived keys of all nodes *)
+  leaf_of : (string, int) Hashtbl.t;
+  mutable free : int list;
+  mutable burnt : int list;  (* slots never to be reused *)
+  mutable c_epoch : int;
+}
+
+type member = {
+  uid : string;
+  leaf : int;
+  leaf_key : string;
+  sibling_blinds : (int, string) Hashtbl.t;  (* sibling node id -> blind *)
+  mutable m_epoch : int;
+  mutable root_key : string;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Recompute the controller's derived keys along the path above [leaf]. *)
+let refresh_cache gc leaf =
+  let node_key v = if v >= gc.cap then gc.leaf_keys.(v) else gc.node_cache.(v) in
+  let rec up v =
+    if v >= 1 then begin
+      if v < gc.cap then
+        gc.node_cache.(v) <- mix (blind (node_key (2 * v))) (blind (node_key ((2 * v) + 1)));
+      up (v / 2)
+    end
+  in
+  up (leaf / 2)
+
+let setup ~rng ~capacity =
+  if not (is_pow2 capacity && capacity >= 2) then
+    invalid_arg "Oft.setup: capacity must be a power of two >= 2";
+  let gc =
+    { rng;
+      cap = capacity;
+      leaf_keys = Array.init (2 * capacity) (fun _ -> rng key_len);
+      node_cache = Array.make (2 * capacity) "";
+      leaf_of = Hashtbl.create 16;
+      free = List.init capacity (fun i -> capacity + i);
+      burnt = [];
+      c_epoch = 0;
+    }
+  in
+  (* initialize the full cache bottom-up *)
+  for v = capacity - 1 downto 1 do
+    let child c = if c >= capacity then gc.leaf_keys.(c) else gc.node_cache.(c) in
+    gc.node_cache.(v) <- mix (blind (child (2 * v))) (blind (child ((2 * v) + 1)))
+  done;
+  gc
+
+let capacity gc = gc.cap
+let controller_key gc = gc.node_cache.(1)
+let controller_epoch gc = gc.c_epoch
+let group_key m = m.root_key
+let epoch m = m.m_epoch
+let members gc = Hashtbl.fold (fun uid _ acc -> uid :: acc) gc.leaf_of []
+
+let node_key gc v = if v >= gc.cap then gc.leaf_keys.(v) else gc.node_cache.(v)
+
+let confirmation ~epoch key = Hmac.mac ~key (Printf.sprintf "oft-confirm:%d" epoch)
+
+(* One rekey broadcast after the key of [leaf] changed: for every node w
+   on the path from the leaf up to (not including) the root, ship the new
+   blind(k_w) encrypted under the key of w's sibling subtree. *)
+let broadcast_path gc leaf =
+  gc.c_epoch <- gc.c_epoch + 1;
+  let entries = ref [] in
+  let rec up w =
+    if w > 1 then begin
+      let sib = w lxor 1 in
+      let box = Secretbox.seal ~key:(node_key gc sib) ~rng:gc.rng (blind (node_key gc w)) in
+      entries := Wire.encode ~tag:"e" [ string_of_int w; box ] :: !entries;
+      up (w / 2)
+    end
+  in
+  up leaf;
+  Wire.encode ~tag:"oft-rekey"
+    (string_of_int gc.c_epoch
+    :: confirmation ~epoch:gc.c_epoch gc.node_cache.(1)
+    :: List.rev !entries)
+
+(* A member's view: recompute the root from its leaf key and the stored
+   sibling blinds. *)
+let recompute_root m =
+  let rec up v key =
+    if v = 1 then key
+    else begin
+      let sib = v lxor 1 in
+      let sib_blind =
+        match Hashtbl.find_opt m.sibling_blinds sib with
+        | Some b -> b
+        | None -> failwith "oft: missing sibling blind"
+      in
+      let parent_key =
+        if v land 1 = 0 then mix (blind key) sib_blind else mix sib_blind (blind key)
+      in
+      up (v / 2) parent_key
+    end
+  in
+  up m.leaf m.leaf_key
+
+let member_state gc ~uid leaf =
+  let sibling_blinds = Hashtbl.create 16 in
+  let rec up v =
+    if v > 1 then begin
+      let sib = v lxor 1 in
+      Hashtbl.replace sibling_blinds sib (blind (node_key gc sib));
+      up (v / 2)
+    end
+  in
+  up leaf;
+  let m =
+    { uid; leaf; leaf_key = gc.leaf_keys.(leaf); sibling_blinds;
+      m_epoch = gc.c_epoch; root_key = "" }
+  in
+  m.root_key <- recompute_root m;
+  m
+
+let join gc ~uid =
+  if Hashtbl.mem gc.leaf_of uid then None
+  else
+    match gc.free with
+    | [] -> None
+    | leaf :: rest ->
+      gc.free <- rest;
+      Hashtbl.add gc.leaf_of uid leaf;
+      gc.leaf_keys.(leaf) <- gc.rng key_len;
+      refresh_cache gc leaf;
+      let msg = broadcast_path gc leaf in
+      let m = member_state gc ~uid leaf in
+      Some (gc, m, msg)
+
+let leave gc ~uid =
+  match Hashtbl.find_opt gc.leaf_of uid with
+  | None -> None
+  | Some leaf ->
+    Hashtbl.remove gc.leaf_of uid;
+    (* never reuse the slot: blocks the known OFT collusion pattern *)
+    gc.burnt <- leaf :: gc.burnt;
+    gc.leaf_keys.(leaf) <- gc.rng key_len;
+    refresh_cache gc leaf;
+    Some (gc, broadcast_path gc leaf)
+
+let rekey m msg =
+  match Wire.expect ~tag:"oft-rekey" msg with
+  | Some (epoch_s :: confirm :: entries) ->
+    (match int_of_string_opt epoch_s with
+     | None -> None
+     | Some ep ->
+       (* ancestor keys are derivable on demand; decryption keys live in
+          sibling subtrees, untouched by this event, so entry order is
+          irrelevant *)
+       let blinds = Hashtbl.copy m.sibling_blinds in
+       let probe = { m with sibling_blinds = blinds } in
+       let ancestor_key v =
+         (* key of node [v], which must be an ancestor-or-self of our leaf *)
+         let rec up node key = if node = v then Some key else if node = 1 then None
+           else begin
+             let sib = node lxor 1 in
+             match Hashtbl.find_opt blinds sib with
+             | None -> None
+             | Some sb ->
+               let pk = if node land 1 = 0 then mix (blind key) sb else mix sb (blind key) in
+               up (node / 2) pk
+           end
+         in
+         if v = m.leaf then Some m.leaf_key else up m.leaf m.leaf_key
+       in
+       List.iter
+         (fun entry ->
+           match Wire.expect ~tag:"e" entry with
+           | Some [ w_s; box ] ->
+             (match int_of_string_opt w_s with
+              | Some w ->
+                let sib = w lxor 1 in
+                (* we can decrypt iff sibling(w) is on our path *)
+                (match ancestor_key sib with
+                 | Some key ->
+                   (match Secretbox.open_ ~key box with
+                    | Some new_blind -> Hashtbl.replace blinds w new_blind
+                    | None -> ())
+                 | None -> ())
+              | None -> ())
+           | _ -> ())
+         entries;
+       match recompute_root probe with
+       | root when Hmac.equal_ct confirm (confirmation ~epoch:ep root) ->
+         Hashtbl.reset m.sibling_blinds;
+         Hashtbl.iter (fun k v -> Hashtbl.replace m.sibling_blinds k v) blinds;
+         m.root_key <- root;
+         m.m_epoch <- ep;
+         Some m
+       | _ -> None
+       | exception Failure _ -> None)
+  | _ -> None
+
+let rekey_entry_count msg =
+  match Wire.expect ~tag:"oft-rekey" msg with
+  | Some (_ :: _ :: entries) -> Some (List.length entries)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let export_controller gc =
+  let leaves =
+    Hashtbl.fold
+      (fun uid leaf acc -> Wire.encode ~tag:"lf" [ uid; string_of_int leaf ] :: acc)
+      gc.leaf_of []
+  in
+  (* node_cache is a pure function of the leaf keys: recomputed on import *)
+  Wire.encode ~tag:"oft-gc"
+    [ string_of_int gc.cap;
+      string_of_int gc.c_epoch;
+      Wire.encode ~tag:"keys" (Array.to_list gc.leaf_keys);
+      Wire.encode ~tag:"free" (List.map string_of_int gc.free);
+      Wire.encode ~tag:"burnt" (List.map string_of_int gc.burnt);
+      Wire.encode ~tag:"leaves" leaves ]
+
+let import_controller ~rng s =
+  match Wire.expect ~tag:"oft-gc" s with
+  | Some [ cap_s; epoch_s; keys_s; free_s; burnt_s; leaves_s ] ->
+    (match
+       ( int_of_string_opt cap_s,
+         int_of_string_opt epoch_s,
+         Wire.expect ~tag:"keys" keys_s,
+         Wire.expect ~tag:"free" free_s,
+         Wire.expect ~tag:"burnt" burnt_s,
+         Wire.expect ~tag:"leaves" leaves_s )
+     with
+     | Some cap, Some epoch, Some keys, Some free, Some burnt, Some leaves
+       when is_pow2 cap && List.length keys = 2 * cap ->
+       let leaf_of = Hashtbl.create 16 in
+       let ok =
+         List.for_all
+           (fun lf ->
+             match Wire.expect ~tag:"lf" lf with
+             | Some [ uid; leaf_s ] ->
+               (match int_of_string_opt leaf_s with
+                | Some leaf ->
+                  Hashtbl.replace leaf_of uid leaf;
+                  true
+                | None -> false)
+             | _ -> false)
+           leaves
+         && List.for_all (fun f -> int_of_string_opt f <> None) (free @ burnt)
+       in
+       if ok then begin
+         let gc =
+           { rng;
+             cap;
+             leaf_keys = Array.of_list keys;
+             node_cache = Array.make (2 * cap) "";
+             leaf_of;
+             free = List.map int_of_string free;
+             burnt = List.map int_of_string burnt;
+             c_epoch = epoch;
+           }
+         in
+         for v = cap - 1 downto 1 do
+           let child c = if c >= cap then gc.leaf_keys.(c) else gc.node_cache.(c) in
+           gc.node_cache.(v) <- mix (blind (child (2 * v))) (blind (child ((2 * v) + 1)))
+         done;
+         Some gc
+       end
+       else None
+     | _ -> None)
+  | _ -> None
+
+let export_member m =
+  let blinds =
+    Hashtbl.fold
+      (fun node b acc -> Wire.encode ~tag:"bl" [ string_of_int node; b ] :: acc)
+      m.sibling_blinds []
+  in
+  Wire.encode ~tag:"oft-mem"
+    (m.uid :: string_of_int m.leaf :: string_of_int m.m_epoch :: m.leaf_key :: blinds)
+
+let import_member s =
+  match Wire.expect ~tag:"oft-mem" s with
+  | Some (uid :: leaf_s :: epoch_s :: leaf_key :: blinds) ->
+    (match (int_of_string_opt leaf_s, int_of_string_opt epoch_s) with
+     | Some leaf, Some m_epoch ->
+       let tbl = Hashtbl.create 16 in
+       let ok =
+         List.for_all
+           (fun bl ->
+             match Wire.expect ~tag:"bl" bl with
+             | Some [ node_s; b ] ->
+               (match int_of_string_opt node_s with
+                | Some node ->
+                  Hashtbl.replace tbl node b;
+                  true
+                | None -> false)
+             | _ -> false)
+           blinds
+       in
+       if not ok then None
+       else begin
+         let m =
+           { uid; leaf; leaf_key; sibling_blinds = tbl; m_epoch; root_key = "" }
+         in
+         match recompute_root m with
+         | root ->
+           m.root_key <- root;
+           Some m
+         | exception Failure _ -> None
+       end
+     | _ -> None)
+  | _ -> None

@@ -1,0 +1,29 @@
+(** One-way function trees (McGrew–Sherman OFT) — a third CGKD
+    instantiation, halving LKH's rekey bandwidth.
+
+    Interior node keys are {e derived}, not drawn:
+    [k_v = mix(blind(k_left), blind(k_right))], so a membership change at
+    a leaf needs only one ciphertext per tree level (the changed child's
+    new {e blinded} key, encrypted under the sibling subtree's key),
+    against LKH's two.  Members store their leaf key plus the blinded
+    keys of the siblings along their path and recompute ancestors
+    locally.
+
+    Historical fidelity note: plain OFT admits a subtle collusion attack
+    between a revoked and a later-joining member occupying related slots
+    (Ku–Chen 2003, after the paper's era); slots here are never reused
+    after a leave, which blocks the known instance but is not a general
+    fix.  LKH remains the default CGKD of the framework. *)
+
+include Cgkd_intf.S
+
+val capacity : controller -> int
+
+val rekey_entry_count : string -> int option
+(** Ciphertext entries in an encoded rekey broadcast — the E5/E8
+    bandwidth comparison against {!Lkh}. *)
+
+(** {1 Persistence} *)
+
+include
+  Cgkd_intf.PERSISTENT with type controller := controller and type member := member

@@ -1,0 +1,9 @@
+(* Plain NNL subset difference: every subset is directly representable. *)
+
+include Sd_core.Make (struct
+  let name = "sd"
+  let useful ~height:_ ~vd:_ ~wd:_ = true
+
+  let split_depth ~height:_ ~vd:_ =
+    assert false (* never called: everything is useful *)
+end)

@@ -1,0 +1,30 @@
+(** Naor–Naor–Lotspiech subset-difference broadcast encryption [26] — the
+    {e stateless-receiver} CGKD instantiation the paper cites.
+
+    Members never update long-term state: each holds O(log² N) labels
+    fixed at join time, and every epoch key is broadcast under a cover of
+    at most 2r−1 subsets S(v,w) = leaves(v) \ leaves(w), where r is the
+    number of revoked leaves.  Subset keys derive from per-node labels via
+    a length-tripling PRG (left / middle / right, built from HMAC): a
+    member below v but not below w can walk the PRG tree to the S(v,w)
+    key, while every member below w is missing exactly the labels needed.
+
+    A permanently-revoked dummy leaf keeps the revocation set non-empty,
+    so the cover algorithm needs no special empty case. *)
+
+include Cgkd_intf.S
+
+val cover_size : string -> int option
+(** Number of subsets in an encoded rekey broadcast (E5 bench: the paper's
+    2r−1 bound). *)
+
+val revoked_count : controller -> int
+(** Number of revoked leaves, excluding the dummy. *)
+
+val member_label_count : member -> int
+(** O(log² N) storage claim, measurable. *)
+
+(** {1 Persistence} *)
+
+include
+  Cgkd_intf.PERSISTENT with type controller := controller and type member := member

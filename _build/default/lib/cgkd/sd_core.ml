@@ -1,0 +1,400 @@
+(** The subset-difference machinery shared by {!Sd} (plain NNL) and
+    {!Lsd} (Halevy–Shamir layered subset difference).
+
+    A {e policy} decides which subsets S(v,w) are directly representable —
+    i.e. which hanging labels members store — and how to route a
+    non-representable subset through an intermediate node.  Plain SD
+    represents everything (O(log² N) labels); LSD represents only subsets
+    whose endpoints sit in one {e layer} or start at a {e special} level,
+    splitting the rest in two (≤ 2·(2r−1) cover, O(log^{3/2} N) labels). *)
+
+module type POLICY = sig
+  val name : string
+
+  val useful : height:int -> vd:int -> wd:int -> bool
+  (** Is S(v,w) with depth(v) = vd, depth(w) = wd directly representable? *)
+
+  val split_depth : height:int -> vd:int -> int
+  (** For a non-useful (vd, wd): the depth of the intermediate node u on
+      the v→w path such that both S(v,u) and S(u,w) are useful. *)
+end
+
+module Make (P : POLICY) = struct
+  let name = P.name
+
+  let key_len = 32
+
+  (* Heap numbering: root = 1; children of v are 2v, 2v+1; leaves are
+     capacity .. 2*capacity-1.  Leaf slot 0 is the permanently-revoked
+     dummy that keeps the cover algorithm total. *)
+
+  let prg_left label = Hmac.mac ~key:label "L"
+  let prg_right label = Hmac.mac ~key:label "R"
+  let prg_middle label = Hmac.mac ~key:label "M"
+
+  type controller = {
+    rng : int -> string;
+    cap : int;
+    height : int;
+    node_labels : string array;
+    leaf_of : (string, int) Hashtbl.t;
+    revoked : bool array;
+    mutable free : int list;
+    mutable c_epoch : int;
+    mutable current : string;
+  }
+
+  type member = {
+    uid : string;
+    leaf : int;
+    height_m : int;
+    labels : (int * int, string) Hashtbl.t;
+    mutable current_m : string;
+    mutable m_epoch : int;
+  }
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+  let depth v =
+    let rec go v d = if v = 1 then d else go (v / 2) (d + 1) in
+    go v 0
+
+  let is_ancestor ~anc ~node =
+    let d = depth node - depth anc in
+    d >= 0 && node lsr d = anc
+
+  let walk_label start_label ~v ~w =
+    let d = depth w - depth v in
+    let label = ref start_label in
+    for i = d - 1 downto 0 do
+      label := if (w lsr i) land 1 = 0 then prg_left !label else prg_right !label
+    done;
+    !label
+
+  let subset_key gc ~v ~w = prg_middle (walk_label gc.node_labels.(v) ~v ~w)
+
+  let setup ~rng ~capacity =
+    if not (is_pow2 capacity && capacity >= 4) then
+      invalid_arg (P.name ^ ".setup: capacity must be a power of two >= 4");
+    let height =
+      let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+      lg capacity
+    in
+    let node_labels = Array.init (2 * capacity) (fun _ -> rng key_len) in
+    let revoked = Array.make (2 * capacity) false in
+    revoked.(capacity) <- true;
+    { rng;
+      cap = capacity;
+      height;
+      node_labels;
+      leaf_of = Hashtbl.create 16;
+      revoked;
+      free = List.init (capacity - 1) (fun i -> capacity + 1 + i);
+      c_epoch = 0;
+      current = rng key_len;
+    }
+
+  let controller_key gc = gc.current
+  let controller_epoch gc = gc.c_epoch
+  let group_key m = m.current_m
+  let epoch m = m.m_epoch
+  let members gc = Hashtbl.fold (fun uid _ acc -> uid :: acc) gc.leaf_of []
+
+  let revoked_count gc =
+    let c = ref 0 in
+    Array.iteri (fun i r -> if r && i <> gc.cap then incr c) gc.revoked;
+    !c
+
+  (* ---------------- cover computation (plain SD, then split) -------- *)
+
+  let sd_cover gc =
+    let revoked_leaves =
+      let out = ref [] in
+      for l = (2 * gc.cap) - 1 downto gc.cap do
+        if gc.revoked.(l) then out := l :: !out
+      done;
+      !out
+    in
+    assert (revoked_leaves <> []);
+    let in_steiner = Hashtbl.create 64 in
+    List.iter
+      (fun leaf ->
+        let rec up v =
+          if not (Hashtbl.mem in_steiner v) then begin
+            Hashtbl.add in_steiner v ();
+            if v > 1 then up (v / 2)
+          end
+        in
+        up leaf)
+      revoked_leaves;
+    let st v = Hashtbl.mem in_steiner v in
+    let rec reduce v =
+      if v >= gc.cap then (v, [])
+      else begin
+        let l = 2 * v and r = (2 * v) + 1 in
+        match (st l, st r) with
+        | true, false -> reduce l
+        | false, true -> reduce r
+        | true, true ->
+          let wl, sl = reduce l in
+          let wr, sr = reduce r in
+          let emit child w acc = if w = child then acc else (child, w) :: acc in
+          (v, emit l wl (emit r wr (sl @ sr)))
+        | false, false -> assert false
+      end
+    in
+    let w, subsets = reduce 1 in
+    if w = 1 then subsets else (1, w) :: subsets
+
+  (* Route each subset through intermediates until every piece is
+     representable under the policy. *)
+  let cover gc =
+    let rec layer (v, w) acc =
+      let vd = depth v and wd = depth w in
+      if P.useful ~height:gc.height ~vd ~wd then (v, w) :: acc
+      else begin
+        let ud = P.split_depth ~height:gc.height ~vd in
+        assert (ud > vd && ud < wd);
+        let u = w lsr (wd - ud) in
+        layer (v, u) (layer (u, w) acc)
+      end
+    in
+    List.fold_left (fun acc s -> layer s acc) [] (sd_cover gc)
+
+  (* ---------------- broadcast ----------------------------------------- *)
+
+  let confirmation ~epoch key =
+    Hmac.mac ~key (Printf.sprintf "%s-confirm:%d" P.name epoch)
+
+  let broadcast gc =
+    gc.c_epoch <- gc.c_epoch + 1;
+    gc.current <- gc.rng key_len;
+    let entries =
+      List.map
+        (fun (v, w) ->
+          let box = Secretbox.seal ~key:(subset_key gc ~v ~w) ~rng:gc.rng gc.current in
+          Wire.encode ~tag:"e" [ string_of_int v; string_of_int w; box ])
+        (cover gc)
+    in
+    Wire.encode ~tag:(P.name ^ "-rekey")
+      (string_of_int gc.c_epoch :: confirmation ~epoch:gc.c_epoch gc.current :: entries)
+
+  (* ---------------- membership ---------------------------------------- *)
+
+  (* A member stores label(v→s) exactly for the hanging siblings s whose
+     (depth v, depth s) pair the policy marks representable. *)
+  let member_labels gc leaf =
+    let labels = Hashtbl.create 64 in
+    let rec ancestors v acc = if v = 0 then acc else ancestors (v / 2) (v :: acc) in
+    let anc = ancestors (leaf / 2) [] in
+    List.iter
+      (fun v ->
+        let vd = depth v in
+        let d = depth leaf - vd in
+        for i = d - 1 downto 0 do
+          let path_node = leaf lsr i in
+          let sibling = path_node lxor 1 in
+          if P.useful ~height:gc.height ~vd ~wd:(depth sibling) then
+            Hashtbl.replace labels (v, sibling)
+              (walk_label gc.node_labels.(v) ~v ~w:sibling)
+        done)
+      anc;
+    labels
+
+  let join gc ~uid =
+    if Hashtbl.mem gc.leaf_of uid then None
+    else
+      match gc.free with
+      | [] -> None
+      | leaf :: rest ->
+        gc.free <- rest;
+        gc.revoked.(leaf) <- false;
+        Hashtbl.add gc.leaf_of uid leaf;
+        let msg = broadcast gc in
+        let m =
+          { uid; leaf; height_m = gc.height; labels = member_labels gc leaf;
+            current_m = gc.current; m_epoch = gc.c_epoch }
+        in
+        Some (gc, m, msg)
+
+  let leave gc ~uid =
+    match Hashtbl.find_opt gc.leaf_of uid with
+    | None -> None
+    | Some leaf ->
+      Hashtbl.remove gc.leaf_of uid;
+      gc.revoked.(leaf) <- true;
+      Some (gc, broadcast gc)
+
+  (* ---------------- member-side rekey --------------------------------- *)
+
+  let member_subset_key m ~v ~w =
+    if not (is_ancestor ~anc:v ~node:m.leaf) then None
+    else if is_ancestor ~anc:w ~node:m.leaf then None
+    else begin
+      let d = depth w - depth v in
+      let rec diverge i =
+        if i < 0 then None
+        else begin
+          let node = w lsr i in
+          if is_ancestor ~anc:node ~node:m.leaf then diverge (i - 1) else Some node
+        end
+      in
+      match diverge (d - 1) with
+      | None -> None
+      | Some c ->
+        (match Hashtbl.find_opt m.labels (v, c) with
+         | None -> None
+         | Some lab -> Some (prg_middle (walk_label lab ~v:c ~w)))
+    end
+
+  let rekey m msg =
+    match Wire.expect ~tag:(P.name ^ "-rekey") msg with
+    | Some (epoch_s :: confirm :: entries) ->
+      (match int_of_string_opt epoch_s with
+       | None -> None
+       | Some ep ->
+         let found = ref None in
+         List.iter
+           (fun entry ->
+             if !found = None then
+               match Wire.expect ~tag:"e" entry with
+               | Some [ v_s; w_s; box ] ->
+                 (match (int_of_string_opt v_s, int_of_string_opt w_s) with
+                  | Some v, Some w ->
+                    (match member_subset_key m ~v ~w with
+                     | Some key ->
+                       (match Secretbox.open_ ~key box with
+                        | Some k -> found := Some k
+                        | None -> ())
+                     | None -> ())
+                  | _ -> ())
+               | _ -> ())
+           entries;
+         match !found with
+         | Some k when Hmac.equal_ct confirm (confirmation ~epoch:ep k) ->
+           m.current_m <- k;
+           m.m_epoch <- ep;
+           Some m
+         | _ -> None)
+    | _ -> None
+
+  (* ---------------- instrumentation ----------------------------------- *)
+
+  let cover_size msg =
+    match Wire.expect ~tag:(P.name ^ "-rekey") msg with
+    | Some (_ :: _ :: entries) -> Some (List.length entries)
+    | _ -> None
+
+  let member_label_count m = Hashtbl.length m.labels
+
+  (* ---------------- persistence --------------------------------------- *)
+
+  let export_controller gc =
+    let leaves =
+      Hashtbl.fold
+        (fun uid leaf acc -> Wire.encode ~tag:"lf" [ uid; string_of_int leaf ] :: acc)
+        gc.leaf_of []
+    in
+    let revoked =
+      String.init (Array.length gc.revoked) (fun i ->
+          if gc.revoked.(i) then '1' else '0')
+    in
+    Wire.encode ~tag:(P.name ^ "-gc")
+      [ string_of_int gc.cap;
+        string_of_int gc.c_epoch;
+        gc.current;
+        revoked;
+        Wire.encode ~tag:"labels" (Array.to_list gc.node_labels);
+        Wire.encode ~tag:"free" (List.map string_of_int gc.free);
+        Wire.encode ~tag:"leaves" leaves ]
+
+  let import_controller ~rng s =
+    match Wire.expect ~tag:(P.name ^ "-gc") s with
+    | Some [ cap_s; epoch_s; current; revoked_s; labels_s; free_s; leaves_s ] ->
+      (match
+         ( int_of_string_opt cap_s,
+           int_of_string_opt epoch_s,
+           Wire.expect ~tag:"labels" labels_s,
+           Wire.expect ~tag:"free" free_s,
+           Wire.expect ~tag:"leaves" leaves_s )
+       with
+       | Some cap, Some epoch, Some labels, Some free, Some leaves
+         when is_pow2 cap && cap >= 4
+              && List.length labels = 2 * cap
+              && String.length revoked_s = 2 * cap ->
+         let height =
+           let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+           lg cap
+         in
+         let leaf_of = Hashtbl.create 16 in
+         let ok =
+           List.for_all
+             (fun lf ->
+               match Wire.expect ~tag:"lf" lf with
+               | Some [ uid; leaf_s ] ->
+                 (match int_of_string_opt leaf_s with
+                  | Some leaf ->
+                    Hashtbl.replace leaf_of uid leaf;
+                    true
+                  | None -> false)
+               | _ -> false)
+             leaves
+           && List.for_all (fun f -> int_of_string_opt f <> None) free
+         in
+         if ok then
+           Some
+             { rng;
+               cap;
+               height;
+               node_labels = Array.of_list labels;
+               leaf_of;
+               revoked = Array.init (2 * cap) (fun i -> revoked_s.[i] = '1');
+               free = List.map int_of_string free;
+               c_epoch = epoch;
+               current;
+             }
+         else None
+       | _ -> None)
+    | _ -> None
+
+  let export_member m =
+    let labels =
+      Hashtbl.fold
+        (fun (v, sibling) label acc ->
+          Wire.encode ~tag:"lb" [ string_of_int v; string_of_int sibling; label ]
+          :: acc)
+        m.labels []
+    in
+    Wire.encode ~tag:(P.name ^ "-mem")
+      (m.uid :: string_of_int m.leaf :: string_of_int m.height_m
+       :: string_of_int m.m_epoch :: m.current_m :: labels)
+
+  let import_member s =
+    match Wire.expect ~tag:(P.name ^ "-mem") s with
+    | Some (uid :: leaf_s :: height_s :: epoch_s :: current_m :: labels) ->
+      (match
+         ( int_of_string_opt leaf_s,
+           int_of_string_opt height_s,
+           int_of_string_opt epoch_s )
+       with
+       | Some leaf, Some height_m, Some m_epoch ->
+         let tbl = Hashtbl.create 64 in
+         let ok =
+           List.for_all
+             (fun lb ->
+               match Wire.expect ~tag:"lb" lb with
+               | Some [ v_s; s_s; label ] ->
+                 (match (int_of_string_opt v_s, int_of_string_opt s_s) with
+                  | Some v, Some sib ->
+                    Hashtbl.replace tbl (v, sib) label;
+                    true
+                  | _ -> false)
+               | _ -> false)
+             labels
+         in
+         if ok then
+           Some { uid; leaf; height_m; labels = tbl; current_m; m_epoch }
+         else None
+       | _ -> None)
+    | _ -> None
+end

@@ -1,0 +1,1 @@
+lib/cipher/secretbox.ml: Bytes Chacha20 Char Hkdf Hmac String

@@ -1,0 +1,76 @@
+(* ChaCha20, RFC 8439.  32-bit words in native ints, masked. *)
+
+let key_size = 32
+let nonce_size = 12
+let m32 = 0xffffffff
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land m32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let word32_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let init_state ~key ~nonce ~counter =
+  if String.length key <> key_size then invalid_arg "Chacha20: bad key size";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20: bad nonce size";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do st.(4 + i) <- word32_le key (i * 4) done;
+  st.(12) <- counter land m32;
+  for i = 0 to 2 do st.(13 + i) <- word32_le nonce (i * 4) done;
+  st
+
+let block ~key ~nonce ~counter =
+  let st = init_state ~key ~nonce ~counter in
+  let w = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round w 0 4 8 12;
+    quarter_round w 1 5 9 13;
+    quarter_round w 2 6 10 14;
+    quarter_round w 3 7 11 15;
+    quarter_round w 0 5 10 15;
+    quarter_round w 1 6 11 12;
+    quarter_round w 2 7 8 13;
+    quarter_round w 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (w.(i) + st.(i)) land m32 in
+    Bytes.set out (i * 4) (Char.chr (v land 0xff));
+    Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((i * 4) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.to_string out
+
+let encrypt ~key ~nonce ?(counter = 1) msg =
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~nonce ~counter:(counter + b) in
+    let off = b * 64 in
+    let n = Stdlib.min 64 (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code msg.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.to_string out
+
+let decrypt = encrypt

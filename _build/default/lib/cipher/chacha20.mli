@@ -1,0 +1,20 @@
+(** ChaCha20 stream cipher (RFC 8439), pure OCaml.
+
+    The symmetric encryption algorithm [SENC]/[SDEC] of the handshake's
+    Phase III is built from this cipher (see {!Secretbox}). *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One 64-byte keystream block. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the input with the keystream; encryption and decryption are the
+    same operation.
+    @raise Invalid_argument on wrong key or nonce size. *)
+
+val decrypt : key:string -> nonce:string -> ?counter:int -> string -> string

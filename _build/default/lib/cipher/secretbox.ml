@@ -1,0 +1,66 @@
+type box = string
+
+let nonce_len = Chacha20.nonce_size
+let tag_len = 32
+let len_field = 4
+let overhead = nonce_len + len_field + tag_len
+
+let derive_keys key =
+  let okm = Hkdf.derive ~ikm:key ~info:"shs-secretbox-v1" ~len:64 () in
+  (String.sub okm 0 32, String.sub okm 32 32)
+
+let box_len ~plaintext_len = plaintext_len + overhead
+
+(* Plaintext framing: 4-byte big-endian true length, then the plaintext,
+   then zero padding.  Padding lives *inside* the ciphertext so all boxes
+   of a given [pad_to] are the same length on the wire. *)
+let frame ?pad_to msg =
+  let n = String.length msg in
+  let padded =
+    match pad_to with
+    | None -> n
+    | Some p ->
+      if n > p then invalid_arg "Secretbox.seal: plaintext exceeds pad_to";
+      p
+  in
+  let b = Bytes.make (len_field + padded) '\000' in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string msg 0 b len_field n;
+  Bytes.to_string b
+
+let unframe framed =
+  if String.length framed < len_field then None
+  else begin
+    let n =
+      (Char.code framed.[0] lsl 24)
+      lor (Char.code framed.[1] lsl 16)
+      lor (Char.code framed.[2] lsl 8)
+      lor Char.code framed.[3]
+    in
+    if n > String.length framed - len_field then None
+    else Some (String.sub framed len_field n)
+  end
+
+let seal ~key ~rng ?pad_to msg =
+  let enc_key, mac_key = derive_keys key in
+  let nonce = rng nonce_len in
+  let ct = Chacha20.encrypt ~key:enc_key ~nonce (frame ?pad_to msg) in
+  let tag = Hmac.mac_list ~key:mac_key [ nonce; ct ] in
+  nonce ^ ct ^ tag
+
+let open_ ~key box =
+  let len = String.length box in
+  if len < overhead then None
+  else begin
+    let enc_key, mac_key = derive_keys key in
+    let nonce = String.sub box 0 nonce_len in
+    let ct = String.sub box nonce_len (len - nonce_len - tag_len) in
+    let tag = String.sub box (len - tag_len) tag_len in
+    if not (Hmac.equal_ct tag (Hmac.mac_list ~key:mac_key [ nonce; ct ])) then None
+    else unframe (Chacha20.decrypt ~key:enc_key ~nonce ct)
+  end
+
+let random_box ~rng ~plaintext_len = rng (box_len ~plaintext_len)

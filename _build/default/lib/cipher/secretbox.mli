@@ -1,0 +1,37 @@
+(** Authenticated symmetric encryption: ChaCha20 + HMAC-SHA256,
+    encrypt-then-MAC.
+
+    This realizes the [SENC]/[SDEC] algorithms of handshake Phase III.
+    Two features matter to the framework:
+
+    - {b Length uniformity.}  The eavesdropper-indistinguishability
+      property requires that a failed handshake's random blobs be
+      indistinguishable from real ciphertexts, so [seal] can pad every
+      plaintext up to a fixed size ([pad_to]) and [random_box] emits a
+      uniformly random string with exactly the same format and length.
+
+    - {b Key separation.}  The 32-byte user key is expanded with HKDF into
+      independent encryption and MAC keys. *)
+
+type box = string
+(** Wire format: nonce (12) || ciphertext || tag (32). *)
+
+val overhead : int
+(** Bytes added on top of the (padded) plaintext: 12 + 4 + 32. *)
+
+val seal : key:string -> rng:(int -> string) -> ?pad_to:int -> string -> box
+(** Encrypt and authenticate.  [rng] supplies the nonce.  When [pad_to]
+    is given, the plaintext is padded to exactly [pad_to] bytes before
+    encryption.
+    @raise Invalid_argument if the plaintext exceeds [pad_to]. *)
+
+val open_ : key:string -> box -> string option
+(** Authenticate and decrypt; [None] on any tampering or wrong key. *)
+
+val random_box : rng:(int -> string) -> plaintext_len:int -> box
+(** A uniformly random string of exactly the length that [seal] would
+    produce for a [plaintext_len]-byte (or padded-to-that) plaintext.
+    Used by Phase III "Case 2" to fake ciphertexts on handshake failure. *)
+
+val box_len : plaintext_len:int -> int
+(** Length of a sealed box for a given (padded) plaintext length. *)

@@ -1,0 +1,1 @@
+lib/core/gcd.ml: Array Cgkd_intf Char Dgka_intf Dhies Engine Fun Gcd_types Groupgen Gsig_intf Hkdf Hmac List Logs Option Printf Secretbox Sha256 String Wire

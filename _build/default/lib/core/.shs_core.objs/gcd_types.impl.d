@@ -1,0 +1,1 @@
+lib/core/gcd_types.ml: Engine Groupgen

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Acjt Bigint Dhies Kty Lazy Lkh Params Scheme1 Scheme2 Wire

@@ -1,0 +1,1 @@
+lib/core/roles.ml: Array Gcd_types Hashtbl List Option Scheme1

@@ -1,0 +1,1 @@
+lib/core/scheme1.ml: Acjt Bd Gcd Lazy Lkh Params

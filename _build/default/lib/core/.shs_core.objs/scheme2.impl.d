@@ -1,0 +1,1 @@
+lib/core/scheme2.ml: Bd Bigint Gcd Kty Lazy List Lkh Option Params

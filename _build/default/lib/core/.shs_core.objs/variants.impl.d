@@ -1,0 +1,1 @@
+lib/core/variants.ml: Acjt Bd Gcd Gdh Kty Lkh Oft Sd Str

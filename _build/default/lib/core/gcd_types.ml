@@ -1,0 +1,24 @@
+(** Types shared by every GCD instantiation.
+
+    These live outside the {!Gcd.Make} functor so that code generic over
+    schemes (tests, benches, the CLI) can speak about handshake outcomes
+    without committing to a particular building-block triple. *)
+
+type format = {
+  delta_len : int;  (** length of δ = ENC(pkT, k') on the wire *)
+  theta_len : int;  (** length of θ = SENC(k', σ) on the wire *)
+  dl_group : Groupgen.schnorr_group;  (** system-wide DGKA/PKE parameters *)
+}
+
+type outcome = {
+  accepted : bool;  (** every participant proved same-group membership *)
+  partners : int list;  (** session positions verified, self included *)
+  session_key : string option;  (** fresh key shared by [partners] *)
+  sid : string;
+  transcript : (string * string) array;  (** (θ, δ) per position, for tracing *)
+}
+
+type session_result = {
+  outcomes : outcome option array;
+  stats : Engine.stats;
+}

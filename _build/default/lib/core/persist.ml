@@ -1,0 +1,157 @@
+(** Persistence for the standard deployments: serialize and restore the
+    group-authority and member states of {!Scheme1} and {!Scheme2}.
+
+    What is stored: the GSIG manager (roster, opening secret, accumulator
+    or token state), the CGKD controller (key tree), the tracing key, and
+    per-member signing + rekeying state.  What is {e not} stored: random
+    sources — importers receive a fresh [rng], which is sound because
+    every protocol draw is forward-fresh (no stream position matters).
+
+    The system-wide discrete-log group is identified by name rather than
+    re-serialized (the default deployments use the embedded
+    [Params.schnorr_512]). *)
+
+module B = Bigint
+
+let dl_group_name = "schnorr_512"
+let dl_group () = Lazy.force Params.schnorr_512
+
+module type STORE = sig
+  type authority
+  type member
+
+  val export_authority : authority -> string
+  val import_authority : rng:(int -> string) -> string -> authority option
+  val export_member : member -> string
+  val import_member : rng:(int -> string) -> string -> member option
+end
+
+module Scheme1_store = struct
+  type authority = Scheme1.authority
+  type member = Scheme1.member
+
+  let export_authority (ga : authority) =
+    Wire.encode ~tag:"s1-ga"
+      [ dl_group_name;
+        Acjt.export_manager ga.Scheme1.gm;
+        Lkh.export_controller ga.Scheme1.gc;
+        Dhies.export_secret ga.Scheme1.trace_sk ]
+
+  let import_authority ~rng s =
+    match Wire.expect ~tag:"s1-ga" s with
+    | Some [ gname; gm_s; gc_s; sk_s ] when gname = dl_group_name ->
+      let group = dl_group () in
+      (match
+         ( Acjt.import_manager gm_s,
+           Lkh.import_controller ~rng gc_s,
+           Dhies.import_secret ~group sk_s )
+       with
+       | Some gm, Some gc, Some trace_sk ->
+         Some
+           { Scheme1.gm;
+             gc;
+             trace_sk;
+             trace_pk = Dhies.public_of_secret trace_sk;
+             dl_group = group;
+             ga_rng = rng;
+           }
+       | _ -> None)
+    | _ -> None
+
+  let export_member (m : member) =
+    Wire.encode ~tag:"s1-mem"
+      [ dl_group_name;
+        m.Scheme1.uid;
+        Acjt.export_member m.Scheme1.gsig;
+        Lkh.export_member m.Scheme1.cgkd;
+        Dhies.export_public m.Scheme1.m_trace_pk;
+        (if m.Scheme1.active then "1" else "0") ]
+
+  let import_member ~rng s =
+    match Wire.expect ~tag:"s1-mem" s with
+    | Some [ gname; uid; gsig_s; cgkd_s; pk_s; active ] when gname = dl_group_name ->
+      let group = dl_group () in
+      (match
+         ( Acjt.import_member gsig_s,
+           Lkh.import_member cgkd_s,
+           Dhies.import_public ~group pk_s )
+       with
+       | Some gsig, Some cgkd, Some m_trace_pk ->
+         Some
+           { Scheme1.uid;
+             gsig;
+             cgkd;
+             gpub = Acjt.member_public gsig;
+             m_trace_pk;
+             m_dl_group = group;
+             m_rng = rng;
+             active = active = "1";
+           }
+       | _ -> None)
+    | _ -> None
+end
+
+module Scheme2_store = struct
+  type authority = Scheme2.authority
+  type member = Scheme2.member
+
+  let export_authority (ga : authority) =
+    Wire.encode ~tag:"s2-ga"
+      [ dl_group_name;
+        Kty.export_manager ga.Scheme2.gm;
+        Lkh.export_controller ga.Scheme2.gc;
+        Dhies.export_secret ga.Scheme2.trace_sk ]
+
+  let import_authority ~rng s =
+    match Wire.expect ~tag:"s2-ga" s with
+    | Some [ gname; gm_s; gc_s; sk_s ] when gname = dl_group_name ->
+      let group = dl_group () in
+      (match
+         ( Kty.import_manager gm_s,
+           Lkh.import_controller ~rng gc_s,
+           Dhies.import_secret ~group sk_s )
+       with
+       | Some gm, Some gc, Some trace_sk ->
+         Some
+           { Scheme2.gm;
+             gc;
+             trace_sk;
+             trace_pk = Dhies.public_of_secret trace_sk;
+             dl_group = group;
+             ga_rng = rng;
+           }
+       | _ -> None)
+    | _ -> None
+
+  let export_member (m : member) =
+    Wire.encode ~tag:"s2-mem"
+      [ dl_group_name;
+        m.Scheme2.uid;
+        Kty.export_member m.Scheme2.gsig;
+        Lkh.export_member m.Scheme2.cgkd;
+        Dhies.export_public m.Scheme2.m_trace_pk;
+        (if m.Scheme2.active then "1" else "0") ]
+
+  let import_member ~rng s =
+    match Wire.expect ~tag:"s2-mem" s with
+    | Some [ gname; uid; gsig_s; cgkd_s; pk_s; active ] when gname = dl_group_name ->
+      let group = dl_group () in
+      (match
+         ( Kty.import_member gsig_s,
+           Lkh.import_member cgkd_s,
+           Dhies.import_public ~group pk_s )
+       with
+       | Some gsig, Some cgkd, Some m_trace_pk ->
+         Some
+           { Scheme2.uid;
+             gsig;
+             cgkd;
+             gpub = Kty.member_public gsig;
+             m_trace_pk;
+             m_dl_group = group;
+             m_rng = rng;
+             active = active = "1";
+           }
+       | _ -> None)
+    | _ -> None
+end

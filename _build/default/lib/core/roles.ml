@@ -1,0 +1,125 @@
+(** Role / clearance-level handshakes (paper §1):
+
+    "Alice might want to authenticate herself as an agent with a certain
+    clearance level only if Bob is also an agent with at least the same
+    clearance level."
+
+    The natural encoding — the paper notes users may belong to several
+    groups — is one group per level, with a clearance-c agent enrolled in
+    levels 1..c.  Authenticating "at level k" is an ordinary secret
+    handshake under level k's credentials: it succeeds exactly with peers
+    of clearance ≥ k, and (by the framework's detection resistance) a
+    lower-cleared prober learns only "not ≥ k", never anyone's actual
+    level.
+
+    {!Hierarchy} packages the bookkeeping: one {!Scheme1} authority per
+    level, credential sets per agent, and update fan-out on enrollment
+    and revocation. *)
+
+module Hierarchy = struct
+  type agent = {
+    clearance : int;
+    mutable creds : (int * Scheme1.member) list;  (* level -> credential *)
+  }
+
+  type t = {
+    levels : (int * Scheme1.authority) array;  (* 1-based levels *)
+    agents : (string, agent) Hashtbl.t;
+    rng : int -> string;
+  }
+
+  let create ~rng ~levels ?(capacity = 64) () =
+    if levels < 1 then invalid_arg "Hierarchy.create: need at least one level";
+    { levels =
+        Array.init levels (fun i ->
+            (i + 1, Scheme1.default_authority ~rng ~capacity ()));
+      agents = Hashtbl.create 16;
+      rng;
+    }
+
+  let max_level t = Array.length t.levels
+  let authority_at t ~level = snd t.levels.(level - 1)
+
+  let clearance t ~uid =
+    Option.map (fun a -> a.clearance) (Hashtbl.find_opt t.agents uid)
+
+  (* Enroll [uid] at levels 1..clearance, fanning every admission
+     broadcast out to the already-enrolled credentials of that level. *)
+  let enroll t ~uid ~clearance ~member_rng =
+    if clearance < 1 || clearance > max_level t then
+      invalid_arg "Hierarchy.enroll: clearance out of range";
+    if Hashtbl.mem t.agents uid then false
+    else begin
+      let agent = { clearance; creds = [] } in
+      let ok =
+        List.for_all
+          (fun level ->
+            let ga = authority_at t ~level in
+            match Scheme1.admit ga ~uid ~member_rng with
+            | None -> false
+            | Some (m, broadcast) ->
+              Hashtbl.iter
+                (fun _ other ->
+                  match List.assoc_opt level other.creds with
+                  | Some cred -> ignore (Scheme1.update cred broadcast)
+                  | None -> ())
+                t.agents;
+              agent.creds <- (level, m) :: agent.creds;
+              true)
+          (List.init clearance (fun i -> i + 1))
+      in
+      if ok then Hashtbl.replace t.agents uid agent;
+      ok
+    end
+
+  (* Revocation strips every level the agent holds. *)
+  let revoke t ~uid =
+    match Hashtbl.find_opt t.agents uid with
+    | None -> false
+    | Some agent ->
+      List.iter
+        (fun (level, _) ->
+          match Scheme1.remove (authority_at t ~level) ~uid with
+          | None -> ()
+          | Some broadcast ->
+            Hashtbl.iter
+              (fun other_uid other ->
+                if other_uid <> uid then
+                  match List.assoc_opt level other.creds with
+                  | Some cred -> ignore (Scheme1.update cred broadcast)
+                  | None -> ())
+              t.agents)
+        agent.creds;
+      Hashtbl.remove t.agents uid;
+      true
+
+  (* A level-k handshake between the named agents.  Agents without a
+     level-k credential participate as protocol-conformant outsiders —
+     exactly what a real under-cleared device would look like on air. *)
+  let handshake_at ?adversary ?latency t ~level uids =
+    if level < 1 || level > max_level t then
+      invalid_arg "Hierarchy.handshake_at: bad level";
+    let ga = authority_at t ~level in
+    let fmt = Scheme1.default_format ga in
+    let parts =
+      Array.of_list
+        (List.map
+           (fun uid ->
+             match Hashtbl.find_opt t.agents uid with
+             | Some agent ->
+               (match List.assoc_opt level agent.creds with
+                | Some cred -> Scheme1.participant_of_member cred
+                | None -> Scheme1.outsider ~rng:t.rng)
+             | None -> Scheme1.outsider ~rng:t.rng)
+           uids)
+    in
+    Scheme1.run_session ?adversary ?latency ~fmt parts
+
+  (* The decision the paper's example needs: "is everyone here cleared to
+     at least level k?" — true iff the level-k handshake fully accepts. *)
+  let all_cleared_at ?adversary ?latency t ~level uids =
+    let r = handshake_at ?adversary ?latency t ~level uids in
+    Array.for_all
+      (function Some o -> o.Gcd_types.accepted | None -> false)
+      r.Gcd_types.outcomes
+end

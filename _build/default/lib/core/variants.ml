@@ -1,0 +1,24 @@
+(** Additional GCD instantiations, demonstrating the framework's
+    flexibility claims (§1.1): the compiler accepts {e any} triple of
+    building blocks satisfying the three interfaces, and the result
+    inherits the communication model of its parts.
+
+    - {!Acjt_sd_bd} swaps the stateful LKH for the {e stateless} NNL
+      subset-difference scheme: members can sleep through rekey epochs
+      and still join the next handshake after applying only the latest
+      broadcast.
+    - {!Acjt_lkh_gdh} swaps Burmester–Desmedt for GDH.2: the handshake's
+      Phase I becomes a linear upflow/downflow instead of two broadcast
+      rounds — the rest of the protocol is untouched.
+    - {!Kty_sd_gdh} changes all three blocks relative to Scheme 1.
+
+    Each variant is a complete secret-handshake scheme; the cross-variant
+    tests in [test_variants.ml] run the full lifecycle against each. *)
+
+module Acjt_sd_bd = Gcd.Make (Acjt) (Sd) (Bd)
+module Acjt_lkh_gdh = Gcd.Make (Acjt) (Lkh) (Gdh)
+module Kty_sd_gdh = Gcd.Make (Kty) (Sd) (Gdh)
+
+module Acjt_oft_str = Gcd.Make (Acjt) (Oft) (Str)
+(** All-alternate triple: one-way-function-tree rekeying with
+    sponsor-based STR agreement. *)

@@ -1,0 +1,1 @@
+lib/dgka/bd.ml: Array Bigint Buffer Groupgen Hkdf Option Sha256 Wire

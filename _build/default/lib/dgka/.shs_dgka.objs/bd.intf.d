@@ -1,0 +1,1 @@
+lib/dgka/bd.mli: Dgka_intf

@@ -1,0 +1,1 @@
+lib/dgka/dgka_intf.ml: Groupgen

@@ -1,0 +1,1 @@
+lib/dgka/dgka_runner.ml: Array Dgka_intf Engine List Option

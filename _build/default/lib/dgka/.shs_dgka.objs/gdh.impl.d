@@ -1,0 +1,1 @@
+lib/dgka/gdh.ml: Bigint Groupgen Hkdf List Sha256 Wire

@@ -1,0 +1,1 @@
+lib/dgka/gdh.mli: Dgka_intf

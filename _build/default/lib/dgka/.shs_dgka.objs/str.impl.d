@@ -1,0 +1,1 @@
+lib/dgka/str.ml: Array Bigint Groupgen Hkdf List Option Sha256 Wire

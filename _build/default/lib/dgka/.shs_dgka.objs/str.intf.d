@@ -1,0 +1,1 @@
+lib/dgka/str.mli: Dgka_intf

@@ -1,0 +1,14 @@
+(** Burmester–Desmedt group key agreement [11] — the DGKA the paper calls
+    "particularly efficient": two broadcast rounds and a constant number
+    of exponentiations per party, for any group size.
+
+    Round 1: party i broadcasts z_i = g^{r_i}.
+    Round 2: party i broadcasts X_i = (z_{i+1} / z_{i-1})^{r_i}.
+    Key:     K_i = z_{i-1}^{n·r_i} · X_i^{n-1} · X_{i+1}^{n-2} ··· X_{i-2}
+             = g^{r_0 r_1 + r_1 r_2 + ... + r_{n-1} r_0} for every i.
+
+    All received elements are checked for prime-order-subgroup membership
+    (small-subgroup hardening); the session key and sid are derived from
+    K and the full transcript via HKDF. *)
+
+include Dgka_intf.S

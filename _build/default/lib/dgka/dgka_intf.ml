@@ -1,0 +1,46 @@
+(** The distributed group key agreement interface of paper Fig. 5, the
+    third input of the GCD compiler.
+
+    An {e instance} is one party's state machine in one protocol run;
+    parties are addressed by session position [0 .. n-1] (anonymity: no
+    durable identities appear in the protocol).  Driving an instance:
+    deliver [start]'s messages, feed incoming payloads to [receive],
+    forward the messages it emits, and poll [result].
+
+    Per the paper this is {e unauthenticated} ("raw") key agreement —
+    man-in-the-middle protection comes from the framework's Phase II MACs
+    keyed with k' = k* ⊕ k, not from the DGKA itself.  On success the
+    instance reports [acc = true] with a session key [key] and session id
+    [sid] (a hash of the full transcript, the paper's suggested sid). *)
+
+module type S = sig
+  val name : string
+
+  type instance
+
+  type outcome = {
+    key : string;  (** 32-byte session key k* *)
+    sid : string;  (** 32-byte session id *)
+  }
+
+  val create :
+    rng:(int -> string) ->
+    group:Groupgen.schnorr_group ->
+    self:int ->
+    n:int ->
+    instance
+
+  val start : instance -> (int option * string) list
+  (** Messages to emit at activation: [(Some dst, payload)] unicast,
+      [(None, payload)] broadcast.  Every party is activated once; a
+      party with nothing to say in round one returns []. *)
+
+  val receive : instance -> src:int -> string -> (int option * string) list
+  (** Deliver one payload; returns messages to emit in response.
+      Malformed or inconsistent input aborts the instance (it will never
+      accept); unknown tags are ignored. *)
+
+  val result : instance -> outcome option
+
+  val aborted : instance -> bool
+end

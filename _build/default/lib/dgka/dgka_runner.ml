@@ -1,0 +1,37 @@
+(** Drives a set of DGKA instances over the simulated network — the
+    standalone equivalent of handshake Phase I, used by the DGKA tests and
+    the E4 bench. *)
+
+type result = {
+  outcomes : (string * string) option array;  (* (key, sid) per party *)
+  stats : Engine.stats;
+}
+
+let run (module D : Dgka_intf.S) ?adversary ?latency ~rngs ~group () =
+  let n = Array.length rngs in
+  let net = Engine.create ?adversary ?latency ~n () in
+  let instances =
+    Array.init n (fun self -> D.create ~rng:rngs.(self) ~group ~self ~n)
+  in
+  let emit self msgs =
+    List.iter
+      (fun (dst, payload) ->
+        match dst with
+        | None -> Engine.broadcast net ~src:self payload
+        | Some dst -> Engine.send net ~src:self ~dst payload)
+      msgs
+  in
+  Array.iteri
+    (fun self inst ->
+      Engine.set_receiver net self (fun ~src ~payload ->
+          emit self (D.receive inst ~src payload)))
+    instances;
+  Array.iteri (fun self inst -> emit self (D.start inst)) instances;
+  Engine.run net;
+  { outcomes =
+      Array.map
+        (fun inst ->
+          Option.map (fun o -> (o.D.key, o.D.sid)) (D.result inst))
+        instances;
+    stats = Engine.stats net;
+  }

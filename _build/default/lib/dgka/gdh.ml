@@ -1,0 +1,109 @@
+module B = Bigint
+
+let name = "gdh"
+
+type outcome = { key : string; sid : string }
+
+type instance = {
+  grp : Groupgen.schnorr_group;
+  self : int;
+  n : int;
+  r : B.t;
+  mutable out : outcome option;
+  mutable dead : bool;
+  mutable done_up : bool;
+}
+
+let create ~rng ~group ~self ~n =
+  if n < 2 then invalid_arg "Gdh.create: need at least two parties";
+  if self < 0 || self >= n then invalid_arg "Gdh.create: bad position";
+  { grp = group;
+    self;
+    n;
+    r = Groupgen.schnorr_exponent ~rng group;
+    out = None;
+    dead = false;
+    done_up = false;
+  }
+
+let elem_len t = (B.num_bits t.grp.Groupgen.p + 7) / 8
+let enc t v = B.to_bytes_be ~len:(elem_len t) v
+
+let result t = t.out
+let aborted t = t.dead
+
+let finish t ~k ~downflow_bytes =
+  let sid = Sha256.digest_list ("gdh-sid" :: downflow_bytes) in
+  let key = Hkdf.derive ~salt:sid ~ikm:(enc t k) ~info:"gdh-session-key" ~len:32 () in
+  t.out <- Some { key; sid }
+
+let start t =
+  if t.self <> 0 then []
+  else begin
+    t.done_up <- true;
+    let p = t.grp.Groupgen.p in
+    let g = t.grp.Groupgen.g in
+    let full = B.pow_mod g t.r p in
+    (* upflow to party 1: [missing r_0; full] *)
+    [ (Some 1, Wire.encode ~tag:"gdh-up" [ enc t g; enc t full ]) ]
+  end
+
+let valid_elem t v = Groupgen.in_subgroup t.grp v
+
+let receive t ~src payload =
+  if t.dead || t.out <> None then []
+  else
+    match Wire.decode payload with
+    | Some ("gdh-up", fields) ->
+      (* expected only from our predecessor, carrying self+1 values *)
+      if src <> t.self - 1 || t.done_up || List.length fields <> t.self + 1 then begin
+        t.dead <- true;
+        []
+      end
+      else begin
+        let vals = List.map B.of_bytes_be fields in
+        if not (List.for_all (valid_elem t) vals) then begin
+          t.dead <- true;
+          []
+        end
+        else begin
+          t.done_up <- true;
+          let p = t.grp.Groupgen.p in
+          let raised = List.map (fun v -> B.pow_mod v t.r p) vals in
+          let full = List.nth vals (t.self) in
+          (* values missing r_j for j < self, raised; then [full] missing
+             r_self; then the new running product *)
+          let missing = List.filteri (fun i _ -> i < t.self) raised in
+          let new_full = List.nth raised t.self in
+          if t.self = t.n - 1 then begin
+            (* last party: broadcast the downflow and finish *)
+            let down = List.map (enc t) missing in
+            finish t ~k:new_full ~downflow_bytes:down;
+            [ (None, Wire.encode ~tag:"gdh-down" down) ]
+          end
+          else
+            [ (Some (t.self + 1),
+               Wire.encode ~tag:"gdh-up" (List.map (enc t) (missing @ [ full; new_full ]))) ]
+        end
+      end
+    | Some ("gdh-down", fields) ->
+      if src <> t.n - 1 || List.length fields <> t.n - 1 || t.self = t.n - 1 then begin
+        t.dead <- true;
+        []
+      end
+      else begin
+        let mine = B.of_bytes_be (List.nth fields t.self) in
+        if not (valid_elem t mine) then begin
+          t.dead <- true;
+          []
+        end
+        else begin
+          let k = B.pow_mod mine t.r t.grp.Groupgen.p in
+          finish t ~k ~downflow_bytes:fields;
+          []
+        end
+      end
+    | Some _ -> []
+    | None ->
+      t.dead <- true;
+      []

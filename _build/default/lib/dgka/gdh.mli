@@ -1,0 +1,11 @@
+(** Steiner–Tsudik–Waidner GDH.2 group key agreement [30].
+
+    Linear "upflow" phase: party i receives i+1 intermediate values,
+    raises them by its exponent and forwards i+2 values to party i+1.
+    The last party broadcasts the "downflow": for each party j, the value
+    missing exactly r_j, from which j computes K = g^{r_0 ··· r_{n-1}}.
+
+    Costs per party grow linearly towards the end of the chain — the
+    contrast with {!Bd} that bench E4 measures. *)
+
+include Dgka_intf.S

@@ -1,0 +1,15 @@
+(** STR ("skinny tree") group key agreement, after Steiner–Tsudik–Waidner
+    / Kim–Perrig–Tsudik — a third DGKA with a {e sponsor-asymmetric}
+    cost profile.
+
+    Round 1: everyone broadcasts a blinded exponent BK_i = g^{r_i}.
+    Round 2: the sponsor (position 0) folds the chain
+    K_0 = r_0, K_i = BK_i^{K_{i-1}} and broadcasts the blinded
+    intermediate keys g^{K_i} (i < n−1); party j recovers
+    K_j = (g^{K_{j−1}})^{r_j} and folds the remaining chain itself.
+
+    Two broadcast rounds like BD, but the sponsor performs ~2n
+    exponentiations while party j performs n−j+1 — the load skew that
+    bench E4 contrasts with BD's flat profile. *)
+
+include Dgka_intf.S

@@ -1,0 +1,1 @@
+lib/gsig/accumulator.ml: Bigint Groupgen Wire

@@ -1,0 +1,1 @@
+lib/gsig/accumulator.mli: Bigint Groupgen

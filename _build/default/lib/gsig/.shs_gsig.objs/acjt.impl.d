@@ -1,0 +1,1 @@
+lib/gsig/acjt.ml: Accumulator Bigint Groupgen Gsig_sizes Hashtbl Interval List Opening Option Primegen Sha256 Spk String Transcript Wire

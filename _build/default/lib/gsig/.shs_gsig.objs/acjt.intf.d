@@ -1,0 +1,1 @@
+lib/gsig/acjt.mli: Bigint Gsig_intf

@@ -1,0 +1,1 @@
+lib/gsig/gsig_intf.ml: Groupgen

@@ -1,0 +1,1 @@
+lib/gsig/gsig_sizes.mli: Interval

@@ -1,0 +1,1 @@
+lib/gsig/kty.ml: Array Bigint Groupgen Gsig_sizes Hashtbl Hkdf Interval List Opening Option Primegen Printf Sha256 Spk String Transcript Wire

@@ -1,0 +1,1 @@
+lib/gsig/kty.mli: Bigint Gsig_intf

@@ -1,0 +1,1 @@
+lib/gsig/opening.ml: Bigint Interval Spk Transcript Wire

@@ -1,0 +1,1 @@
+lib/gsig/opening.mli: Bigint

@@ -1,0 +1,50 @@
+module B = Bigint
+
+type t = { modulus : B.t; order : B.t; v : B.t }
+
+let create ~rng (m : Groupgen.rsa_modulus) =
+  let base = Groupgen.sample_qr ~rng m.Groupgen.n in
+  { modulus = m.Groupgen.n; order = Groupgen.qr_order m; v = base }
+
+let value t = t.v
+
+let add t ~prime =
+  (* exponent reduced modulo the group order via the trapdoor: O(1) *)
+  { t with v = B.pow_mod t.v (B.erem prime t.order) t.modulus }
+
+let remove t ~prime =
+  let d =
+    try B.invert prime t.order
+    with Not_found -> invalid_arg "Accumulator.remove: prime divides group order"
+  in
+  { t with v = B.pow_mod t.v d t.modulus }
+
+let witness_on_add ~modulus ~witness ~added = B.pow_mod witness added modulus
+
+let witness_on_remove ~modulus ~witness ~self ~removed ~new_value =
+  if B.equal self removed then None
+  else begin
+    let g, alpha, beta = B.ext_gcd removed self in
+    if not (B.equal g B.one) then None
+    else
+      (* w' = w^α · v'^β; then w'^self = v^α·(v'^self)^β = v'^(α·removed + β·self) = v' *)
+      Some
+        (B.mul_mod
+           (B.pow_mod witness alpha modulus)
+           (B.pow_mod new_value beta modulus)
+           modulus)
+  end
+
+let verify_witness ~modulus ~value ~witness ~prime =
+  B.equal (B.pow_mod witness prime modulus) value
+
+let export t =
+  Wire.encode ~tag:"accum"
+    [ B.to_bytes_be t.modulus; B.to_bytes_be t.order; B.to_bytes_be t.v ]
+
+let import s =
+  match Wire.expect ~tag:"accum" s with
+  | Some [ m; o; v ] ->
+    Some
+      { modulus = B.of_bytes_be m; order = B.of_bytes_be o; v = B.of_bytes_be v }
+  | _ -> None

@@ -1,0 +1,52 @@
+(** Camenisch–Lysyanskaya dynamic RSA accumulator (CRYPTO'02), the
+    revocation mechanism of the ACJT instantiation.
+
+    The paper (§3) argues that a secret-handshake scheme must keep {e both}
+    revocation components — the expensive GSIG one ("usually based on
+    dynamic accumulators [12]") and the cheap CGKD one — because dropping
+    GSIG revocation lets an unrevoked traitor re-enable a revoked member
+    by leaking the CGKD group key.  This module supplies that GSIG
+    component: the group manager accumulates every active member's
+    certificate prime; each member holds a witness [w] with
+    [w^e = v (mod n)] and proves that relation inside its signatures.
+
+    The manager-side operations use the modulus factorization (taking
+    [e]-th roots); the member-side witness updates need only public data. *)
+
+type t
+(** Manager-side state (includes the trapdoor). *)
+
+val create : rng:(int -> string) -> Groupgen.rsa_modulus -> t
+
+val value : t -> Bigint.t
+(** The current accumulator value v. *)
+
+val add : t -> prime:Bigint.t -> t
+(** v ← v^e.  The witness for the newly added prime is the {e old} value. *)
+
+val remove : t -> prime:Bigint.t -> t
+(** v ← v^(1/e), via the trapdoor. *)
+
+(** {1 Member-side (public) operations} *)
+
+val witness_on_add : modulus:Bigint.t -> witness:Bigint.t -> added:Bigint.t -> Bigint.t
+(** w ← w^(e_added): keeps [w^e_self = v] valid after an [add]. *)
+
+val witness_on_remove :
+  modulus:Bigint.t ->
+  witness:Bigint.t ->
+  self:Bigint.t ->
+  removed:Bigint.t ->
+  new_value:Bigint.t ->
+  Bigint.t option
+(** Bezout update w ← w^α · v'^β where α·e_removed + β·e_self = 1.
+    [None] when [self = removed] (the member being revoked cannot update —
+    this is exactly the security property). *)
+
+val verify_witness :
+  modulus:Bigint.t -> value:Bigint.t -> witness:Bigint.t -> prime:Bigint.t -> bool
+
+(** {1 Persistence} *)
+
+val export : t -> string
+val import : string -> t option

@@ -1,0 +1,95 @@
+(** The group-signature interface of paper Fig. 3, as the first input of
+    the GCD compiler.
+
+    Join is split into its three protocol flights over the "private and
+    authenticated channel" the paper assumes: [join_begin] (user picks the
+    secret the manager must never learn — load-bearing for
+    no-misattribution), [join_issue] (manager mints the certificate), and
+    [join_complete] (user checks the certificate and assembles its signing
+    state).  Revocation and join events produce {e state-update messages}
+    which the GCD framework ships to current members through the CGKD
+    channel ([apply_update] is the paper's GSIG.Update). *)
+
+module type S = sig
+  val name : string
+
+  type manager
+  (** Group manager: admission + opening secrets, roster, revocation state. *)
+
+  type public
+  (** The group "public" key — kept secret among members in GCD (§3). *)
+
+  type member
+  (** A member's signing state: certificate, secrets, revocation view. *)
+
+  type join_request
+  (** User-side state between [join_begin] and [join_complete]. *)
+
+  val setup : rng:(int -> string) -> modulus:Groupgen.rsa_modulus -> manager
+  val public : manager -> public
+
+  (** {1 Membership (GSIG.Join / GSIG.Revoke / GSIG.Update)} *)
+
+  val join_begin : rng:(int -> string) -> public -> join_request * string
+  (** Returns the user's pending state and the offer message for the GM. *)
+
+  val join_issue :
+    rng:(int -> string) ->
+    manager ->
+    uid:string ->
+    offer:string ->
+    (manager * string * string) option
+  (** [(manager', cert_msg, update_msg)]: [cert_msg] goes back to the
+      joining user, [update_msg] to all existing members.  [None] on a
+      malformed offer or duplicate [uid]. *)
+
+  val join_complete : join_request -> cert:string -> member option
+  (** Verifies the certificate against the user's secret; [None] if the
+      manager misbehaved. *)
+
+  val revoke : rng:(int -> string) -> manager -> uid:string -> (manager * string) option
+  (** [(manager', update_msg)]; [None] if [uid] is unknown or already
+      revoked. *)
+
+  val apply_update : member -> string -> member option
+  (** Process a join/revoke update.  A member discovering its own
+      revocation returns an invalidated state (checkable via
+      {!member_valid}); [None] only on malformed input. *)
+
+  val member_valid : member -> bool
+
+  (** {1 Signing} *)
+
+  val sign : rng:(int -> string) -> member -> msg:string -> string
+  (** Encoded signature of constant length {!signature_len}.
+      @raise Invalid_argument if the member has been invalidated. *)
+
+  val verify : member -> msg:string -> string -> bool
+  (** Verification from a {e member's} current view (group public key plus
+      revocation state — the verifying parties in a handshake are always
+      members). *)
+
+  val signature_len : public -> int
+
+  val open_ : manager -> msg:string -> string -> string option
+  (** GSIG.Open: the uid of the actual signer, [None] if the signature is
+      invalid or matches no roster entry. *)
+
+  (** {1 Introspection (tests, benches, CLI)} *)
+
+  val roster : manager -> (string * bool) list
+  (** [(uid, revoked)] pairs in join order. *)
+end
+
+(** Persistence: every scheme can serialize its long-lived states (the
+    group authority stores its manager; each member its signing state).
+    Imports are total — malformed bytes yield [None]. *)
+module type PERSISTENT = sig
+  type manager
+  type member
+
+  val export_manager : manager -> string
+  val import_manager : string -> manager option
+  val export_member : member -> string
+  val import_member : string -> member option
+end

@@ -1,0 +1,27 @@
+type t = {
+  nbits : int;
+  lambda : Interval.spec;
+  gamma : Interval.spec;
+  free : Interval.spec;
+  product : Interval.spec;
+}
+
+let expansion = Interval.challenge_bits + Interval.slack_bits + 8
+
+let derive ~nbits =
+  if nbits < 256 then invalid_arg "Gsig_sizes.derive: modulus too small";
+  let lambda2 = nbits / 2 in
+  let lambda1 = lambda2 + expansion in
+  let gamma2 = lambda1 + 2 in
+  let gamma1 = gamma2 + expansion in
+  (* randomizers statistically uniform modulo the (secret) group order *)
+  let free_bits = nbits + Interval.challenge_bits + Interval.slack_bits in
+  let product_bits = gamma1 + 1 + free_bits + 1 in
+  { nbits;
+    lambda = Interval.make ~center_log:lambda1 ~halfwidth_log:lambda2;
+    gamma = Interval.make ~center_log:gamma1 ~halfwidth_log:gamma2;
+    free = Interval.make ~center_log:free_bits ~halfwidth_log:free_bits;
+    product = Interval.make ~center_log:product_bits ~halfwidth_log:product_bits;
+  }
+
+let elem_len t = (t.nbits + 7) / 8

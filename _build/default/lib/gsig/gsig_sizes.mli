@@ -1,0 +1,27 @@
+(** Derived parameter sizes for the ACJT-family group signatures.
+
+    Following ACJT'00 §3, the membership-secret interval Λ and the
+    certificate-prime interval Γ must stay separated {e after} the
+    soundness expansion of the proofs of knowledge: an extracted
+    certificate exponent must still exceed any extracted membership
+    secret.  With additive slack (we use challenge k = 128 and statistical
+    slack 16 rather than ACJT's multiplicative ε) the constraints are
+
+    - λ1 ≥ λ2 + k + slack + 8,
+    - γ2 ≥ λ1 + 2,
+    - γ1 ≥ γ2 + k + slack + 8,
+
+    which {!derive} enforces structurally. *)
+
+type t = {
+  nbits : int;  (** modulus size *)
+  lambda : Interval.spec;  (** membership secrets x (and x' in KTY) *)
+  gamma : Interval.spec;  (** certificate primes e *)
+  free : Interval.spec;  (** randomizers r, k, r_w: ~uniform mod the group order *)
+  product : Interval.spec;  (** products e·r, e·r_w *)
+}
+
+val derive : nbits:int -> t
+
+val elem_len : t -> int
+(** Byte width of a group element mod n. *)

@@ -1,0 +1,61 @@
+module B = Bigint
+
+type evidence = { a_signer : B.t; mask : B.t; proof : Spk.proof }
+
+let signer e = e.a_signer
+
+(* θ is uniform modulo the (secret, ~|n|-bit) group order; the free spec
+   sized at |n| + slack hides it statistically. *)
+let theta_spec ~n =
+  let bits = B.num_bits n + Interval.challenge_bits + Interval.slack_bits in
+  Interval.make ~center_log:bits ~halfwidth_log:bits
+
+let statement ~n ~g ~y ~t2 ~mask =
+  { Spk.modulus = n;
+    vars = [ ("theta", theta_spec ~n) ];
+    relations =
+      [ { Spk.target = y; terms = [ { Spk.base = g; var = "theta"; positive = true } ] };
+        { Spk.target = mask;
+          terms = [ { Spk.base = t2; var = "theta"; positive = true } ] };
+      ];
+  }
+
+let transcript ~t1 ~context =
+  let tr = Transcript.create ~domain:"shs-opening-v1" in
+  let tr = Transcript.absorb_num tr ~label:"t1" t1 in
+  Transcript.absorb tr ~label:"context" context
+
+let prove ~rng ~n ~g ~y ~theta ~t1 ~t2 ~context =
+  let mask = B.pow_mod t2 theta n in
+  let a_signer = B.mul_mod t1 (B.invert mask n) n in
+  let st = statement ~n ~g ~y ~t2 ~mask in
+  let proof =
+    Spk.prove ~rng st ~secrets:[ ("theta", theta) ] ~transcript:(transcript ~t1 ~context)
+  in
+  { a_signer; mask; proof }
+
+let verify ~n ~g ~y ~t1 ~t2 ~context e =
+  let in_range v = B.compare v B.one > 0 && B.compare v n < 0 in
+  in_range e.a_signer && in_range e.mask
+  && B.equal (B.mul_mod e.a_signer e.mask n) (B.erem t1 n)
+  && Spk.verify
+       (statement ~n ~g ~y ~t2 ~mask:e.mask)
+       ~transcript:(transcript ~t1 ~context) e.proof
+
+let encode ~n e =
+  let w = (B.num_bits n + 7) / 8 in
+  let st = statement ~n ~g:B.one ~y:B.one ~t2:B.one ~mask:B.one in
+  Wire.encode ~tag:"opening"
+    [ B.to_bytes_be ~len:w e.a_signer;
+      B.to_bytes_be ~len:w e.mask;
+      Spk.encode st e.proof ]
+
+let decode ~n s =
+  match Wire.expect ~tag:"opening" s with
+  | Some [ a_bytes; m_bytes; p_bytes ] ->
+    let st = statement ~n ~g:B.one ~y:B.one ~t2:B.one ~mask:B.one in
+    (match Spk.decode st p_bytes with
+     | Some proof ->
+       Some { a_signer = B.of_bytes_be a_bytes; mask = B.of_bytes_be m_bytes; proof }
+     | None -> None)
+  | _ -> None

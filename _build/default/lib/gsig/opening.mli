@@ -1,0 +1,45 @@
+(** Verifiable opening: the "incontestable evidence" of Fig. 3's Open.
+
+    Both schemes open a signature by ElGamal-decrypting the pair
+    (T1 = A·y^r, T2 = g^r) with the opening secret θ (y = g^θ):
+    [A = T1 / T2^θ].  Bare decryption must be taken on faith; this module
+    lets the group manager accompany the opened value with a
+    Chaum–Pedersen-style proof of discrete-log equality —
+
+    {[ y = g^θ   ∧   mask = T2^θ ]}
+
+    — so that any third party (a judge) can check that the claimed signer
+    value [A = T1·mask⁻¹] really is the decryption, without learning θ.
+    Built on the same {!Spk} engine as the signatures themselves. *)
+
+type evidence
+
+val signer : evidence -> Bigint.t
+(** The opened certificate value A. *)
+
+val prove :
+  rng:(int -> string) ->
+  n:Bigint.t ->
+  g:Bigint.t ->
+  y:Bigint.t ->
+  theta:Bigint.t ->
+  t1:Bigint.t ->
+  t2:Bigint.t ->
+  context:string ->
+  evidence
+(** Run by the manager.  [context] must bind the signature and message
+    this opening refers to (callers pass a hash of both). *)
+
+val verify :
+  n:Bigint.t ->
+  g:Bigint.t ->
+  y:Bigint.t ->
+  t1:Bigint.t ->
+  t2:Bigint.t ->
+  context:string ->
+  evidence ->
+  bool
+(** Checks the proof and the reassembly [signer · mask = T1 (mod n)]. *)
+
+val encode : n:Bigint.t -> evidence -> string
+val decode : n:Bigint.t -> string -> evidence option

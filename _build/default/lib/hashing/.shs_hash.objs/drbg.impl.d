@@ -1,0 +1,1 @@
+lib/hashing/drbg.ml: Buffer Hmac Printf Sha256 String

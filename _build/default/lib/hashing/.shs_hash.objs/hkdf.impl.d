@@ -1,0 +1,1 @@
+lib/hashing/hkdf.ml: Buffer Char Hmac Sha256 String

@@ -1,0 +1,1 @@
+lib/hashing/hmac.ml: Char List Sha256 String

@@ -1,0 +1,35 @@
+type t = { mutable k : string; mutable v : string }
+
+let hash_len = Sha256.digest_size
+
+let update t provided =
+  t.k <- Hmac.mac_list ~key:t.k [ t.v; "\x00"; provided ];
+  t.v <- Hmac.mac ~key:t.k t.v;
+  if String.length provided > 0 then begin
+    t.k <- Hmac.mac_list ~key:t.k [ t.v; "\x01"; provided ];
+    t.v <- Hmac.mac ~key:t.k t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t = { k = String.make hash_len '\000'; v = String.make hash_len '\001' } in
+  update t (seed ^ personalization);
+  t
+
+let of_int_seed n = create ~seed:(Printf.sprintf "int-seed:%d" n) ()
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let bytes_fn t n = generate t n
+
+let split t label =
+  let seed = generate t hash_len in
+  create ~personalization:label ~seed ()

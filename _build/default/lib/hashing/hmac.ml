@@ -1,0 +1,30 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac_list ~key parts =
+  let key = normalize_key key in
+  let inner =
+    Sha256.finalize
+      (List.fold_left Sha256.update
+         (Sha256.update (Sha256.init ()) (xor_pad key 0x36))
+         parts)
+  in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let mac ~key msg = mac_list ~key [ msg ]
+
+let equal_ct a b =
+  String.length a = String.length b
+  && begin
+    let acc = ref 0 in
+    String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+    !acc = 0
+  end
+
+let verify ~key ~msg ~tag = equal_ct (mac ~key msg) tag

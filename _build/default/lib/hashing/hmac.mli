@@ -1,0 +1,17 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    This is the MAC of handshake Phase II: each participant publishes
+    [mac k' (s ^ index)] where [k' = k* XOR k] combines the contributory
+    DGKA key with the centralized CGKD group key. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. *)
+
+val mac_list : key:string -> string list -> string
+(** MAC of the concatenation of the parts. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of the expected tag against [tag]. *)
+
+val equal_ct : string -> string -> bool
+(** Constant-time string equality (also used for key-confirmation values). *)

@@ -1,0 +1,118 @@
+(* SHA-256, FIPS 180-4.  32-bit words live in native ints, masked after
+   every arithmetic step; rotations operate on the low 32 bits only. *)
+
+let digest_size = 32
+let m32 = 0xffffffff
+
+let k =
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
+
+type ctx = {
+  h : int array; (* 8 words *)
+  pending : string; (* < 64 bytes of unprocessed input *)
+  total : int; (* total bytes absorbed so far *)
+}
+
+let init () =
+  { h =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    pending = "";
+    total = 0;
+  }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m32
+
+(* Process one 64-byte block starting at [off] in [s] into a copy of [h]. *)
+let compress h s off =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    let j = off + (i * 4) in
+    w.(i) <-
+      (Char.code s.[j] lsl 24)
+      lor (Char.code s.[j + 1] lsl 16)
+      lor (Char.code s.[j + 2] lsl 8)
+      lor Char.code s.[j + 3]
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
+    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land m32
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land m32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let temp2 = (s0 + maj) land m32 in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + temp1) land m32;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (temp1 + temp2) land m32
+  done;
+  [| (h.(0) + !a) land m32; (h.(1) + !b) land m32; (h.(2) + !c) land m32;
+     (h.(3) + !d) land m32; (h.(4) + !e) land m32; (h.(5) + !f) land m32;
+     (h.(6) + !g) land m32; (h.(7) + !hh) land m32 |]
+
+let update ctx data =
+  let buf = ctx.pending ^ data in
+  let len = String.length buf in
+  let nblocks = len / 64 in
+  let h = ref ctx.h in
+  for i = 0 to nblocks - 1 do
+    h := compress !h buf (i * 64)
+  done;
+  { h = !h;
+    pending = String.sub buf (nblocks * 64) (len - (nblocks * 64));
+    total = ctx.total + String.length data;
+  }
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let plen =
+    let r = (ctx.total + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let pad = Bytes.make (plen - 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  let lenbytes = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set lenbytes i (Char.chr ((bitlen lsr ((7 - i) * 8)) land 0xff))
+  done;
+  let ctx = update ctx (Bytes.to_string pad ^ Bytes.to_string lenbytes) in
+  assert (String.length ctx.pending = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xff))
+  done;
+  Bytes.to_string out
+
+let digest s = finalize (update (init ()) s)
+
+let digest_list parts = finalize (List.fold_left update (init ()) parts)
+
+let hex s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf

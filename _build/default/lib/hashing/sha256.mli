@@ -1,0 +1,27 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    This is the only hash function used by the framework: it instantiates
+    the random oracle of the Fiat–Shamir proofs, the MAC of handshake
+    Phase II (via {!Hmac}), the KDFs, and the PRG of the subset-difference
+    broadcast-encryption scheme. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> ctx
+(** Functional update: returns a new context; the argument is unchanged. *)
+
+val finalize : ctx -> string
+(** 32-byte digest. *)
+
+val digest : string -> string
+(** One-shot hash; 32-byte digest. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation, without building the concatenation. *)
+
+val hex : string -> string
+(** Lowercase hex of arbitrary bytes (utility, used in tests and CLIs). *)
+
+val digest_size : int
+(** 32. *)

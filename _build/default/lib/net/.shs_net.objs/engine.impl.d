@@ -1,0 +1,1 @@
+lib/net/engine.ml: Array Sim String

@@ -1,0 +1,83 @@
+type decision = Deliver | Drop | Replace of string
+
+type adversary = src:int -> dst:int -> payload:string -> decision
+
+type stats = {
+  messages_sent : int array;
+  bytes_sent : int array;
+  deliveries : int;
+}
+
+type t = {
+  sim : Sim.t;
+  n : int;
+  receivers : (src:int -> payload:string -> unit) option array;
+  latency : src:int -> dst:int -> float;
+  adversary : adversary option;
+  msgs : int array;
+  bytes : int array;
+  mutable delivered : int;
+}
+
+let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?adversary ~n () =
+  if n <= 0 then invalid_arg "Engine.create: need at least one party";
+  { sim = Sim.create ();
+    n;
+    receivers = Array.make n None;
+    latency;
+    adversary;
+    msgs = Array.make n 0;
+    bytes = Array.make n 0;
+    delivered = 0;
+  }
+
+let n_parties t = t.n
+let sim t = t.sim
+
+let set_receiver t i cb =
+  if i < 0 || i >= t.n then invalid_arg "Engine.set_receiver: bad index";
+  t.receivers.(i) <- Some cb
+
+let deliver t ~src ~dst payload =
+  let payload =
+    match t.adversary with
+    | None -> Some payload
+    | Some tap ->
+      (match tap ~src ~dst ~payload with
+       | Deliver -> Some payload
+       | Drop -> None
+       | Replace p -> Some p)
+  in
+  match payload with
+  | None -> ()
+  | Some payload ->
+    Sim.schedule t.sim ~delay:(t.latency ~src ~dst) (fun () ->
+        t.delivered <- t.delivered + 1;
+        match t.receivers.(dst) with
+        | Some cb -> cb ~src ~payload
+        | None -> ())
+
+let account t ~src payload =
+  t.msgs.(src) <- t.msgs.(src) + 1;
+  t.bytes.(src) <- t.bytes.(src) + String.length payload
+
+let broadcast t ~src payload =
+  if src < 0 || src >= t.n then invalid_arg "Engine.broadcast: bad source";
+  account t ~src payload;
+  for dst = 0 to t.n - 1 do
+    if dst <> src then deliver t ~src ~dst payload
+  done
+
+let send t ~src ~dst payload =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Engine.send: bad address";
+  account t ~src payload;
+  deliver t ~src ~dst payload
+
+let run t = Sim.run t.sim
+
+let stats t =
+  { messages_sent = Array.copy t.msgs;
+    bytes_sent = Array.copy t.bytes;
+    deliveries = t.delivered;
+  }

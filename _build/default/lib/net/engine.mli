@@ -1,0 +1,59 @@
+(** Simulated anonymous-channel network.
+
+    Parties are addressed by session position [0 .. n-1] (never by a stable
+    identity: the paper's channel model is anonymous, so the engine itself
+    carries no user identifiers).  Supported primitives:
+
+    - {b broadcast}: one transmission delivered to every other party — the
+      wireless receiver-anonymous channel of paper §2/§9;
+    - {b unicast}: point-to-point delivery (used by GDH upflow);
+    - an {b adversary tap} that observes every delivery and may drop or
+      replace payloads (the Appendix A adversary has "complete control over
+      all communication");
+    - per-party {b accounting} of messages and bytes, which the E2 bench
+      uses to verify the O(m)-messages claim.
+
+    Delivery order is deterministic: latency is a pure function of the
+    link, ties resolve by send order. *)
+
+type t
+
+type decision =
+  | Deliver
+  | Drop
+  | Replace of string
+
+type adversary = src:int -> dst:int -> payload:string -> decision
+
+val create :
+  ?latency:(src:int -> dst:int -> float) ->
+  ?adversary:adversary ->
+  n:int ->
+  unit ->
+  t
+(** Default latency: 1.0 for every link. *)
+
+val n_parties : t -> int
+val sim : t -> Sim.t
+
+val set_receiver : t -> int -> (src:int -> payload:string -> unit) -> unit
+(** Install the receive callback of a party; must be done before [run]. *)
+
+val broadcast : t -> src:int -> string -> unit
+(** Deliver to every party except [src]; counts as one sent message. *)
+
+val send : t -> src:int -> dst:int -> string -> unit
+
+val run : t -> unit
+(** Run the simulation to quiescence. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  messages_sent : int array;  (** indexed by party *)
+  bytes_sent : int array;
+  deliveries : int;
+}
+
+val stats : t -> stats
+(** A snapshot; arrays are fresh copies. *)

@@ -1,0 +1,78 @@
+(* Binary min-heap keyed by (time, sequence number). *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable clock : float;
+}
+
+let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
+
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; clock = 0.0 }
+
+let now t = t.clock
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  while !i > 0 && less t.heap.(!i) t.heap.((!i - 1) / 2) do
+    swap t.heap !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap t.heap !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some top
+  end
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  let ev = { time = t.clock +. delay; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    ev.action ();
+    true
+
+let run t = while step t do () done
+
+let pending t = t.size

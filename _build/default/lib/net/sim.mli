@@ -1,0 +1,26 @@
+(** Deterministic discrete-event scheduler.
+
+    The framework's protocols are specified over asynchronous channels with
+    guaranteed delivery (paper §2); this scheduler provides that model:
+    events fire in timestamp order, ties broken by insertion order, so a
+    run is a pure function of the initial seed and protocol logic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Virtual time of the event being processed (0.0 initially). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue an event [delay] time units from [now].
+    @raise Invalid_argument on negative delay. *)
+
+val run : t -> unit
+(** Process events until the queue drains. *)
+
+val step : t -> bool
+(** Process a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,1 @@
+lib/numtheory/groupgen.mli: Bigint

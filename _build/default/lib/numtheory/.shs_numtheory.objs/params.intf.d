@@ -1,0 +1,1 @@
+lib/numtheory/params.mli: Groupgen Lazy

@@ -1,0 +1,1 @@
+lib/numtheory/primality.ml: Array Bigint List

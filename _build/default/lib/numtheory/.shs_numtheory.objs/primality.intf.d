@@ -1,0 +1,1 @@
+lib/numtheory/primality.mli: Bigint

@@ -1,0 +1,1 @@
+lib/numtheory/primegen.mli: Bigint

@@ -1,0 +1,50 @@
+(** Algebraic group parameter generation: Schnorr groups for the
+    discrete-log side (DGKA, PKE) and RSA moduli with safe-prime factors
+    for the QR(n) side (group signatures). *)
+
+type schnorr_group = {
+  p : Bigint.t;  (** safe prime, p = 2q + 1 *)
+  q : Bigint.t;  (** prime order of the subgroup *)
+  g : Bigint.t;  (** generator of the order-q subgroup QR(p) *)
+}
+
+val schnorr_group : rng:(int -> string) -> bits:int -> schnorr_group
+(** Fresh group with [p] of [bits] bits. *)
+
+val schnorr_element : rng:(int -> string) -> schnorr_group -> Bigint.t
+(** Uniform element of the order-q subgroup (never 1). *)
+
+val schnorr_exponent : rng:(int -> string) -> schnorr_group -> Bigint.t
+(** Uniform exponent in [\[1, q)]. *)
+
+val in_subgroup : schnorr_group -> Bigint.t -> bool
+(** Membership test: [1 < x < p] and [x] lies in the order-q subgroup.
+    Uses a Jacobi-symbol evaluation when [p ≡ 3 (mod 4)] (always true for
+    safe primes, where the subgroup is exactly QR(p)); falls back to the
+    [x^q = 1] exponentiation otherwise. *)
+
+val in_subgroup_slow : schnorr_group -> Bigint.t -> bool
+(** The exponentiation-based membership test, kept as the reference
+    implementation and for the E8 ablation. *)
+
+type rsa_modulus = {
+  n : Bigint.t;       (** n = p * q *)
+  p_fac : Bigint.t;   (** p = 2p' + 1, safe prime *)
+  q_fac : Bigint.t;   (** q = 2q' + 1, safe prime *)
+  p' : Bigint.t;
+  q' : Bigint.t;
+}
+
+val rsa_modulus : rng:(int -> string) -> bits:int -> rsa_modulus
+(** [n] of roughly [bits] bits, both factors safe primes (so QR(n) is
+    cyclic of order p'q'). *)
+
+val qr_order : rsa_modulus -> Bigint.t
+(** p'q', the order of QR(n). *)
+
+val sample_qr : rng:(int -> string) -> Bigint.t -> Bigint.t
+(** Uniform quadratic residue modulo [n] (square of a random unit). *)
+
+val crt : Bigint.t * Bigint.t -> Bigint.t * Bigint.t -> Bigint.t
+(** [crt (r1, m1) (r2, m2)] is the unique [x mod m1*m2] with
+    [x = r1 mod m1] and [x = r2 mod m2]; moduli must be coprime. *)

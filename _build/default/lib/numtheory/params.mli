@@ -1,0 +1,15 @@
+(** Pre-generated algebraic parameter sets.
+
+    Safe-prime generation in pure OCaml takes seconds to minutes at
+    cryptographic sizes, so tests, examples and benchmarks use these fixed,
+    reproducibly-generated sets (each records its generation seed; the
+    generator lives in {!Primegen} / {!Groupgen} and is itself under test).
+    All values are lazy so unused sets cost nothing. *)
+
+val schnorr_256 : Groupgen.schnorr_group Lazy.t
+val schnorr_512 : Groupgen.schnorr_group Lazy.t
+val schnorr_1024 : Groupgen.schnorr_group Lazy.t
+
+val rsa_512 : Groupgen.rsa_modulus Lazy.t
+val rsa_768 : Groupgen.rsa_modulus Lazy.t
+val rsa_1024 : Groupgen.rsa_modulus Lazy.t

@@ -1,0 +1,65 @@
+module B = Bigint
+
+let set_top_and_odd v bits =
+  let top = B.shift_left B.one (bits - 1) in
+  let v = B.add (B.erem v top) top in
+  if B.is_even v then B.succ v else v
+
+let random_prime ~rng ~bits =
+  if bits < 2 then invalid_arg "Primegen.random_prime: need >= 2 bits";
+  let rec go () =
+    let cand = set_top_and_odd (B.random_bits rng bits) bits in
+    (* walk forward in steps of 2 for a while before redrawing; this keeps
+       the expected number of random bytes low *)
+    let rec walk cand tries =
+      if tries = 0 then go ()
+      else if B.num_bits cand > bits then go ()
+      else if Primality.is_probable_prime ~rng cand then cand
+      else walk (B.add cand B.two) (tries - 1)
+    in
+    walk cand 256
+  in
+  go ()
+
+let random_safe_prime ~rng ~bits =
+  if bits < 4 then invalid_arg "Primegen.random_safe_prime: need >= 4 bits";
+  (* Search q of (bits-1) bits with both q and 2q+1 prime.  Cheap filters
+     first: trial-divide both before any Miller-Rabin, and run a single MR
+     round on q before the full test on p. *)
+  let two = B.two in
+  let rec go () =
+    let q0 = set_top_and_odd (B.random_bits rng (bits - 1)) (bits - 1) in
+    let rec walk q tries =
+      if tries = 0 || B.num_bits q > bits - 1 then go ()
+      else begin
+        let p = B.succ (B.shift_left q 1) in
+        let ok =
+          Primality.trial_division q
+          && Primality.trial_division p
+          && (not (Primality.miller_rabin_witness q two))
+          && Primality.is_probable_prime ~rng q
+          && Primality.is_probable_prime ~rng p
+        in
+        if ok then (p, q) else walk (B.add q B.two) (tries - 1)
+      end
+    in
+    walk q0 4096
+  in
+  go ()
+
+let random_prime_in ~rng ~lo ~hi =
+  if B.compare lo hi >= 0 then invalid_arg "Primegen.random_prime_in: empty interval";
+  let span = B.sub hi lo in
+  let rec go attempts =
+    if attempts = 0 then
+      invalid_arg "Primegen.random_prime_in: no prime found in interval"
+    else begin
+      let cand = B.add lo (B.random_below rng span) in
+      let cand = if B.is_even cand then B.succ cand else cand in
+      if B.compare cand hi < 0 && B.compare cand lo > 0
+         && Primality.is_probable_prime ~rng cand
+      then cand
+      else go (attempts - 1)
+    end
+  in
+  go 100_000

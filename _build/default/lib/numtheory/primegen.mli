@@ -1,0 +1,18 @@
+(** Random prime generation.
+
+    All generators take an [rng : int -> string] byte source (in practice a
+    {!Drbg} instance) and are deterministic given the source. *)
+
+val random_prime : rng:(int -> string) -> bits:int -> Bigint.t
+(** Uniform-ish [bits]-bit prime (top bit forced to 1, candidate odd). *)
+
+val random_safe_prime : rng:(int -> string) -> bits:int -> Bigint.t * Bigint.t
+(** [(p, q)] with [p = 2q + 1], both prime, [p] of exactly [bits] bits.
+    This is the expensive operation of the whole code base; parameter sets
+    in {!Params} are pre-generated with it. *)
+
+val random_prime_in : rng:(int -> string) -> lo:Bigint.t -> hi:Bigint.t -> Bigint.t
+(** Random prime in the open interval (lo, hi); used for the ACJT
+    certificate exponents e ∈ Γ.
+    @raise Invalid_argument if the interval is empty or contains no prime
+    after a bounded number of attempts. *)

@@ -1,0 +1,47 @@
+(** DHIES hybrid public-key encryption over a Schnorr group.
+
+    The GCD framework requires an IND-CCA2-secure public-key scheme for
+    the group authority's tracing key pair (pkT, skT): in Phase III each
+    participant publishes δ_i = ENC(pkT, k'_i) so the GA can later recover
+    the session key and open the group signatures (GCD.TraceUser).
+
+    DHIES (ElGamal KEM + authenticated DEM) is IND-CCA2 in the random
+    oracle model, matching the framework's requirement.
+
+    Ciphertexts are length-uniform for a fixed [pad_to] — required for the
+    indistinguishability-to-eavesdroppers property, where failed handshakes
+    publish random strings in place of real ciphertexts. *)
+
+type public_key
+type secret_key
+
+val key_gen :
+  rng:(int -> string) -> group:Groupgen.schnorr_group -> public_key * secret_key
+
+val public_of_secret : secret_key -> public_key
+
+val encrypt :
+  rng:(int -> string) -> pk:public_key -> ?pad_to:int -> string -> string
+(** Wire format: fixed-width group element (ephemeral g^r) || secretbox. *)
+
+val decrypt : sk:secret_key -> string -> string option
+(** [None] on malformed or tampered input. *)
+
+val ciphertext_len : group:Groupgen.schnorr_group -> plaintext_len:int -> int
+(** Exact ciphertext length for a [plaintext_len]-byte (or padded-to-that)
+    plaintext; used to size the random fakes of Phase III Case 2. *)
+
+val random_ciphertext :
+  rng:(int -> string) -> group:Groupgen.schnorr_group -> plaintext_len:int -> string
+(** A string indistinguishable in format/length from a real ciphertext:
+    a uniform group element followed by uniform bytes. *)
+
+(** {1 Serialization} *)
+
+val export_public : public_key -> string
+val import_public : group:Groupgen.schnorr_group -> string -> public_key option
+
+val export_secret : secret_key -> string
+(** Serialized secret exponent (the public key is recomputed on import). *)
+
+val import_secret : group:Groupgen.schnorr_group -> string -> secret_key option

@@ -1,0 +1,1 @@
+lib/sigma/interval.mli: Bigint

@@ -1,0 +1,1 @@
+lib/sigma/pedersen.ml: Bigint Groupgen Interval

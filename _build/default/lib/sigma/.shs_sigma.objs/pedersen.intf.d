@@ -1,0 +1,1 @@
+lib/sigma/pedersen.mli: Bigint Groupgen

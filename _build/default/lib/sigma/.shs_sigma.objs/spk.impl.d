@@ -1,0 +1,1 @@
+lib/sigma/spk.ml: Bigint Buffer Interval List Printf String Transcript

@@ -1,0 +1,1 @@
+lib/sigma/spk.mli: Bigint Interval Transcript

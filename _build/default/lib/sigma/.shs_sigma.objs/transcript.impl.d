@@ -1,0 +1,1 @@
+lib/sigma/transcript.ml: Bigint Hkdf List Printf Sha256 String

@@ -1,0 +1,43 @@
+module B = Bigint
+
+type spec = { center_log : int; halfwidth_log : int }
+
+let challenge_bits = 128
+let slack_bits = 16
+
+let make ~center_log ~halfwidth_log =
+  if halfwidth_log > center_log then
+    invalid_arg "Interval.make: half-width must not exceed center";
+  if halfwidth_log < 1 then invalid_arg "Interval.make: half-width too small";
+  { center_log; halfwidth_log }
+
+let center s = B.shift_left B.one s.center_log
+let halfwidth s = B.shift_left B.one s.halfwidth_log
+let lo s = B.sub (center s) (halfwidth s)
+let hi s = B.add (center s) (halfwidth s)
+
+let mem s v = B.compare v (lo s) > 0 && B.compare v (hi s) < 0
+
+let sample ~rng s =
+  (* uniform in (2^ℓ − 2^μ, 2^ℓ + 2^μ): center + uniform in (−2^μ, 2^μ) *)
+  let width = B.pred (B.shift_left (halfwidth s) 1) in
+  let off = B.random_below rng width in
+  B.add (B.succ (lo s)) off
+
+let blinder_bits s = s.halfwidth_log + challenge_bits + slack_bits
+
+let sample_blinder ~rng s = B.random_bits rng (blinder_bits s)
+
+let response ~blinder ~challenge ~secret s =
+  B.sub blinder (B.mul challenge (B.sub secret (center s)))
+
+let response_in_range s v =
+  (* s = r − c(v−2^ℓ) with r ∈ [0, 2^(μ+k+slack)) and |c(v−2^ℓ)| < 2^(μ+k) *)
+  let upper = B.shift_left B.one (blinder_bits s + 1) in
+  let lower = B.neg (B.shift_left B.one (s.halfwidth_log + challenge_bits + 1)) in
+  B.compare v lower > 0 && B.compare v upper < 0
+
+let shifted_exponent ~challenge ~response s =
+  B.sub response (B.mul challenge (center s))
+
+let expanded_halfwidth_log s = s.halfwidth_log + challenge_bits + slack_bits + 2

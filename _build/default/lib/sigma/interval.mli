@@ -1,0 +1,52 @@
+(** Integer intervals for proofs of knowledge over groups of unknown order
+    (the ACJT technique).
+
+    A secret committed to interval Λ = (2^ℓ − 2^μ, 2^ℓ + 2^μ) is proved via
+    responses computed over the integers: [s = r − c·(v − 2^ℓ)] where the
+    blinder [r] is [slack] bits longer than [c·(v − 2^ℓ)] can be, making
+    [s] statistically independent of [v].  The verifier accepts [s] in a
+    slightly wider range; soundness then places the extracted value in the
+    {e expanded} interval (2^ℓ − 2^(μ+k+slack+2), 2^ℓ + 2^(μ+k+slack+2)).
+    Scheme parameters must be chosen so expanded intervals keep the
+    separation their algebra needs — see {!val:expanded_halfwidth_log}. *)
+
+type spec = {
+  center_log : int;  (** ℓ: the interval's center is 2^ℓ *)
+  halfwidth_log : int;
+  (** μ: half-width is 2^μ; requires μ ≤ ℓ.  With μ = ℓ the interval is
+      (0, 2^(ℓ+1)): the shape used for "free" variables (randomizers)
+      where only the blinder sizing matters, not interval soundness. *)
+}
+
+val challenge_bits : int
+(** k = 128: challenge length used by all proofs in this repository. *)
+
+val slack_bits : int
+(** Statistical-hiding slack (16 bits). *)
+
+val make : center_log:int -> halfwidth_log:int -> spec
+
+val center : spec -> Bigint.t
+val lo : spec -> Bigint.t
+val hi : spec -> Bigint.t
+val mem : spec -> Bigint.t -> bool
+
+val sample : rng:(int -> string) -> spec -> Bigint.t
+(** Uniform in the open interval. *)
+
+val sample_blinder : rng:(int -> string) -> spec -> Bigint.t
+(** Uniform in [\[0, 2^(μ + k + slack))]. *)
+
+val response : blinder:Bigint.t -> challenge:Bigint.t -> secret:Bigint.t -> spec -> Bigint.t
+(** [r − c·(v − 2^ℓ)], over ℤ. *)
+
+val response_in_range : spec -> Bigint.t -> bool
+(** The verifier's range check on a response. *)
+
+val shifted_exponent : challenge:Bigint.t -> response:Bigint.t -> spec -> Bigint.t
+(** [s − c·2^ℓ]: the exponent the verifier uses so that
+    [base^(s − c·2^ℓ) · target^c] reconstructs the prover's commitment. *)
+
+val expanded_halfwidth_log : spec -> int
+(** μ + k + slack + 2: half-width (log) of the soundness-extracted
+    interval.  Parameter selection uses this to keep intervals separated. *)

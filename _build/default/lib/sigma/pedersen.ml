@@ -1,0 +1,18 @@
+module B = Bigint
+
+type params = { n : B.t; g : B.t; h : B.t }
+
+let setup ~rng (m : Groupgen.rsa_modulus) =
+  let n = m.Groupgen.n in
+  let g = Groupgen.sample_qr ~rng n in
+  let h = Groupgen.sample_qr ~rng n in
+  { n; g; h }
+
+let commit p ~value ~blind =
+  B.mul_mod (B.pow_mod p.g value p.n) (B.pow_mod p.h blind p.n) p.n
+
+let random_blind ~rng p =
+  B.random_bits rng (B.num_bits p.n + Interval.challenge_bits + Interval.slack_bits)
+
+let verify_opening p ~commitment ~value ~blind =
+  B.equal commitment (commit p ~value ~blind)

@@ -1,0 +1,22 @@
+(** Pedersen commitments over QR(n) (unknown-order group).
+
+    Used by the accumulator-based revocation proof: a member commits to
+    its accumulator witness and proves relations about the committed value
+    without revealing it. *)
+
+type params = {
+  n : Bigint.t;  (** RSA modulus with safe-prime factors *)
+  g : Bigint.t;  (** random QR(n) generator *)
+  h : Bigint.t;  (** second generator with unknown log_g h *)
+}
+
+val setup : rng:(int -> string) -> Groupgen.rsa_modulus -> params
+
+val commit : params -> value:Bigint.t -> blind:Bigint.t -> Bigint.t
+(** [g^value · h^blind mod n]; negative exponents allowed. *)
+
+val random_blind : rng:(int -> string) -> params -> Bigint.t
+(** A blinding exponent statistically hiding for values up to [n]. *)
+
+val verify_opening :
+  params -> commitment:Bigint.t -> value:Bigint.t -> blind:Bigint.t -> bool

@@ -1,0 +1,36 @@
+type t = Sha256.ctx
+
+let frame label data =
+  let lab_len = String.length label and data_len = String.length data in
+  Printf.sprintf "%04x%s%08x%s" lab_len label data_len data
+
+let create ~domain = Sha256.update (Sha256.init ()) (frame "domain" domain)
+
+let absorb t ~label data = Sha256.update t (frame label data)
+
+let absorb_num t ~label v =
+  (* sign byte then magnitude: injective for signed values *)
+  let sgn = if Bigint.sign v < 0 then "-" else "+" in
+  absorb t ~label (sgn ^ Bigint.to_bytes_be (Bigint.abs v))
+
+let absorb_list t ~label items =
+  List.fold_left
+    (fun t item -> absorb t ~label item)
+    (absorb t ~label:(label ^ ":count") (string_of_int (List.length items)))
+    items
+
+let squeeze t nbytes =
+  let seed = Sha256.finalize t in
+  Hkdf.derive ~ikm:seed ~info:"transcript-squeeze" ~len:nbytes ()
+
+let challenge_bits t ~bits =
+  let nbytes = (bits + 7) / 8 in
+  let v = Bigint.of_bytes_be (squeeze t nbytes) in
+  let excess = (nbytes * 8) - bits in
+  Bigint.shift_right v excess
+
+let challenge_below t ~bound =
+  if Bigint.sign bound <= 0 then invalid_arg "Transcript.challenge_below";
+  let bits = Bigint.num_bits bound + 256 in
+  let v = challenge_bits t ~bits in
+  Bigint.erem v bound

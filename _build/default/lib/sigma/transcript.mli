@@ -1,0 +1,25 @@
+(** Fiat–Shamir transcript: a running hash with injective, label-framed
+    absorption, from which challenges are squeezed.
+
+    Both the ACJT and the Kiayias–Yung signature proofs derive their
+    challenge [c = H(params, tags, commitments, message)] through this
+    module; framing every absorbed value with its label and length makes
+    the hash input injective, which the proofs' soundness needs. *)
+
+type t
+
+val create : domain:string -> t
+(** [domain] separates protocol instances ("acjt-v1", "kty-v1", ...). *)
+
+val absorb : t -> label:string -> string -> t
+val absorb_num : t -> label:string -> Bigint.t -> t
+val absorb_list : t -> label:string -> string list -> t
+
+val challenge_bits : t -> bits:int -> Bigint.t
+(** A challenge in [\[0, 2^bits)], derived deterministically from
+    everything absorbed so far.  Does not consume the transcript: asking
+    twice yields the same value. *)
+
+val challenge_below : t -> bound:Bigint.t -> Bigint.t
+(** A challenge in [\[0, bound)] (derived by expansion then reduction;
+    bias is negligible because 256 extra bits are drawn). *)

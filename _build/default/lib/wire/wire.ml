@@ -1,0 +1,70 @@
+(* Format: u16 tag length | tag | u16 field count | (u32 len | bytes)* *)
+
+let put_u16 buf v =
+  assert (v >= 0 && v < 0x10000);
+  Buffer.add_char buf (Char.chr (v lsr 8));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  assert (v >= 0 && v < 0x100000000);
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let encode ~tag fields =
+  let buf = Buffer.create 64 in
+  put_u16 buf (String.length tag);
+  Buffer.add_string buf tag;
+  put_u16 buf (List.length fields);
+  List.iter
+    (fun f ->
+      put_u32 buf (String.length f);
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  let u16 off =
+    if off + 2 > len then None
+    else Some ((Char.code s.[off] lsl 8) lor Char.code s.[off + 1])
+  in
+  let u32 off =
+    if off + 4 > len then None
+    else
+      Some
+        ((Char.code s.[off] lsl 24)
+        lor (Char.code s.[off + 1] lsl 16)
+        lor (Char.code s.[off + 2] lsl 8)
+        lor Char.code s.[off + 3])
+  in
+  match u16 0 with
+  | None -> None
+  | Some taglen ->
+    if 2 + taglen > len then None
+    else begin
+      let tag = String.sub s 2 taglen in
+      match u16 (2 + taglen) with
+      | None -> None
+      | Some count ->
+        let rec fields off k acc =
+          if k = 0 then if off = len then Some (List.rev acc) else None
+          else
+            match u32 off with
+            | None -> None
+            | Some flen ->
+              if off + 4 + flen > len then None
+              else
+                fields (off + 4 + flen) (k - 1)
+                  (String.sub s (off + 4) flen :: acc)
+        in
+        (match fields (2 + taglen + 2) count [] with
+         | None -> None
+         | Some fs -> Some (tag, fs))
+    end
+
+let expect ~tag s =
+  match decode s with
+  | Some (t, fields) when String.equal t tag -> Some fields
+  | _ -> None

@@ -1,0 +1,16 @@
+(** Canonical wire framing: a message is a tagged list of byte fields.
+
+    Every protocol message in the repository is serialized through this
+    codec, which gives two properties the security arguments rely on:
+    encoding is injective (no two distinct field lists share an encoding,
+    so hashing an encoded message binds every field), and decoding is
+    total (malformed inputs yield [None], never an exception). *)
+
+val encode : tag:string -> string list -> string
+(** [tag] is a short ASCII discriminator ("bd1", "hs2", ...). *)
+
+val decode : string -> (string * string list) option
+(** Returns [(tag, fields)]. *)
+
+val expect : tag:string -> string -> string list option
+(** Decode and check the tag in one step. *)

@@ -1,0 +1,1 @@
+test/scheme_sig.ml: Engine Gcd_types Groupgen Scheme1 Scheme2

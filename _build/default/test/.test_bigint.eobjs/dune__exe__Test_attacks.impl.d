@@ -1,0 +1,1 @@
+test/test_attacks.ml: Acjt Alcotest Array Bd Dhies Drbg Engine Gcd Gcd_types Hashtbl Kty Lazy List Lkh Option Params Scheme1 Scheme2 Scheme_sig Secretbox String Wire World

@@ -1,0 +1,1 @@
+test/test_cgkd.ml: Alcotest Bytes Cgkd_intf Char Drbg List Lkh Lsd Oft Option Printf Sd Sha256

@@ -1,0 +1,1 @@
+test/test_cipher.ml: Alcotest Bytes Chacha20 Char Drbg List Printf Secretbox Sha256 String

@@ -1,0 +1,1 @@
+test/test_dgka.ml: Alcotest Array Bd Bytes Char Dgka_intf Dgka_runner Drbg Engine Fun Gdh Lazy List Option Params Printf Sha256 Str String

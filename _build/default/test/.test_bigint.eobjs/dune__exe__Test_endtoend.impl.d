@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Array Drbg Gcd_types List Option Persist Printf Scheme1

@@ -1,0 +1,1 @@
+test/test_gcd.ml: Alcotest Array Bigint Drbg Engine Fun Gcd_types List Option Printf Scheme_sig Sha256 String World

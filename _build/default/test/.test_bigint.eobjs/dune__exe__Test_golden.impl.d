@@ -1,0 +1,1 @@
+test/test_golden.ml: Acjt Alcotest Bigint Dhies Drbg Groupgen Gsig_sizes Interval Kty Lazy Params Secretbox Sha256 String Transcript Wire

@@ -1,0 +1,1 @@
+test/test_gsig.ml: Accumulator Acjt Alcotest Bigint Bytes Char Drbg Groupgen Gsig_intf Kty Lazy List Option Params Primegen Printf String

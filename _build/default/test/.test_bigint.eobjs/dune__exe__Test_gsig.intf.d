@@ -1,0 +1,1 @@
+test/test_gsig.mli:

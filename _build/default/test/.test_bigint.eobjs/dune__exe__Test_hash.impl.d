@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Char Drbg Hkdf Hmac List Printf Sha256 String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine List QCheck2 QCheck_alcotest Sim String Wire

@@ -1,0 +1,1 @@
+test/test_numtheory.ml: Alcotest Array Bigint Drbg Groupgen Lazy List Params Primality Primegen Printf QCheck2 QCheck_alcotest Seq

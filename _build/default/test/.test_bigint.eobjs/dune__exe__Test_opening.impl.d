@@ -1,0 +1,1 @@
+test/test_opening.ml: Acjt Alcotest Bigint Bytes Char Drbg Groupgen Kty Lazy Option Params

@@ -1,0 +1,1 @@
+test/test_persist.ml: Accumulator Acjt Alcotest Array Bigint Cgkd_intf Dhies Drbg Gcd_types Kty Lazy List Lkh Lsd Oft Option Params Persist Primegen Scheme1 Scheme2 Sd Sha256

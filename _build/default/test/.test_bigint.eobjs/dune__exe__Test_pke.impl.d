@@ -1,0 +1,1 @@
+test/test_pke.ml: Alcotest Bigint Bytes Char Dhies Drbg Groupgen Lazy List Params Printf String

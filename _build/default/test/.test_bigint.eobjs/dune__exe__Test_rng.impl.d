@@ -1,0 +1,1 @@
+test/test_rng.ml: Bytes Char Int64 Stdlib

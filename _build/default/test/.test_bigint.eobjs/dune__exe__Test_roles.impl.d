@@ -1,0 +1,1 @@
+test/test_roles.ml: Alcotest Array Drbg Gcd_types Roles

@@ -1,0 +1,1 @@
+test/test_sigma.ml: Alcotest Bigint Drbg Groupgen Interval Lazy List Params Pedersen Printf Spk String Transcript

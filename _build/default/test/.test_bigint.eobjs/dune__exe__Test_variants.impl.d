@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Array Drbg Gcd_types Lazy List Params Printf Scheme_sig Variants

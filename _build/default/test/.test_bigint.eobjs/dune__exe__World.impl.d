@@ -1,0 +1,1 @@
+test/world.ml: Alcotest Array Drbg List Scheme_sig

@@ -1,0 +1,50 @@
+(* The scheme-generic view of a GCD instantiation, used to run the same
+   framework tests and security experiments against Scheme 1 and Scheme 2.
+   Both match this signature structurally. *)
+
+module type SCHEME = sig
+  val name : string
+
+  type authority
+  type member
+  type participant
+  type hooks
+
+  val create_group :
+    rng:(int -> string) ->
+    modulus:Groupgen.rsa_modulus ->
+    dl_group:Groupgen.schnorr_group ->
+    capacity:int ->
+    authority
+
+  val admit :
+    authority -> uid:string -> member_rng:(int -> string) -> (member * string) option
+
+  val remove : authority -> uid:string -> string option
+  val update : member -> string -> bool
+  val member_uid : member -> string
+  val member_active : member -> bool
+  val group_epoch : authority -> int
+
+  val participant_of_member : member -> participant
+  val outsider : rng:(int -> string) -> participant
+
+  val run_session :
+    ?adversary:Engine.adversary ->
+    ?latency:(src:int -> dst:int -> float) ->
+    ?allow_partial:bool ->
+    ?two_phase:bool ->
+    ?hooks:hooks ->
+    fmt:Gcd_types.format ->
+    participant array ->
+    Gcd_types.session_result
+
+  val trace_user :
+    authority -> sid:string -> (string * string) array -> string option array
+
+  val default_authority : rng:(int -> string) -> ?capacity:int -> unit -> authority
+  val default_format : authority -> Gcd_types.format
+end
+
+module Scheme1 : SCHEME = Scheme1
+module Scheme2 : SCHEME = Scheme2

@@ -1,0 +1,281 @@
+(* Tests for the arbitrary-precision integer substrate.
+
+   Strategy: exact unit tests on known values, cross-checks against native
+   int arithmetic on small operands, and algebraic property tests (qcheck)
+   on large random operands. *)
+
+module B = Bigint
+
+let b = B.of_string
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg expected (B.to_string actual)
+
+(* A qcheck generator for big integers of up to [bits] bits, signed. *)
+let arb_big ?(bits = 512) () =
+  let gen st =
+    let nbits = 1 + QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound (bits - 1)) in
+    let rng = Test_rng.make (QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.int_bound max_int)) in
+    let v = B.random_bits rng nbits in
+    if QCheck2.Gen.generate1 ~rand:st QCheck2.Gen.bool then B.neg v else v
+  in
+  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+
+let arb_nat ?(bits = 512) () = QCheck2.Gen.map B.abs (arb_big ~bits ())
+
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (string_of_int n) n (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 12345678; max_int; min_int + 1; 1 lsl 40; -(1 lsl 50) ]
+
+let test_string_known () =
+  check_b "zero" "0" B.zero;
+  check_b "one" "1" B.one;
+  check_b "big dec"
+    "123456789012345678901234567890"
+    (b "123456789012345678901234567890");
+  check_b "neg" "-987654321987654321" (b "-987654321987654321");
+  check_b "hex" "255" (b "0xff");
+  check_b "hex big" "18446744073709551616" (b "0x10000000000000000");
+  check_b "neg hex" "-4096" (b "-0x1000");
+  Alcotest.(check string) "to_hex" "0xff" (B.to_hex (B.of_int 255));
+  Alcotest.(check string) "to_hex 0" "0x0" (B.to_hex B.zero);
+  Alcotest.(check string) "to_hex neg" "-0x1000" (B.to_hex (B.of_int (-4096)))
+
+let test_add_sub_known () =
+  check_b "carry chain"
+    "100000000000000000000"
+    (B.add (b "99999999999999999999") B.one);
+  check_b "borrow chain"
+    "99999999999999999999"
+    (B.sub (b "100000000000000000000") B.one);
+  check_b "mixed signs" "-1" (B.add (b "41") (b "-42"));
+  check_b "sub to zero" "0" (B.sub (b "12345") (b "12345"))
+
+let test_mul_known () =
+  check_b "square"
+    "15241578753238836750495351562536198787501905199875019052100"
+    (B.mul (b "123456789012345678901234567890") (b "123456789012345678901234567890"));
+  check_b "times zero" "0" (B.mul (b "9999999") B.zero);
+  check_b "sign" "-6" (B.mul (B.of_int 2) (B.of_int (-3)))
+
+let test_div_known () =
+  let q, r = B.div_rem (b "10000000000000000000000000000") (b "7777777777") in
+  check_b "q" "1285714285842857142" q;
+  check_b "r" "6766666666" r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.div_rem B.one B.zero));
+  (* C-style truncation towards zero *)
+  Alcotest.(check int) "trunc q" (-2) (B.to_int (B.div (B.of_int (-7)) (B.of_int 3)));
+  Alcotest.(check int) "trunc r" (-1) (B.to_int (B.rem (B.of_int (-7)) (B.of_int 3)));
+  Alcotest.(check int) "erem" 2 (B.to_int (B.erem (B.of_int (-7)) (B.of_int 3)))
+
+let test_pow () =
+  check_b "2^100" "1267650600228229401496703205376" (B.pow B.two 100);
+  check_b "x^0" "1" (B.pow (b "123456789") 0);
+  check_b "(-2)^3" "-8" (B.pow (B.of_int (-2)) 3)
+
+let test_shift () =
+  check_b "shl" "1267650600228229401496703205376" (B.shift_left B.one 100);
+  check_b "shr" "1" (B.shift_right (B.shift_left B.one 100) 100);
+  check_b "shr to zero" "0" (B.shift_right (B.of_int 5) 3);
+  Alcotest.(check int) "num_bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "num_bits 255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "num_bits 256" 9 (B.num_bits (B.of_int 256))
+
+let test_bytes () =
+  Alcotest.(check string) "to_bytes" "\x01\x00" (B.to_bytes_be (B.of_int 256));
+  Alcotest.(check string) "padded" "\x00\x00\x01\x00"
+    (B.to_bytes_be ~len:4 (B.of_int 256));
+  Alcotest.(check int) "of_bytes" 256 (B.to_int (B.of_bytes_be "\x01\x00"));
+  Alcotest.(check int) "of empty" 0 (B.to_int (B.of_bytes_be ""))
+
+let test_modular_known () =
+  let m = b "1000000007" in
+  Alcotest.(check string) "pow_mod"
+    (B.to_string (B.of_int 16))
+    (B.to_string (B.pow_mod B.two (B.of_int 4) m));
+  (* Fermat: 2^(p-1) = 1 mod p for prime p *)
+  check_b "fermat" "1" (B.pow_mod B.two (B.sub m B.one) m);
+  check_b "pow_mod zero exp" "1" (B.pow_mod (b "123") B.zero m);
+  (* negative exponent = inverse *)
+  let inv2 = B.pow_mod B.two (B.neg B.one) m in
+  check_b "neg exp" "1" (B.mul_mod inv2 B.two m);
+  let i = B.invert (B.of_int 3) (B.of_int 10) in
+  Alcotest.(check int) "invert" 7 (B.to_int i);
+  Alcotest.check_raises "non-invertible" Not_found (fun () ->
+      ignore (B.invert (B.of_int 4) (B.of_int 10)))
+
+let test_division_stress () =
+  (* Patterns engineered at limb boundaries: dividends of the form
+     2^a - small and divisors 2^b - small maximize quotient-digit
+     overestimation in Knuth's algorithm D (the D6 "add back" path fires
+     with probability ~2/base on random input, so random testing alone
+     leaves it cold). *)
+  List.iter
+    (fun (abits, bbits, da, db) ->
+      let x = B.sub (B.shift_left B.one abits) (B.of_int da) in
+      let y = B.sub (B.shift_left B.one bbits) (B.of_int db) in
+      let q, r = B.div_rem x y in
+      let back = B.add (B.mul q y) r in
+      Alcotest.(check bool)
+        (Printf.sprintf "2^%d-%d / 2^%d-%d identity" abits da bbits db)
+        true
+        (B.equal back x && B.compare (B.abs r) y < 0 && B.sign r >= 0))
+    [ (520, 260, 1, 1); (520, 260, 1, 2); (1040, 520, 3, 1); (312, 52, 1, 1);
+      (312, 52, 5, 3); (78, 52, 1, 1); (104, 52, 1, 1); (1024, 26, 1, 1);
+      (530, 265, 7, 9); (2080, 1040, 1, 1) ];
+  (* exhaustive small-world cross-check around limb boundaries *)
+  let base = B.shift_left B.one 26 in
+  for i = -2 to 2 do
+    for j = -2 to 2 do
+      let x = B.add (B.mul base base) (B.of_int i) in
+      let y = B.add base (B.of_int j) in
+      let q, r = B.div_rem x y in
+      Alcotest.(check bool)
+        (Printf.sprintf "base^2%+d / base%+d" i j)
+        true
+        (B.equal x (B.add (B.mul q y) r) && B.compare (B.abs r) (B.abs y) < 0)
+    done
+  done
+
+let test_gcd () =
+  Alcotest.(check int) "gcd" 6 (B.to_int (B.gcd (B.of_int 48) (B.of_int 18)));
+  Alcotest.(check int) "gcd neg" 6 (B.to_int (B.gcd (B.of_int (-48)) (B.of_int 18)));
+  Alcotest.(check int) "gcd zero" 5 (B.to_int (B.gcd B.zero (B.of_int 5)))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check against native ints on small operands                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_pair = QCheck2.Gen.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+
+let native_props =
+  [ qtest "add matches native" small_pair (fun (x, y) ->
+        B.to_int (B.add (B.of_int x) (B.of_int y)) = x + y);
+    qtest "sub matches native" small_pair (fun (x, y) ->
+        B.to_int (B.sub (B.of_int x) (B.of_int y)) = x - y);
+    qtest "mul matches native" small_pair (fun (x, y) ->
+        B.to_int (B.mul (B.of_int x) (B.of_int y)) = x * y);
+    qtest "div matches native" small_pair (fun (x, y) ->
+        y = 0 || B.to_int (B.div (B.of_int x) (B.of_int y)) = x / y);
+    qtest "rem matches native" small_pair (fun (x, y) ->
+        y = 0 || B.to_int (B.rem (B.of_int x) (B.of_int y)) = x mod y);
+    qtest "compare matches native" small_pair (fun (x, y) ->
+        B.compare (B.of_int x) (B.of_int y) = Stdlib.compare x y);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic properties on big operands                                 *)
+(* ------------------------------------------------------------------ *)
+
+let big_pair = QCheck2.Gen.pair (arb_big ()) (arb_big ())
+let big_triple = QCheck2.Gen.triple (arb_big ()) (arb_big ()) (arb_big ())
+
+let algebra_props =
+  [ qtest "add comm" big_pair (fun (x, y) -> B.equal (B.add x y) (B.add y x));
+    qtest "add assoc" big_triple (fun (x, y, z) ->
+        B.equal (B.add (B.add x y) z) (B.add x (B.add y z)));
+    qtest "sub inverse" big_pair (fun (x, y) -> B.equal (B.sub (B.add x y) y) x);
+    qtest "mul comm" big_pair (fun (x, y) -> B.equal (B.mul x y) (B.mul y x));
+    qtest "mul distributes" big_triple (fun (x, y, z) ->
+        B.equal (B.mul x (B.add y z)) (B.add (B.mul x y) (B.mul x z)));
+    qtest "div_rem identity" big_pair (fun (x, y) ->
+        B.is_zero y
+        || begin
+          let q, r = B.div_rem x y in
+          B.equal x (B.add (B.mul q y) r)
+          && B.compare (B.abs r) (B.abs y) < 0
+          && (B.is_zero r || B.sign r = B.sign x)
+        end);
+    qtest "erem range" big_pair (fun (x, y) ->
+        B.is_zero y
+        || begin
+          let r = B.erem x y in
+          B.sign r >= 0 && B.compare r (B.abs y) < 0
+        end);
+    qtest "mul then div exact" big_pair (fun (x, y) ->
+        B.is_zero y || B.equal (B.div (B.mul x y) y) x);
+    qtest "string roundtrip" (arb_big ()) (fun x ->
+        B.equal x (B.of_string (B.to_string x)));
+    qtest "hex roundtrip" (arb_big ()) (fun x ->
+        B.equal x (B.of_string (B.to_hex x)));
+    qtest "bytes roundtrip" (arb_nat ()) (fun x ->
+        B.equal x (B.of_bytes_be (B.to_bytes_be x)));
+    qtest "shift roundtrip"
+      QCheck2.Gen.(pair (arb_nat ()) (int_bound 200))
+      (fun (x, k) -> B.equal x (B.shift_right (B.shift_left x k) k));
+    qtest "shift_left is mul by 2^k"
+      QCheck2.Gen.(pair (arb_nat ()) (int_bound 200))
+      (fun (x, k) -> B.equal (B.shift_left x k) (B.mul x (B.pow B.two k)));
+    qtest "num_bits bound" (arb_nat ()) (fun x ->
+        B.is_zero x
+        || begin
+          let n = B.num_bits x in
+          B.compare x (B.pow B.two n) < 0 && B.compare x (B.pow B.two (n - 1)) >= 0
+        end);
+  ]
+
+let modular_props =
+  let gen_mod =
+    QCheck2.Gen.map
+      (fun (x, m) -> (x, B.add (B.abs m) B.two))
+      QCheck2.Gen.(pair (arb_big ()) (arb_big ~bits:256 ()))
+  in
+  let gen_pow =
+    QCheck2.Gen.map
+      (fun ((b_, e), m) -> (b_, B.abs e, B.add (B.abs m) B.two))
+      QCheck2.Gen.(pair (pair (arb_big ~bits:256 ()) (arb_big ~bits:64 ()))
+                     (arb_big ~bits:128 ()))
+  in
+  [ qtest "pow_mod agrees with naive" ~count:60 gen_pow (fun (b_, e, m) ->
+        B.equal (B.pow_mod b_ e m) (B.pow_mod_naive b_ e m));
+    qtest "montgomery agrees with division ladder" ~count:60 gen_pow
+      (fun (b_, e, m) ->
+        (* force an odd modulus so pow_mod takes the Montgomery path *)
+        let m = if B.is_even m then B.succ m else m in
+        B.equal (B.pow_mod b_ e m) (B.pow_mod_div b_ e m));
+    qtest "pow_mod multiplicative" ~count:60 gen_pow (fun (b_, e, m) ->
+        let lhs = B.pow_mod b_ (B.add e e) m in
+        let rhs = B.mul_mod (B.pow_mod b_ e m) (B.pow_mod b_ e m) m in
+        B.equal lhs rhs);
+    qtest "invert correct" ~count:100 gen_mod (fun (x, m) ->
+        match B.invert x m with
+        | inv -> B.equal (B.mul_mod inv (B.erem x m) m) (B.erem B.one m)
+        | exception Not_found -> not (B.equal (B.gcd x m) B.one));
+    qtest "ext_gcd identity" big_pair (fun (x, y) ->
+        let g, u, v = B.ext_gcd x y in
+        B.equal g (B.add (B.mul u x) (B.mul v y)) && B.sign g >= 0);
+    qtest "gcd divides" big_pair (fun (x, y) ->
+        let g = B.gcd x y in
+        B.is_zero g || (B.is_zero (B.rem x g) && B.is_zero (B.rem y g)));
+  ]
+
+let unit_tests =
+  [ Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "string known values" `Quick test_string_known;
+    Alcotest.test_case "add/sub known" `Quick test_add_sub_known;
+    Alcotest.test_case "mul known" `Quick test_mul_known;
+    Alcotest.test_case "div known" `Quick test_div_known;
+    Alcotest.test_case "division stress (add-back)" `Quick test_division_stress;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "bytes" `Quick test_bytes;
+    Alcotest.test_case "modular known" `Quick test_modular_known;
+    Alcotest.test_case "gcd" `Quick test_gcd;
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ("unit", unit_tests);
+      ("native-crosscheck", native_props);
+      ("algebra", algebra_props);
+      ("modular", modular_props);
+    ]

@@ -1,0 +1,339 @@
+(* Tests for the centralized group key distribution schemes (LKH and SD),
+   generic over the Fig. 4 interface plus scheme-specific structure. *)
+
+let rng_of_seed seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+module Generic (C : Cgkd_intf.S) = struct
+  (* A mutable mirror of "the world": controller plus every member's
+     current state, applying each broadcast to everyone still active. *)
+  type world = {
+    mutable gc : C.controller;
+    mutable live : (string * C.member) list;
+  }
+
+  let make seed capacity =
+    { gc = C.setup ~rng:(rng_of_seed seed) ~capacity; live = [] }
+
+  let join w uid =
+    match C.join w.gc ~uid with
+    | None -> Alcotest.fail ("join failed: " ^ uid)
+    | Some (gc, m, msg) ->
+      w.gc <- gc;
+      w.live <-
+        List.map
+          (fun (u, mem) ->
+            match C.rekey mem msg with
+            | Some mem -> (u, mem)
+            | None -> Alcotest.fail (u ^ " failed to rekey on join"))
+          w.live;
+      w.live <- (uid, m) :: w.live
+
+  let leave w uid =
+    match C.leave w.gc ~uid with
+    | None -> Alcotest.fail ("leave failed: " ^ uid)
+    | Some (gc, msg) ->
+      w.gc <- gc;
+      let departed = List.assoc uid w.live in
+      w.live <- List.remove_assoc uid w.live;
+      w.live <-
+        List.map
+          (fun (u, mem) ->
+            match C.rekey mem msg with
+            | Some mem -> (u, mem)
+            | None -> Alcotest.fail (u ^ " failed to rekey on leave"))
+          w.live;
+      (departed, msg)
+
+  let check_sync w label =
+    let ck = C.controller_key w.gc in
+    List.iter
+      (fun (u, m) ->
+        Alcotest.(check string) (label ^ ": " ^ u ^ " synced") (Sha256.hex ck)
+          (Sha256.hex (C.group_key m)))
+      w.live
+
+  let test_basic_sync () =
+    let w = make 80 8 in
+    join w "a";
+    check_sync w "after a";
+    join w "b";
+    join w "c";
+    check_sync w "after c";
+    Alcotest.(check int) "3 members" 3 (List.length (C.members w.gc))
+
+  let test_key_changes_every_epoch () =
+    let w = make 81 8 in
+    join w "a";
+    let k1 = C.controller_key w.gc in
+    join w "b";
+    let k2 = C.controller_key w.gc in
+    let _, _ = leave w "b" in
+    let k3 = C.controller_key w.gc in
+    Alcotest.(check bool) "join changes key" true (k1 <> k2);
+    Alcotest.(check bool) "leave changes key" true (k2 <> k3);
+    Alcotest.(check bool) "no reuse" true (k1 <> k3)
+
+  let test_revoked_member_locked_out () =
+    let w = make 82 8 in
+    join w "a";
+    join w "b";
+    join w "c";
+    let departed, msg = leave w "b" in
+    check_sync w "survivors";
+    (* the departed member cannot process the rekey that removed it *)
+    Alcotest.(check bool) "departed cannot rekey" true (C.rekey departed msg = None);
+    Alcotest.(check bool) "departed key is stale" true
+      (C.group_key departed <> C.controller_key w.gc);
+    (* nor any later broadcast *)
+    join w "d";
+    check_sync w "after d";
+    Alcotest.(check bool) "departed misses later keys" true
+      (C.group_key departed <> C.controller_key w.gc)
+
+  let test_joiner_cannot_read_past () =
+    let w = make 83 8 in
+    join w "a";
+    let old_key = C.controller_key w.gc in
+    join w "b";
+    let m_b = List.assoc "b" w.live in
+    Alcotest.(check bool) "b has only the fresh key" true (C.group_key m_b <> old_key)
+
+  let test_duplicate_and_unknown () =
+    let w = make 84 8 in
+    join w "a";
+    Alcotest.(check bool) "duplicate join" true (C.join w.gc ~uid:"a" = None);
+    Alcotest.(check bool) "unknown leave" true (C.leave w.gc ~uid:"zz" = None)
+
+  let test_garbage_rekey () =
+    let w = make 85 8 in
+    join w "a";
+    let m = List.assoc "a" w.live in
+    Alcotest.(check bool) "garbage" true (C.rekey m "garbage" = None);
+    Alcotest.(check bool) "empty" true (C.rekey m "" = None);
+    (* a tampered broadcast must not install a wrong key *)
+    join w "b";
+    let m = List.assoc "a" w.live in
+    (match C.join w.gc ~uid:"c" with
+     | None -> Alcotest.fail "join c"
+     | Some (gc, _, msg) ->
+       w.gc <- gc;
+       let t = Bytes.of_string msg in
+       Bytes.set t (Bytes.length t - 1)
+         (Char.chr (Char.code (Bytes.get t (Bytes.length t - 1)) lxor 1));
+       (match C.rekey m (Bytes.to_string t) with
+        | None -> ()
+        | Some m' ->
+          (* acceptable only if the tamper hit a part this member ignores;
+             the installed key must then still be the controller's *)
+          Alcotest.(check string) "tamper-accepted key is correct"
+            (Sha256.hex (C.controller_key w.gc))
+            (Sha256.hex (C.group_key m'))))
+
+  let test_epoch_monotone () =
+    let w = make 86 8 in
+    join w "a";
+    join w "b";
+    let m = List.assoc "a" w.live in
+    let e1 = C.epoch m in
+    let _ = leave w "b" in
+    let m = List.assoc "a" w.live in
+    Alcotest.(check bool) "epoch advanced" true (C.epoch m > e1);
+    Alcotest.(check int) "epoch matches controller" (C.controller_epoch w.gc) (C.epoch m)
+
+  let test_churn () =
+    (* A longer random-ish churn: joins and leaves interleaved, everyone
+       stays in sync, departed members stay out. *)
+    let w = make 87 16 in
+    let uid i = Printf.sprintf "u%d" i in
+    for i = 0 to 9 do join w (uid i) done;
+    check_sync w "ten joined";
+    let departed = ref [] in
+    List.iter
+      (fun i ->
+        let d, _ = leave w (uid i) in
+        departed := d :: !departed;
+        check_sync w (Printf.sprintf "after leave %d" i))
+      [ 3; 7; 0 ];
+    for i = 10 to 12 do
+      join w (uid i);
+      check_sync w (Printf.sprintf "after join %d" i)
+    done;
+    let ck = C.controller_key w.gc in
+    List.iter
+      (fun d -> Alcotest.(check bool) "departed stale" true (C.group_key d <> ck))
+      !departed
+
+  let suite label =
+    [ Alcotest.test_case (label ^ ": basic sync") `Quick test_basic_sync;
+      Alcotest.test_case (label ^ ": key freshness") `Quick test_key_changes_every_epoch;
+      Alcotest.test_case (label ^ ": revocation lockout") `Quick test_revoked_member_locked_out;
+      Alcotest.test_case (label ^ ": joiner backward secrecy") `Quick test_joiner_cannot_read_past;
+      Alcotest.test_case (label ^ ": duplicate/unknown") `Quick test_duplicate_and_unknown;
+      Alcotest.test_case (label ^ ": garbage rekey") `Quick test_garbage_rekey;
+      Alcotest.test_case (label ^ ": epoch monotone") `Quick test_epoch_monotone;
+      Alcotest.test_case (label ^ ": churn") `Quick test_churn;
+    ]
+end
+
+module Lkh_tests = Generic (Lkh)
+module Sd_tests = Generic (Sd)
+module Oft_tests = Generic (Oft)
+module Lsd_tests = Generic (Lsd)
+
+(* ------------------------------------------------------------------ *)
+(* LKH specifics: O(log n) rekey size                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lkh_logn_entries () =
+  List.iter
+    (fun cap ->
+      let gc = Lkh.setup ~rng:(rng_of_seed 88) ~capacity:cap in
+      let rec fill gc i last_msg =
+        if i = cap then (gc, last_msg)
+        else
+          match Lkh.join gc ~uid:(string_of_int i) with
+          | Some (gc, _, msg) -> fill gc (i + 1) (Some msg)
+          | None -> Alcotest.fail "join"
+      in
+      let gc, last = fill gc 0 None in
+      let entries = Option.get (Lkh.rekey_entry_count (Option.get last)) in
+      let logn =
+        let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+        lg cap
+      in
+      (* one entry per child per refreshed node, minus the skipped leaf *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d: %d entries <= 2log+1" cap entries)
+        true
+        (entries <= (2 * logn) + 1);
+      ignore gc)
+    [ 4; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* SD specifics: cover size bound, stateless storage                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sd_cover_bound () =
+  let gc = Sd.setup ~rng:(rng_of_seed 89) ~capacity:64 in
+  let rec fill gc i =
+    if i = 40 then gc
+    else
+      match Sd.join gc ~uid:(string_of_int i) with
+      | Some (gc, _, _) -> fill gc (i + 1)
+      | None -> Alcotest.fail "join"
+  in
+  let gc = fill gc 0 in
+  (* revoke an increasing number; cover must stay within 2r-1 counting
+     the dummy leaf *)
+  let rec revoke gc i =
+    if i = 10 then gc
+    else
+      match Sd.leave gc ~uid:(string_of_int i) with
+      | Some (gc, msg) ->
+        let r = i + 1 + 1 (* revoked so far + dummy *) in
+        let c = Option.get (Sd.cover_size msg) in
+        Alcotest.(check bool)
+          (Printf.sprintf "r=%d cover %d <= 2r-1=%d" r c ((2 * r) - 1))
+          true
+          (c <= (2 * r) - 1);
+        revoke gc (i + 1)
+      | None -> Alcotest.fail "leave"
+  in
+  ignore (revoke gc 0)
+
+let test_sd_label_storage () =
+  let gc = Sd.setup ~rng:(rng_of_seed 90) ~capacity:64 in
+  match Sd.join gc ~uid:"u" with
+  | Some (_, m, _) ->
+    (* height 6 tree: at most 6*7/2 = 21 labels *)
+    Alcotest.(check bool) "O(log^2) labels" true (Sd.member_label_count m <= 21)
+  | None -> Alcotest.fail "join"
+
+let test_sd_stateless_receiver () =
+  (* An SD member that misses intermediate rekeys still decrypts the
+     latest broadcast — the defining stateless property. *)
+  let gc = Sd.setup ~rng:(rng_of_seed 91) ~capacity:16 in
+  let gc, sleepy, _ = Option.get (Sd.join gc ~uid:"sleepy" ) in
+  let gc, _, _ = Option.get (Sd.join gc ~uid:"b") in
+  let gc, _, _ = Option.get (Sd.join gc ~uid:"c") in
+  let gc, msg = Option.get (Sd.leave gc ~uid:"b") in
+  (* sleepy skipped two broadcasts, applies only the last *)
+  match Sd.rekey sleepy msg with
+  | Some m ->
+    Alcotest.(check string) "caught up" (Sha256.hex (Sd.controller_key gc))
+      (Sha256.hex (Sd.group_key m))
+  | None -> Alcotest.fail "stateless catch-up failed"
+
+(* LSD vs SD: the storage/bandwidth trade-off.  LSD members hold strictly
+   fewer labels; LSD covers are at most twice SD's. *)
+let test_lsd_tradeoff () =
+  let cap = 256 in
+  let fill (type gc m) join (setup : gc) (j : gc -> string -> (gc * m * string) option) n =
+    ignore join;
+    let rec go gc i last_m =
+      if i = n then (gc, Option.get last_m)
+      else
+        match j gc (string_of_int i) with
+        | Some (gc, m, _) -> go gc (i + 1) (Some m)
+        | None -> Alcotest.fail "join"
+    in
+    go setup 0 None
+  in
+  let sd_gc = Sd.setup ~rng:(rng_of_seed 93) ~capacity:cap in
+  let sd_gc, sd_m = fill () sd_gc (fun gc u -> Sd.join gc ~uid:u) 40 in
+  let lsd_gc = Lsd.setup ~rng:(rng_of_seed 94) ~capacity:cap in
+  let lsd_gc, lsd_m = fill () lsd_gc (fun gc u -> Lsd.join gc ~uid:u) 40 in
+  Alcotest.(check bool)
+    (Printf.sprintf "lsd stores fewer labels (%d < %d)"
+       (Lsd.member_label_count lsd_m) (Sd.member_label_count sd_m))
+    true
+    (Lsd.member_label_count lsd_m < Sd.member_label_count sd_m);
+  (* revoke the same pattern in both; compare covers *)
+  let rec revoke_both sd_gc lsd_gc i =
+    if i > 8 then ()
+    else begin
+      let sd_gc, sd_msg = Option.get (Sd.leave sd_gc ~uid:(string_of_int (i * 4))) in
+      let lsd_gc, lsd_msg = Option.get (Lsd.leave lsd_gc ~uid:(string_of_int (i * 4))) in
+      let sd_c = Option.get (Sd.cover_size sd_msg) in
+      let lsd_c = Option.get (Lsd.cover_size lsd_msg) in
+      Alcotest.(check bool)
+        (Printf.sprintf "r=%d: lsd cover %d <= 2x sd cover %d" (i + 1) lsd_c sd_c)
+        true
+        (lsd_c <= 2 * sd_c);
+      revoke_both sd_gc lsd_gc (i + 1)
+    end
+  in
+  revoke_both sd_gc lsd_gc 1
+
+let test_lkh_stateful_receiver () =
+  (* The contrasting behaviour to SD: an LKH member that misses a rekey
+     refreshing an inner key on its path cannot process a later broadcast
+     that presumes that key.  Topology: capacity 8; sleepy sits at leaf 8;
+     the missed rekey (b joining at leaf 9) refreshes node 4; the next
+     rekey (c at leaf 10) seals node 2 under the new key of node 4, which
+     sleepy never received — and node 1 only under nodes 2 and 3. *)
+  let gc = Lkh.setup ~rng:(rng_of_seed 92) ~capacity:8 in
+  let gc, sleepy, _ = Option.get (Lkh.join gc ~uid:"sleepy") in
+  let gc, _, _m1 = Option.get (Lkh.join gc ~uid:"b") in
+  let _gc, _, m2 = Option.get (Lkh.join gc ~uid:"c") in
+  Alcotest.(check bool) "stateful receiver falls behind" true
+    (Lkh.rekey sleepy m2 = None)
+
+let () =
+  Alcotest.run "cgkd"
+    [ ("lkh-generic", Lkh_tests.suite "lkh");
+      ("sd-generic", Sd_tests.suite "sd");
+      ("oft-generic", Oft_tests.suite "oft");
+      ("lsd-generic", Lsd_tests.suite "lsd");
+      ( "lkh-structure",
+        [ Alcotest.test_case "O(log n) rekey entries" `Quick test_lkh_logn_entries;
+          Alcotest.test_case "stateful receiver" `Quick test_lkh_stateful_receiver;
+        ] );
+      ( "lsd-structure",
+        [ Alcotest.test_case "storage/cover trade-off" `Quick test_lsd_tradeoff ] );
+      ( "sd-structure",
+        [ Alcotest.test_case "cover bound 2r-1" `Quick test_sd_cover_bound;
+          Alcotest.test_case "label storage" `Quick test_sd_label_storage;
+          Alcotest.test_case "stateless receiver" `Quick test_sd_stateless_receiver;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for ChaCha20 and the authenticated secretbox. *)
+
+let unhex s =
+  let n = String.length s / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2)))
+
+let hex = Sha256.hex
+
+(* RFC 8439 section 2.3.2: block function test vector. *)
+let test_block_vector () =
+  let key = String.init 32 Char.chr in
+  let nonce = unhex "000000090000004a00000000" in
+  let out = Chacha20.block ~key ~nonce ~counter:1 in
+  Alcotest.(check string) "keystream block"
+    ("10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+     ^ "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+    (hex out)
+
+(* RFC 8439 section 2.4.2: full encryption test vector. *)
+let test_encrypt_vector () =
+  let key = String.init 32 Char.chr in
+  let nonce = unhex "000000000000004a00000000" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only \
+     one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.encrypt ~key ~nonce ~counter:1 plaintext in
+  Alcotest.(check string) "ciphertext"
+    ("6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+     ^ "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+     ^ "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+     ^ "5af90bbf74a35be6b40b8eedf2785e42874d")
+    (hex ct)
+
+let test_roundtrip () =
+  let key = String.make 32 'k' and nonce = String.make 12 'n' in
+  List.iter
+    (fun len ->
+      let msg = String.init len (fun i -> Char.chr ((i * 7) land 0xff)) in
+      let rt = Chacha20.decrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce msg) in
+      Alcotest.(check string) (Printf.sprintf "len %d" len) msg rt)
+    [ 0; 1; 63; 64; 65; 127; 128; 200; 1000 ]
+
+let test_bad_sizes () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Chacha20: bad key size")
+    (fun () -> ignore (Chacha20.encrypt ~key:"short" ~nonce:(String.make 12 'n') "x"));
+  Alcotest.check_raises "bad nonce" (Invalid_argument "Chacha20: bad nonce size")
+    (fun () -> ignore (Chacha20.encrypt ~key:(String.make 32 'k') ~nonce:"n" "x"))
+
+(* ------------------------------------------------------------------ *)
+
+let rng_of_seed seed =
+  let d = Drbg.of_int_seed seed in
+  Drbg.bytes_fn d
+
+let test_box_roundtrip () =
+  let rng = rng_of_seed 1 in
+  let key = String.make 32 's' in
+  List.iter
+    (fun msg ->
+      match Secretbox.open_ ~key (Secretbox.seal ~key ~rng msg) with
+      | Some m -> Alcotest.(check string) "roundtrip" msg m
+      | None -> Alcotest.fail "box did not open")
+    [ ""; "x"; "hello"; String.make 1000 'q' ]
+
+let test_box_tamper () =
+  let rng = rng_of_seed 2 in
+  let key = String.make 32 's' in
+  let box = Secretbox.seal ~key ~rng "attack at dawn" in
+  (* flipping any single byte must break authentication *)
+  for i = 0 to String.length box - 1 do
+    let b = Bytes.of_string box in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    (match Secretbox.open_ ~key (Bytes.to_string b) with
+     | None -> ()
+     | Some _ -> Alcotest.fail (Printf.sprintf "tampered byte %d accepted" i))
+  done;
+  (* wrong key *)
+  Alcotest.(check bool) "wrong key" true
+    (Secretbox.open_ ~key:(String.make 32 'z') box = None);
+  (* truncated *)
+  Alcotest.(check bool) "truncated" true
+    (Secretbox.open_ ~key (String.sub box 0 10) = None)
+
+let test_box_padding_uniformity () =
+  let rng = rng_of_seed 3 in
+  let key = String.make 32 's' in
+  let b1 = Secretbox.seal ~key ~rng ~pad_to:256 "short" in
+  let b2 = Secretbox.seal ~key ~rng ~pad_to:256 (String.make 256 'L') in
+  let b3 = Secretbox.random_box ~rng ~plaintext_len:256 in
+  Alcotest.(check int) "equal lengths" (String.length b1) (String.length b2);
+  Alcotest.(check int) "random box same length" (String.length b1) (String.length b3);
+  Alcotest.(check int) "box_len formula"
+    (Secretbox.box_len ~plaintext_len:256)
+    (String.length b1);
+  (* padded plaintext still decrypts to the original *)
+  (match Secretbox.open_ ~key b1 with
+   | Some m -> Alcotest.(check string) "padded roundtrip" "short" m
+   | None -> Alcotest.fail "padded box did not open");
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Secretbox.seal: plaintext exceeds pad_to")
+    (fun () -> ignore (Secretbox.seal ~key ~rng ~pad_to:4 "longer"))
+
+let test_box_nonce_freshness () =
+  let rng = rng_of_seed 4 in
+  let key = String.make 32 's' in
+  let b1 = Secretbox.seal ~key ~rng "same message" in
+  let b2 = Secretbox.seal ~key ~rng "same message" in
+  Alcotest.(check bool) "distinct ciphertexts" true (b1 <> b2)
+
+let () =
+  Alcotest.run "cipher"
+    [ ( "chacha20",
+        [ Alcotest.test_case "RFC 8439 block vector" `Quick test_block_vector;
+          Alcotest.test_case "RFC 8439 encrypt vector" `Quick test_encrypt_vector;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "bad sizes" `Quick test_bad_sizes;
+        ] );
+      ( "secretbox",
+        [ Alcotest.test_case "roundtrip" `Quick test_box_roundtrip;
+          Alcotest.test_case "tamper detection" `Quick test_box_tamper;
+          Alcotest.test_case "padding uniformity" `Quick test_box_padding_uniformity;
+          Alcotest.test_case "nonce freshness" `Quick test_box_nonce_freshness;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the distributed group key agreement protocols, generic over
+   the Fig. 5 interface. *)
+
+let group = lazy (Lazy.force Params.schnorr_256)
+
+let rngs seed n =
+  Array.init n (fun i -> Drbg.bytes_fn (Drbg.of_int_seed ((seed * 1000) + i)))
+
+module Generic (D : Dgka_intf.S) = struct
+  let run ?adversary ?latency seed n =
+    Dgka_runner.run (module D) ?adversary ?latency ~rngs:(rngs seed n)
+      ~group:(Lazy.force group) ()
+
+  let test_agreement () =
+    List.iter
+      (fun n ->
+        let r = run 100 n in
+        let first = r.Dgka_runner.outcomes.(0) in
+        Alcotest.(check bool) (Printf.sprintf "n=%d party 0 accepts" n) true
+          (first <> None);
+        let key0, sid0 = Option.get first in
+        Array.iteri
+          (fun i o ->
+            match o with
+            | None -> Alcotest.fail (Printf.sprintf "n=%d party %d no result" n i)
+            | Some (k, s) ->
+              Alcotest.(check string) (Printf.sprintf "n=%d key %d" n i)
+                (Sha256.hex key0) (Sha256.hex k);
+              Alcotest.(check string) (Printf.sprintf "n=%d sid %d" n i)
+                (Sha256.hex sid0) (Sha256.hex s))
+          r.Dgka_runner.outcomes)
+      [ 2; 3; 4; 5; 8 ]
+
+  let test_fresh_keys_across_runs () =
+    let r1 = run 101 3 and r2 = run 102 3 in
+    let k1, s1 = Option.get r1.Dgka_runner.outcomes.(0) in
+    let k2, s2 = Option.get r2.Dgka_runner.outcomes.(0) in
+    Alcotest.(check bool) "keys differ" true (k1 <> k2);
+    Alcotest.(check bool) "sids differ" true (s1 <> s2)
+
+  let test_mitm_splits_keys () =
+    (* An active adversary substituting messages cannot be detected by raw
+       DGKA (the paper says so), but it must at least desynchronize the
+       keys rather than silently hand everyone the same key it controls...
+       here we check the weaker observable: tampering never yields a run
+       where all parties accept with equal keys and sids. *)
+    let tampered = ref false in
+    let adversary ~src:_ ~dst:_ ~payload =
+      if (not !tampered) && String.length payload > 24 then begin
+        tampered := true;
+        let b = Bytes.of_string payload in
+        let i = Bytes.length b - 1 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+        Engine.Replace (Bytes.to_string b)
+      end
+      else Engine.Deliver
+    in
+    let r = run ~adversary 103 3 in
+    let accepted = Array.to_list r.Dgka_runner.outcomes |> List.filter_map Fun.id in
+    let all_equal =
+      match accepted with
+      | [] -> false
+      | (k0, s0) :: rest -> List.for_all (fun (k, s) -> k = k0 && s = s0) rest
+    in
+    Alcotest.(check bool) "tampered run never fully agrees" false
+      (List.length accepted = 3 && all_equal)
+
+  let test_dropped_message_stalls () =
+    (* guaranteed delivery is assumed by the model; without it the
+       protocol must stall (nobody accepts a key), not misbehave *)
+    let adversary ~src ~dst:_ ~payload:_ =
+      if src = 1 then Engine.Drop else Engine.Deliver
+    in
+    let r = run ~adversary 104 3 in
+    Array.iteri
+      (fun i o ->
+        if i <> 1 then
+          Alcotest.(check bool) (Printf.sprintf "party %d stalls" i) true (o = None))
+      r.Dgka_runner.outcomes
+
+  let test_latency_insensitive () =
+    (* heterogeneous latencies reorder deliveries; agreement must hold *)
+    let latency ~src ~dst = 1.0 +. float_of_int (((src * 7) + (dst * 13)) mod 5) in
+    let r = run ~latency 105 5 in
+    let k0, _ = Option.get r.Dgka_runner.outcomes.(0) in
+    Array.iter
+      (fun o ->
+        let k, _ = Option.get o in
+        Alcotest.(check string) "key" (Sha256.hex k0) (Sha256.hex k))
+      r.Dgka_runner.outcomes
+
+  let suite label =
+    [ Alcotest.test_case (label ^ ": agreement 2..8") `Quick test_agreement;
+      Alcotest.test_case (label ^ ": fresh keys") `Quick test_fresh_keys_across_runs;
+      Alcotest.test_case (label ^ ": tampering") `Quick test_mitm_splits_keys;
+      Alcotest.test_case (label ^ ": dropped messages stall") `Quick test_dropped_message_stalls;
+      Alcotest.test_case (label ^ ": latency reordering") `Quick test_latency_insensitive;
+    ]
+end
+
+module Bd_tests = Generic (Bd)
+module Gdh_tests = Generic (Gdh)
+module Str_tests = Generic (Str)
+
+(* Structural cost contrast (the E4 claim in miniature): BD uses two
+   broadcasts per party; GDH.2 uses one unicast per party plus one final
+   broadcast. *)
+let test_message_shape () =
+  let bd = Dgka_runner.run (module Bd) ~rngs:(rngs 106 5) ~group:(Lazy.force group) () in
+  let gdh = Dgka_runner.run (module Gdh) ~rngs:(rngs 107 5) ~group:(Lazy.force group) () in
+  Array.iter
+    (fun sent -> Alcotest.(check int) "bd: 2 msgs/party" 2 sent)
+    bd.Dgka_runner.stats.Engine.messages_sent;
+  Array.iteri
+    (fun i sent -> Alcotest.(check int) (Printf.sprintf "gdh party %d: 1 msg" i) 1 sent)
+    gdh.Dgka_runner.stats.Engine.messages_sent;
+  (* GDH bytes grow along the chain; BD stays flat *)
+  let gbytes = gdh.Dgka_runner.stats.Engine.bytes_sent in
+  Alcotest.(check bool) "gdh upflow grows" true (gbytes.(3) > gbytes.(0));
+  (* STR: the sponsor speaks twice (round 1 + the folded downflow),
+     everyone else exactly once *)
+  let str = Dgka_runner.run (module Str) ~rngs:(rngs 108 5) ~group:(Lazy.force group) () in
+  Array.iteri
+    (fun i sent ->
+      Alcotest.(check int)
+        (Printf.sprintf "str party %d msgs" i)
+        (if i = 0 then 2 else 1)
+        sent)
+    str.Dgka_runner.stats.Engine.messages_sent;
+  (* and the sponsor's second message carries the n-1 blinded keys *)
+  let sbytes = str.Dgka_runner.stats.Engine.bytes_sent in
+  Alcotest.(check bool) "sponsor sends the bulk" true (sbytes.(0) > 3 * sbytes.(1))
+
+let () =
+  Alcotest.run "dgka"
+    [ ("bd", Bd_tests.suite "bd");
+      ("gdh", Gdh_tests.suite "gdh");
+      ("str", Str_tests.suite "str");
+      ("shape", [ Alcotest.test_case "message shape" `Quick test_message_shape ]);
+    ]

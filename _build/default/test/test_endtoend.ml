@@ -1,0 +1,185 @@
+(* One long scripted deployment: a group lives through growth, regular
+   handshakes, revocations, persistence round-trips (simulated restarts),
+   encounters with foreign groups and outsiders, and tracing — asserting
+   global invariants at every stage.  This is the closest the test suite
+   comes to "a year in the life" of the system. *)
+
+let rng_of i = Drbg.bytes_fn (Drbg.of_int_seed i)
+
+type world = {
+  mutable ga : Scheme1.authority;
+  mutable live : (string * Scheme1.member) list;
+  mutable revoked : (string * Scheme1.member) list;
+  mutable seed : int;
+}
+
+let next_seed w =
+  w.seed <- w.seed + 1;
+  w.seed
+
+let admit w uid =
+  match Scheme1.admit w.ga ~uid ~member_rng:(rng_of (next_seed w)) with
+  | None -> Alcotest.fail ("admit " ^ uid)
+  | Some (m, upd) ->
+    List.iter
+      (fun (u, e) ->
+        Alcotest.(check bool) (u ^ " follows admit of " ^ uid) true
+          (Scheme1.update e upd))
+      w.live;
+    w.live <- w.live @ [ (uid, m) ]
+
+let revoke w uid =
+  match Scheme1.remove w.ga ~uid with
+  | None -> Alcotest.fail ("revoke " ^ uid)
+  | Some upd ->
+    let m = List.assoc uid w.live in
+    w.live <- List.remove_assoc uid w.live;
+    List.iter (fun (_, e) -> ignore (Scheme1.update e upd)) w.live;
+    ignore (Scheme1.update m upd);
+    Alcotest.(check bool) (uid ^ " knows it is revoked") false
+      (Scheme1.member_active m);
+    w.revoked <- (uid, m) :: w.revoked
+
+let handshake w uids =
+  let fmt = Scheme1.default_format w.ga in
+  let parts =
+    Array.of_list
+      (List.map (fun u -> Scheme1.participant_of_member (List.assoc u w.live)) uids)
+  in
+  Scheme1.run_session ~fmt parts
+
+let expect_success label w uids =
+  let r = handshake w uids in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some o ->
+        Alcotest.(check bool) (Printf.sprintf "%s: party %d" label i) true
+          o.Gcd_types.accepted
+      | None -> Alcotest.fail (label ^ ": missing outcome"))
+    r.Gcd_types.outcomes;
+  r
+
+let trace_check label w (r : Gcd_types.session_result) expected =
+  match r.Gcd_types.outcomes.(0) with
+  | Some o ->
+    let traced = Scheme1.trace_user w.ga ~sid:o.Gcd_types.sid o.Gcd_types.transcript in
+    Alcotest.(check (array (option string))) label expected traced
+  | None -> Alcotest.fail "no outcome to trace"
+
+(* simulated restart: serialize everything, drop it, reload *)
+let restart w =
+  let ga_bytes = Persist.Scheme1_store.export_authority w.ga in
+  let live_bytes = List.map (fun (u, m) -> (u, Persist.Scheme1_store.export_member m)) w.live in
+  w.ga <-
+    Option.get
+      (Persist.Scheme1_store.import_authority ~rng:(rng_of (next_seed w)) ga_bytes);
+  w.live <-
+    List.map
+      (fun (u, bytes) ->
+        ( u,
+          Option.get
+            (Persist.Scheme1_store.import_member ~rng:(rng_of (next_seed w)) bytes) ))
+      live_bytes
+
+let test_deployment_lifetime () =
+  let w =
+    { ga = Scheme1.default_authority ~rng:(rng_of 9000) ();
+      live = [];
+      revoked = [];
+      seed = 9001;
+    }
+  in
+  (* phase 1: bootstrap with five members, first handshakes *)
+  List.iter (admit w) [ "ada"; "bo"; "cy"; "dee"; "eli" ];
+  let r = expect_success "bootstrap handshake" w [ "ada"; "bo"; "cy"; "dee"; "eli" ] in
+  trace_check "bootstrap trace" w r
+    [| Some "ada"; Some "bo"; Some "cy"; Some "dee"; Some "eli" |];
+
+  (* phase 2: restart, then growth to eight; pairwise handshakes *)
+  restart w;
+  List.iter (admit w) [ "fox"; "gil"; "hal" ];
+  ignore (expect_success "pair 1" w [ "ada"; "fox" ]);
+  ignore (expect_success "pair 2" w [ "gil"; "hal" ]);
+  ignore (expect_success "full house" w [ "ada"; "bo"; "cy"; "dee"; "eli"; "fox"; "gil"; "hal" ]);
+
+  (* phase 3: two revocations; zombies excluded everywhere *)
+  revoke w "cy";
+  revoke w "fox";
+  let r = expect_success "post-revocation" w [ "ada"; "bo"; "dee" ] in
+  trace_check "post-revocation trace" w r [| Some "ada"; Some "bo"; Some "dee" |];
+  (* a zombie with stale state cannot rejoin a session *)
+  let zombie = List.assoc "cy" w.revoked in
+  let fmt = Scheme1.default_format w.ga in
+  let r =
+    Scheme1.run_session ~fmt
+      [| Scheme1.participant_of_member (List.assoc "ada" w.live);
+         Scheme1.participant_of_member (List.assoc "bo" w.live);
+         Scheme1.participant_of_member zombie |]
+  in
+  (match r.Gcd_types.outcomes.(0) with
+   | Some o ->
+     Alcotest.(check (list int)) "zombie excluded" [ 0; 1 ] o.Gcd_types.partners
+   | None -> Alcotest.fail "no outcome");
+
+  (* phase 4: another restart mid-life; state survives byte-for-byte *)
+  let epoch_before = Scheme1.group_epoch w.ga in
+  restart w;
+  Alcotest.(check int) "epoch preserved across restart" epoch_before
+    (Scheme1.group_epoch w.ga);
+  ignore (expect_success "post-restart handshake" w [ "dee"; "eli"; "gil"; "hal" ]);
+
+  (* phase 5: a foreign group appears; mixed sessions split correctly *)
+  let foreign =
+    { ga = Scheme1.default_authority ~rng:(rng_of 9500) ();
+      live = [];
+      revoked = [];
+      seed = 9501;
+    }
+  in
+  List.iter (admit foreign) [ "xu"; "yi" ];
+  let parts =
+    [| Scheme1.participant_of_member (List.assoc "ada" w.live);
+       Scheme1.participant_of_member (List.assoc "xu" foreign.live);
+       Scheme1.participant_of_member (List.assoc "bo" w.live);
+       Scheme1.participant_of_member (List.assoc "yi" foreign.live) |]
+  in
+  let r = Scheme1.run_session ~fmt:(Scheme1.default_format w.ga) parts in
+  (match (r.Gcd_types.outcomes.(0), r.Gcd_types.outcomes.(1)) with
+   | Some oa, Some ox ->
+     Alcotest.(check (list int)) "home subset" [ 0; 2 ] oa.Gcd_types.partners;
+     Alcotest.(check (list int)) "foreign subset" [ 1; 3 ] ox.Gcd_types.partners;
+     (* each authority traces only its own members *)
+     let traced_home =
+       Scheme1.trace_user w.ga ~sid:oa.Gcd_types.sid oa.Gcd_types.transcript
+     in
+     Alcotest.(check (array (option string))) "home authority's view"
+       [| Some "ada"; None; Some "bo"; None |] traced_home;
+     let traced_foreign =
+       Scheme1.trace_user foreign.ga ~sid:ox.Gcd_types.sid ox.Gcd_types.transcript
+     in
+     Alcotest.(check (array (option string))) "foreign authority's view"
+       [| None; Some "xu"; None; Some "yi" |] traced_foreign
+   | _ -> Alcotest.fail "missing outcomes");
+
+  (* phase 6: late growth after everything; the machinery still composes *)
+  admit w "ivy";
+  let r = expect_success "late joiner" w [ "ivy"; "ada"; "hal" ] in
+  trace_check "late joiner trace" w r [| Some "ivy"; Some "ada"; Some "hal" |];
+
+  (* global invariants at end of life *)
+  Alcotest.(check int) "seven live members" 7 (List.length w.live);
+  List.iter
+    (fun (u, m) ->
+      Alcotest.(check bool) (u ^ " active") true (Scheme1.member_active m))
+    w.live;
+  List.iter
+    (fun (u, m) ->
+      Alcotest.(check bool) (u ^ " inactive") false (Scheme1.member_active m))
+    w.revoked
+
+let () =
+  Alcotest.run "endtoend"
+    [ ( "deployment",
+        [ Alcotest.test_case "lifetime scenario" `Slow test_deployment_lifetime ] );
+    ]

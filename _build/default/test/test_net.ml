@@ -1,0 +1,188 @@
+(* Tests for the discrete-event scheduler, the network engine and the
+   wire codec. *)
+
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:3.0 (fun () -> log := "c" :: !log);
+  Sim.schedule sim ~delay:1.0 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:2.0 (fun () -> log := "b" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sim_ties_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.schedule sim ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "insertion order on ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_sim_nested () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      log := ("t1", Sim.now sim) :: !log;
+      Sim.schedule sim ~delay:0.5 (fun () -> log := ("t1.5", Sim.now sim) :: !log));
+  Sim.schedule sim ~delay:2.0 (fun () -> log := ("t2", Sim.now sim) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 0.001)))) "nested scheduling"
+    [ ("t1", 1.0); ("t1.5", 1.5); ("t2", 2.0) ]
+    (List.rev !log)
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Sim.schedule sim ~delay:(-1.0) (fun () -> ()))
+
+let test_sim_heap_stress () =
+  (* Many events with pseudo-random delays must fire in sorted order. *)
+  let sim = Sim.create () in
+  let delays =
+    List.init 1000 (fun i -> float_of_int ((i * 7919) mod 997) /. 10.0)
+  in
+  let fired = ref [] in
+  List.iter (fun d -> Sim.schedule sim ~delay:d (fun () -> fired := d :: !fired)) delays;
+  Sim.run sim;
+  let fired = List.rev !fired in
+  Alcotest.(check int) "all fired" 1000 (List.length fired);
+  Alcotest.(check (list (float 0.0001))) "sorted" (List.sort compare delays) fired
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_broadcast () =
+  let net = Engine.create ~n:4 () in
+  let seen = Array.make 4 [] in
+  for i = 0 to 3 do
+    Engine.set_receiver net i (fun ~src ~payload -> seen.(i) <- (src, payload) :: seen.(i))
+  done;
+  Engine.broadcast net ~src:1 "hello";
+  Engine.run net;
+  Alcotest.(check (list (pair int string))) "party 0" [ (1, "hello") ] seen.(0);
+  Alcotest.(check (list (pair int string))) "party 1 (no self)" [] seen.(1);
+  Alcotest.(check (list (pair int string))) "party 2" [ (1, "hello") ] seen.(2);
+  let st = Engine.stats net in
+  Alcotest.(check int) "one message accounted" 1 st.Engine.messages_sent.(1);
+  Alcotest.(check int) "bytes" 5 st.Engine.bytes_sent.(1);
+  Alcotest.(check int) "three deliveries" 3 st.Engine.deliveries
+
+let test_engine_unicast_and_reply () =
+  let net = Engine.create ~n:2 () in
+  let transcript = ref [] in
+  Engine.set_receiver net 0 (fun ~src ~payload ->
+      transcript := (0, src, payload) :: !transcript);
+  Engine.set_receiver net 1 (fun ~src ~payload ->
+      transcript := (1, src, payload) :: !transcript;
+      if payload = "ping" then Engine.send net ~src:1 ~dst:0 "pong");
+  Engine.send net ~src:0 ~dst:1 "ping";
+  Engine.run net;
+  Alcotest.(check (list (triple int int string))) "ping-pong"
+    [ (1, 0, "ping"); (0, 1, "pong") ]
+    (List.rev !transcript)
+
+let test_engine_adversary_drop () =
+  let adversary ~src:_ ~dst ~payload:_ =
+    if dst = 2 then Engine.Drop else Engine.Deliver
+  in
+  let net = Engine.create ~adversary ~n:3 () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Engine.set_receiver net i (fun ~src:_ ~payload:_ -> got.(i) <- got.(i) + 1)
+  done;
+  Engine.broadcast net ~src:0 "x";
+  Engine.run net;
+  Alcotest.(check int) "party 1 got it" 1 got.(1);
+  Alcotest.(check int) "party 2 starved" 0 got.(2)
+
+let test_engine_adversary_replace () =
+  let adversary ~src:_ ~dst:_ ~payload:_ = Engine.Replace "evil" in
+  let net = Engine.create ~adversary ~n:2 () in
+  let got = ref "" in
+  Engine.set_receiver net 1 (fun ~src:_ ~payload -> got := payload);
+  Engine.send net ~src:0 ~dst:1 "genuine";
+  Engine.run net;
+  Alcotest.(check string) "tampered" "evil" !got
+
+let test_engine_latency_order () =
+  (* A slower link must deliver later even if sent earlier. *)
+  let latency ~src:_ ~dst = if dst = 1 then 5.0 else 1.0 in
+  let net = Engine.create ~latency ~n:3 () in
+  let log = ref [] in
+  Engine.set_receiver net 1 (fun ~src:_ ~payload:_ -> log := 1 :: !log);
+  Engine.set_receiver net 2 (fun ~src:_ ~payload:_ -> log := 2 :: !log);
+  Engine.broadcast net ~src:0 "m";
+  Engine.run net;
+  Alcotest.(check (list int)) "fast link first" [ 2; 1 ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip_known () =
+  let enc = Wire.encode ~tag:"t" [ "a"; ""; "ccc" ] in
+  (match Wire.decode enc with
+   | Some ("t", [ "a"; ""; "ccc" ]) -> ()
+   | _ -> Alcotest.fail "decode mismatch");
+  (match Wire.expect ~tag:"t" enc with
+   | Some [ "a"; ""; "ccc" ] -> ()
+   | _ -> Alcotest.fail "expect mismatch");
+  Alcotest.(check bool) "wrong tag" true (Wire.expect ~tag:"u" enc = None)
+
+let test_wire_malformed () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("reject " ^ String.escaped s) true (Wire.decode s = None))
+    [ ""; "\x00"; "\x00\x05ab"; "\x00\x01t\x00\x01"; "\x00\x01t\x00\x01\x00\x00\x00\x09ab" ];
+  (* trailing garbage rejected *)
+  let enc = Wire.encode ~tag:"t" [ "x" ] in
+  Alcotest.(check bool) "trailing" true (Wire.decode (enc ^ "z") = None)
+
+let gen_fields =
+  QCheck2.Gen.(list_size (int_bound 8) (string_size ~gen:char (int_bound 64)))
+
+let wire_props =
+  [ qtest "wire roundtrip" gen_fields (fun fields ->
+        Wire.decode (Wire.encode ~tag:"x" fields) = Some ("x", fields));
+    qtest "wire injective on fields"
+      QCheck2.Gen.(pair gen_fields gen_fields)
+      (fun (f1, f2) ->
+        f1 = f2 || Wire.encode ~tag:"x" f1 <> Wire.encode ~tag:"x" f2);
+    qtest "field boundaries preserved" gen_fields (fun fields ->
+        (* ["ab"] and ["a";"b"] encode differently *)
+        let joined = [ String.concat "" fields ] in
+        List.length fields <= 1
+        || String.concat "" fields = ""
+        || Wire.encode ~tag:"x" fields <> Wire.encode ~tag:"x" joined);
+  ]
+
+let () =
+  Alcotest.run "net"
+    [ ( "sim",
+        [ Alcotest.test_case "time ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_sim_ties_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+          Alcotest.test_case "heap stress" `Quick test_sim_heap_stress;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "broadcast" `Quick test_engine_broadcast;
+          Alcotest.test_case "unicast reply" `Quick test_engine_unicast_and_reply;
+          Alcotest.test_case "adversary drop" `Quick test_engine_adversary_drop;
+          Alcotest.test_case "adversary replace" `Quick test_engine_adversary_replace;
+          Alcotest.test_case "latency ordering" `Quick test_engine_latency_order;
+        ] );
+      ( "wire",
+        Alcotest.test_case "roundtrip known" `Quick test_wire_roundtrip_known
+        :: Alcotest.test_case "malformed" `Quick test_wire_malformed
+        :: wire_props );
+    ]

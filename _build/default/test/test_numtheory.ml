@@ -1,0 +1,260 @@
+(* Tests for primality testing, prime generation and group parameters. *)
+
+module B = Bigint
+
+let rng_of_seed seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let test_small_primes () =
+  Alcotest.(check int) "first prime" 2 Primality.small_primes.(0);
+  Alcotest.(check int) "25 primes below 100" 25
+    (Array.length (Array.of_seq (Seq.filter (fun p -> p < 100) (Array.to_seq Primality.small_primes))));
+  Alcotest.(check bool) "9973 present" true
+    (Array.exists (fun p -> p = 9973) Primality.small_primes)
+
+let known_primes =
+  [ "2"; "3"; "5"; "7"; "97"; "7919"; "104729"; "2147483647";
+    (* 2^61 - 1, Mersenne *)
+    "2305843009213693951";
+    (* a 128-bit prime: 2^127 - 1, Mersenne *)
+    "170141183460469231731687303715884105727" ]
+
+let known_composites =
+  [ "0"; "1"; "4"; "100"; "7917"; "2147483649";
+    (* Carmichael numbers: strong pseudoprime traps *)
+    "561"; "41041"; "825265"; "321197185";
+    (* 2^61 + 1 = 3 * 768614336404564651 *)
+    "2305843009213693953";
+    (* product of two 64-bit primes *)
+    "340282366920938463463374607431768211457" ]
+
+let test_known_primality () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("prime " ^ s) true
+        (Primality.is_probable_prime (B.of_string s)))
+    known_primes;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("composite " ^ s) false
+        (Primality.is_probable_prime (B.of_string s)))
+    known_composites
+
+let test_mr_matches_sieve () =
+  (* Exhaustive agreement with the sieve below 10000. *)
+  let in_sieve v = Array.exists (fun p -> p = v) Primality.small_primes in
+  for v = 0 to 9999 do
+    Alcotest.(check bool) (string_of_int v) (in_sieve v)
+      (Primality.is_probable_prime (B.of_int v))
+  done
+
+let test_random_prime () =
+  let rng = rng_of_seed 10 in
+  List.iter
+    (fun bits ->
+      let p = Primegen.random_prime ~rng ~bits in
+      Alcotest.(check int) (Printf.sprintf "%d bits" bits) bits (B.num_bits p);
+      Alcotest.(check bool) "prime" true (Primality.is_probable_prime ~rng p))
+    [ 16; 32; 64; 128; 256 ]
+
+let test_safe_prime () =
+  let rng = rng_of_seed 11 in
+  let p, q = Primegen.random_safe_prime ~rng ~bits:96 in
+  Alcotest.(check bool) "p prime" true (Primality.is_probable_prime ~rng p);
+  Alcotest.(check bool) "q prime" true (Primality.is_probable_prime ~rng q);
+  Alcotest.(check bool) "p = 2q+1" true (B.equal p (B.succ (B.shift_left q 1)));
+  Alcotest.(check int) "bits" 96 (B.num_bits p)
+
+let test_prime_in_interval () =
+  let rng = rng_of_seed 12 in
+  let lo = B.shift_left B.one 64 and hi = B.shift_left B.one 65 in
+  let p = Primegen.random_prime_in ~rng ~lo ~hi in
+  Alcotest.(check bool) "in range" true (B.compare p lo > 0 && B.compare p hi < 0);
+  Alcotest.(check bool) "prime" true (Primality.is_probable_prime ~rng p);
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Primegen.random_prime_in: empty interval") (fun () ->
+      ignore (Primegen.random_prime_in ~rng ~lo:hi ~hi:lo))
+
+let test_schnorr_group () =
+  let rng = rng_of_seed 13 in
+  let grp = Groupgen.schnorr_group ~rng ~bits:128 in
+  Alcotest.(check bool) "p safe" true
+    (B.equal grp.Groupgen.p (B.succ (B.shift_left grp.Groupgen.q 1)));
+  Alcotest.(check bool) "g in subgroup" true (Groupgen.in_subgroup grp grp.Groupgen.g);
+  Alcotest.(check bool) "g not 1" true (not (B.equal grp.Groupgen.g B.one));
+  (* elements sampled stay in the subgroup and exponent arithmetic closes *)
+  for _ = 1 to 10 do
+    let x = Groupgen.schnorr_element ~rng grp in
+    Alcotest.(check bool) "element in subgroup" true (Groupgen.in_subgroup grp x)
+  done;
+  let a = Groupgen.schnorr_exponent ~rng grp in
+  let b = Groupgen.schnorr_exponent ~rng grp in
+  let ga = B.pow_mod grp.Groupgen.g a grp.Groupgen.p in
+  let gab = B.pow_mod ga b grp.Groupgen.p in
+  let gb = B.pow_mod grp.Groupgen.g b grp.Groupgen.p in
+  let gba = B.pow_mod gb a grp.Groupgen.p in
+  Alcotest.(check bool) "DH consistency" true (B.equal gab gba);
+  Alcotest.(check bool) "non-member rejected" true
+    (not (Groupgen.in_subgroup grp (B.sub grp.Groupgen.p B.one)) || B.equal grp.Groupgen.q B.one)
+
+let test_rsa_modulus () =
+  let rng = rng_of_seed 14 in
+  let m = Groupgen.rsa_modulus ~rng ~bits:128 in
+  Alcotest.(check bool) "n = p*q" true
+    (B.equal m.Groupgen.n (B.mul m.Groupgen.p_fac m.Groupgen.q_fac));
+  Alcotest.(check bool) "p safe" true
+    (B.equal m.Groupgen.p_fac (B.succ (B.shift_left m.Groupgen.p' 1)));
+  Alcotest.(check bool) "q safe" true
+    (B.equal m.Groupgen.q_fac (B.succ (B.shift_left m.Groupgen.q' 1)));
+  Alcotest.(check bool) "factors distinct" true
+    (not (B.equal m.Groupgen.p_fac m.Groupgen.q_fac));
+  (* QR(n) sampling: elements must be squares and of order dividing p'q' *)
+  let order = Groupgen.qr_order m in
+  for _ = 1 to 5 do
+    let x = Groupgen.sample_qr ~rng m.Groupgen.n in
+    Alcotest.(check bool) "order divides p'q'" true
+      (B.equal (B.pow_mod x order m.Groupgen.n) B.one)
+  done
+
+let test_crt () =
+  let x = Groupgen.crt (B.of_int 2, B.of_int 3) (B.of_int 3, B.of_int 5) in
+  Alcotest.(check int) "crt small" 8 (B.to_int x);
+  let rng = rng_of_seed 15 in
+  let p = Primegen.random_prime ~rng ~bits:64 in
+  let q = Primegen.random_prime ~rng ~bits:64 in
+  let v = B.random_below rng (B.mul p q) in
+  let back = Groupgen.crt (B.erem v p, p) (B.erem v q, q) in
+  Alcotest.(check bool) "crt roundtrip" true (B.equal v back)
+
+let test_jacobi_small () =
+  (* hand-checked values *)
+  let j a n = Primality.jacobi (B.of_int a) (B.of_int n) in
+  Alcotest.(check int) "(1/3)" 1 (j 1 3);
+  Alcotest.(check int) "(2/3)" (-1) (j 2 3);
+  Alcotest.(check int) "(0/3)" 0 (j 0 3);
+  Alcotest.(check int) "(2/7)" 1 (j 2 7);
+  Alcotest.(check int) "(3/7)" (-1) (j 3 7);
+  Alcotest.(check int) "(4/7)" 1 (j 4 7);
+  Alcotest.(check int) "(1001/9907)" (-1) (j 1001 9907);
+  Alcotest.(check int) "(19/45)" 1 (j 19 45);
+  Alcotest.(check int) "(8/21)" (-1) (j 8 21);
+  Alcotest.(check int) "(5/21)" 1 (j 5 21);
+  Alcotest.check_raises "even modulus"
+    (Invalid_argument "Primality.jacobi: modulus must be odd and positive")
+    (fun () -> ignore (j 3 10))
+
+let test_jacobi_euler () =
+  (* against the Euler criterion for random primes *)
+  let rng = rng_of_seed 17 in
+  for _ = 1 to 5 do
+    let p = Primegen.random_prime ~rng ~bits:96 in
+    let exp = B.shift_right (B.pred p) 1 in
+    for _ = 1 to 10 do
+      let a = B.add B.two (B.random_below rng (B.sub p (B.of_int 3))) in
+      let euler = B.pow_mod a exp p in
+      let expected = if B.equal euler B.one then 1 else -1 in
+      Alcotest.(check int) "matches Euler" expected (Primality.jacobi a p)
+    done
+  done
+
+let test_jacobi_multiplicative () =
+  let rng = rng_of_seed 18 in
+  let n = B.succ (B.shift_left (B.random_bits rng 95) 1) in
+  for _ = 1 to 20 do
+    let a = B.random_below rng n and b = B.random_below rng n in
+    Alcotest.(check int) "(ab/n) = (a/n)(b/n)"
+      (Primality.jacobi a n * Primality.jacobi b n)
+      (Primality.jacobi (B.mul a b) n)
+  done
+
+let test_subgroup_fast_matches_slow () =
+  let rng = rng_of_seed 19 in
+  let grp = Lazy.force Params.schnorr_256 in
+  for _ = 1 to 20 do
+    (* both members and non-members *)
+    let x = B.add B.two (B.random_below rng (B.sub grp.Groupgen.p (B.of_int 3))) in
+    Alcotest.(check bool) "fast = slow"
+      (Groupgen.in_subgroup_slow grp x)
+      (Groupgen.in_subgroup grp x)
+  done;
+  for _ = 1 to 10 do
+    let x = Groupgen.schnorr_element ~rng grp in
+    Alcotest.(check bool) "member accepted" true (Groupgen.in_subgroup grp x)
+  done
+
+let test_embedded_params () =
+  let rng = rng_of_seed 16 in
+  (* Schnorr sets: safe-prime structure and generator membership. *)
+  List.iter
+    (fun (name, lz, bits) ->
+      let grp = Lazy.force lz in
+      Alcotest.(check int) (name ^ " bits") bits (B.num_bits grp.Groupgen.p);
+      Alcotest.(check bool) (name ^ " p=2q+1") true
+        (B.equal grp.Groupgen.p (B.succ (B.shift_left grp.Groupgen.q 1)));
+      Alcotest.(check bool) (name ^ " p prime") true
+        (Primality.is_probable_prime ~rng grp.Groupgen.p);
+      Alcotest.(check bool) (name ^ " q prime") true
+        (Primality.is_probable_prime ~rng grp.Groupgen.q);
+      Alcotest.(check bool) (name ^ " g ok") true (Groupgen.in_subgroup grp grp.Groupgen.g))
+    [ ("schnorr_256", Params.schnorr_256, 256);
+      ("schnorr_512", Params.schnorr_512, 512);
+      ("schnorr_1024", Params.schnorr_1024, 1024) ];
+  (* RSA sets: factorization and safe-prime structure. *)
+  List.iter
+    (fun (name, lz) ->
+      let m = Lazy.force lz in
+      Alcotest.(check bool) (name ^ " n=pq") true
+        (B.equal m.Groupgen.n (B.mul m.Groupgen.p_fac m.Groupgen.q_fac));
+      Alcotest.(check bool) (name ^ " p prime") true
+        (Primality.is_probable_prime ~rng m.Groupgen.p_fac);
+      Alcotest.(check bool) (name ^ " q prime") true
+        (Primality.is_probable_prime ~rng m.Groupgen.q_fac);
+      Alcotest.(check bool) (name ^ " p' prime") true
+        (Primality.is_probable_prime ~rng m.Groupgen.p');
+      Alcotest.(check bool) (name ^ " q' prime") true
+        (Primality.is_probable_prime ~rng m.Groupgen.q'))
+    [ ("rsa_512", Params.rsa_512); ("rsa_768", Params.rsa_768);
+      ("rsa_1024", Params.rsa_1024) ]
+
+let prop_tests =
+  [ qtest "products of two primes are composite" ~count:50
+      QCheck2.Gen.(pair (int_range 2 5000) (int_range 2 5000))
+      (fun (a, b) ->
+        let is_p v = Primality.is_probable_prime (B.of_int v) in
+        (not (is_p a && is_p b))
+        || not (Primality.is_probable_prime (B.of_int (a * b))));
+    qtest "next prime after product differs" ~count:20
+      QCheck2.Gen.(int_range 1 1000)
+      (fun seed ->
+        let rng = rng_of_seed (1000 + seed) in
+        let p = Primegen.random_prime ~rng ~bits:48 in
+        let q = Primegen.random_prime ~rng ~bits:48 in
+        not (Primality.is_probable_prime ~rng (B.mul p q)));
+  ]
+
+let () =
+  Alcotest.run "numtheory"
+    [ ( "primality",
+        [ Alcotest.test_case "small primes table" `Quick test_small_primes;
+          Alcotest.test_case "known values" `Quick test_known_primality;
+          Alcotest.test_case "matches sieve below 10000" `Slow test_mr_matches_sieve;
+          Alcotest.test_case "jacobi small values" `Quick test_jacobi_small;
+          Alcotest.test_case "jacobi vs euler" `Slow test_jacobi_euler;
+          Alcotest.test_case "jacobi multiplicative" `Quick test_jacobi_multiplicative;
+          Alcotest.test_case "subgroup fast = slow" `Quick test_subgroup_fast_matches_slow;
+        ] );
+      ( "generation",
+        [ Alcotest.test_case "random prime" `Slow test_random_prime;
+          Alcotest.test_case "safe prime" `Slow test_safe_prime;
+          Alcotest.test_case "prime in interval" `Quick test_prime_in_interval;
+        ] );
+      ( "groups",
+        [ Alcotest.test_case "schnorr group" `Slow test_schnorr_group;
+          Alcotest.test_case "rsa modulus" `Slow test_rsa_modulus;
+          Alcotest.test_case "crt" `Quick test_crt;
+          Alcotest.test_case "embedded params" `Slow test_embedded_params;
+        ] );
+      ("properties", prop_tests);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for verifiable opening (Fig. 3 "incontestable evidence") and
+   KTY signature claiming. *)
+
+module B = Bigint
+
+let rng_of_seed seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+let rsa = lazy (Lazy.force Params.rsa_512)
+
+(* ------------------------------------------------------------------ *)
+(* ACJT opening evidence                                               *)
+(* ------------------------------------------------------------------ *)
+
+let acjt_fixture seed =
+  let rng = rng_of_seed seed in
+  let mgr = Acjt.setup ~rng ~modulus:(Lazy.force rsa) in
+  let join mgr uid =
+    let req, offer = Acjt.join_begin ~rng (Acjt.public mgr) in
+    match Acjt.join_issue ~rng mgr ~uid ~offer with
+    | Some (mgr, cert, upd) -> (mgr, Option.get (Acjt.join_complete req ~cert), upd)
+    | None -> Alcotest.fail "join"
+  in
+  let mgr, alice, _ = join mgr "alice" in
+  let mgr, bob, upd = join mgr "bob" in
+  let alice = Option.get (Acjt.apply_update alice upd) in
+  (rng, mgr, alice, bob)
+
+let test_acjt_evidence_roundtrip () =
+  let rng, mgr, alice, _bob = acjt_fixture 500 in
+  let pub = Acjt.public mgr in
+  let s = Acjt.sign ~rng alice ~msg:"m" in
+  match Acjt.open_with_evidence ~rng mgr ~msg:"m" s with
+  | None -> Alcotest.fail "open_with_evidence failed"
+  | Some (uid, evidence) ->
+    Alcotest.(check string) "opened to alice" "alice" uid;
+    (match Acjt.verify_opening pub ~msg:"m" ~sigma:s ~evidence with
+     | None -> Alcotest.fail "judge rejected honest evidence"
+     | Some proven_a ->
+       (* the proven A matches alice's registered certificate value *)
+       Alcotest.(check bool) "A matches registration" true
+         (B.equal proven_a (Option.get (Acjt.certificate_value mgr ~uid:"alice")));
+       Alcotest.(check bool) "A does not match bob" false
+         (B.equal proven_a (Option.get (Acjt.certificate_value mgr ~uid:"bob"))))
+
+let test_acjt_evidence_binds_signature () =
+  let rng, mgr, alice, bob = acjt_fixture 501 in
+  let pub = Acjt.public mgr in
+  let s1 = Acjt.sign ~rng alice ~msg:"m1" in
+  let s2 = Acjt.sign ~rng bob ~msg:"m2" in
+  let _, ev1 = Option.get (Acjt.open_with_evidence ~rng mgr ~msg:"m1" s1) in
+  (* evidence for s1 must not validate against s2 or a different message *)
+  Alcotest.(check bool) "wrong signature" true
+    (Acjt.verify_opening pub ~msg:"m2" ~sigma:s2 ~evidence:ev1 = None);
+  Alcotest.(check bool) "wrong message" true
+    (Acjt.verify_opening pub ~msg:"other" ~sigma:s1 ~evidence:ev1 = None);
+  (* tampered evidence fails *)
+  let t = Bytes.of_string ev1 in
+  Bytes.set t (Bytes.length t / 2)
+    (Char.chr (Char.code (Bytes.get t (Bytes.length t / 2)) lxor 1));
+  Alcotest.(check bool) "tampered evidence" true
+    (Acjt.verify_opening pub ~msg:"m1" ~sigma:s1 ~evidence:(Bytes.to_string t) = None)
+
+let test_acjt_evidence_unforgeable_without_theta () =
+  (* someone without θ (e.g. a member) cannot produce evidence that frames
+     another A: building evidence requires proving log_g y = log_T2 mask *)
+  let rng, mgr, alice, bob = acjt_fixture 502 in
+  let pub = Acjt.public mgr in
+  let s = Acjt.sign ~rng alice ~msg:"m" in
+  (* forging attempt: pick mask' so that T1/mask' equals bob's A, then try
+     to "prove" it with a random theta *)
+  let n = (Lazy.force rsa).Groupgen.n in
+  let bob_a = Option.get (Acjt.certificate_value mgr ~uid:"bob") in
+  ignore bob_a;
+  ignore n;
+  let fake_theta = B.random_bits rng 512 in
+  (match Acjt.open_with_evidence ~rng mgr ~msg:"m" s with
+   | Some (_, honest_ev) ->
+     (* replay-substitution: the honest evidence bytes with a different
+        claimed signer prefix must fail *)
+     let t = Bytes.of_string honest_ev in
+     (* the first field is a_signer: flip a byte inside it *)
+     Bytes.set t 12 (Char.chr (Char.code (Bytes.get t 12) lxor 0xff));
+     Alcotest.(check bool) "substituted signer rejected" true
+       (Acjt.verify_opening pub ~msg:"m" ~sigma:s ~evidence:(Bytes.to_string t) = None)
+   | None -> Alcotest.fail "open failed");
+  ignore (bob, fake_theta)
+
+(* ------------------------------------------------------------------ *)
+(* KTY opening + claiming                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kty_fixture seed =
+  let rng = rng_of_seed seed in
+  let mgr = Kty.setup ~rng ~modulus:(Lazy.force rsa) in
+  let join mgr uid =
+    let req, offer = Kty.join_begin ~rng (Kty.public mgr) in
+    match Kty.join_issue ~rng mgr ~uid ~offer with
+    | Some (mgr, cert, upd) -> (mgr, Option.get (Kty.join_complete req ~cert), upd)
+    | None -> Alcotest.fail "join"
+  in
+  let mgr, alice, _ = join mgr "alice" in
+  let mgr, bob, _ = join mgr "bob" in
+  (rng, mgr, alice, bob)
+
+let test_kty_evidence () =
+  let rng, mgr, alice, _bob = kty_fixture 503 in
+  let pub = Kty.public mgr in
+  let s = Kty.sign ~rng alice ~msg:"m" in
+  match Kty.open_with_evidence ~rng mgr ~msg:"m" s with
+  | None -> Alcotest.fail "open failed"
+  | Some (uid, evidence) ->
+    Alcotest.(check string) "uid" "alice" uid;
+    (match Kty.verify_opening pub ~msg:"m" ~sigma:s ~evidence with
+     | Some a ->
+       Alcotest.(check bool) "A matches" true
+         (B.equal a (Option.get (Kty.certificate_value mgr ~uid:"alice")))
+     | None -> Alcotest.fail "judge rejected")
+
+let test_kty_claim () =
+  let rng, mgr, alice, bob = kty_fixture 504 in
+  let pub = Kty.public mgr in
+  let s = Kty.sign ~rng alice ~msg:"petition" in
+  (* alice can claim her signature *)
+  (match Kty.claim ~rng alice s ~label:"my entry" with
+   | None -> Alcotest.fail "claim failed"
+   | Some c ->
+     Alcotest.(check bool) "claim verifies" true
+       (Kty.verify_claim pub s ~label:"my entry" c);
+     Alcotest.(check bool) "claim bound to label" false
+       (Kty.verify_claim pub s ~label:"other label" c);
+     (* claim does not transfer to another signature *)
+     let s2 = Kty.sign ~rng alice ~msg:"petition" in
+     Alcotest.(check bool) "claim bound to signature" false
+       (Kty.verify_claim pub s2 ~label:"my entry" c));
+  (* bob cannot claim alice's signature *)
+  Alcotest.(check bool) "bob cannot claim" true
+    (Kty.claim ~rng bob s ~label:"mine!" = None)
+
+let test_kty_claim_anonymity_preserved () =
+  (* producing a claim for one signature does not link the member's other
+     signatures: claims are per-signature proofs about T6 = T7^x' *)
+  let rng, mgr, alice, _bob = kty_fixture 505 in
+  let pub = Kty.public mgr in
+  let s1 = Kty.sign ~rng alice ~msg:"a" in
+  let s2 = Kty.sign ~rng alice ~msg:"b" in
+  let c1 = Option.get (Kty.claim ~rng alice s1 ~label:"l") in
+  (* the claim on s1 says nothing verifiable about s2 *)
+  Alcotest.(check bool) "claim does not apply to s2" false
+    (Kty.verify_claim pub s2 ~label:"l" c1);
+  (* and the T6/T7 pairs of s1 and s2 are unlinkable (different bases) *)
+  let t6a, t7a = Option.get (Kty.t6_t7 pub s1) in
+  let t6b, t7b = Option.get (Kty.t6_t7 pub s2) in
+  Alcotest.(check bool) "tags differ" true
+    (not (B.equal t6a t6b) && not (B.equal t7a t7b))
+
+let () =
+  Alcotest.run "opening"
+    [ ( "acjt",
+        [ Alcotest.test_case "evidence roundtrip" `Slow test_acjt_evidence_roundtrip;
+          Alcotest.test_case "evidence binding" `Slow test_acjt_evidence_binds_signature;
+          Alcotest.test_case "evidence unforgeable" `Slow
+            test_acjt_evidence_unforgeable_without_theta;
+        ] );
+      ( "kty",
+        [ Alcotest.test_case "evidence" `Slow test_kty_evidence;
+          Alcotest.test_case "claiming" `Slow test_kty_claim;
+          Alcotest.test_case "claim anonymity" `Slow test_kty_claim_anonymity_preserved;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Persistence tests: export/import roundtrips at every layer, and full
+   continuation of the protocol lifecycle from restored state. *)
+
+let rng_of i = Drbg.bytes_fn (Drbg.of_int_seed i)
+
+(* ------------------------------------------------------------------ *)
+(* Accumulator / LKH / DHIES roundtrips                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_accumulator_roundtrip () =
+  let rng = rng_of 600 in
+  let acc = Accumulator.create ~rng (Lazy.force Params.rsa_512) in
+  let e = Primegen.random_prime ~rng ~bits:64 in
+  let acc = Accumulator.add acc ~prime:e in
+  match Accumulator.import (Accumulator.export acc) with
+  | None -> Alcotest.fail "import failed"
+  | Some acc' ->
+    Alcotest.(check bool) "value preserved" true
+      (Bigint.equal (Accumulator.value acc) (Accumulator.value acc'));
+    (* the trapdoor still works: remove restores the pre-add value *)
+    let acc'' = Accumulator.remove acc' ~prime:e in
+    Alcotest.(check bool) "trapdoor preserved" true
+      (not (Bigint.equal (Accumulator.value acc'') (Accumulator.value acc')));
+    Alcotest.(check bool) "garbage rejected" true (Accumulator.import "junk" = None)
+
+let test_lkh_roundtrip () =
+  let rng = rng_of 601 in
+  let gc = Lkh.setup ~rng ~capacity:8 in
+  let gc, alice, _ = Option.get (Lkh.join gc ~uid:"alice") in
+  let gc, _bob, msg = Option.get (Lkh.join gc ~uid:"bob") in
+  let alice = Option.get (Lkh.rekey alice msg) in
+  (* controller roundtrip: can still process joins and members follow *)
+  let gc' =
+    Option.get (Lkh.import_controller ~rng:(rng_of 602) (Lkh.export_controller gc))
+  in
+  Alcotest.(check int) "epoch preserved" (Lkh.controller_epoch gc)
+    (Lkh.controller_epoch gc');
+  Alcotest.(check string) "group key preserved"
+    (Sha256.hex (Lkh.controller_key gc))
+    (Sha256.hex (Lkh.controller_key gc'));
+  let gc', _carol, msg = Option.get (Lkh.join gc' ~uid:"carol") in
+  (* member roundtrip: the restored member processes the new broadcast *)
+  let alice' = Option.get (Lkh.import_member (Lkh.export_member alice)) in
+  (match Lkh.rekey alice' msg with
+   | Some alice' ->
+     Alcotest.(check string) "restored member keeps up"
+       (Sha256.hex (Lkh.controller_key gc'))
+       (Sha256.hex (Lkh.group_key alice'))
+   | None -> Alcotest.fail "restored member could not rekey");
+  Alcotest.(check bool) "controller garbage" true
+    (Lkh.import_controller ~rng:(rng_of 603) "xx" = None);
+  Alcotest.(check bool) "member garbage" true (Lkh.import_member "xx" = None)
+
+(* Generic CGKD persistence exercise, run against every implementation. *)
+module Cgkd_roundtrip (C : sig
+  include Cgkd_intf.S
+  include Cgkd_intf.PERSISTENT with type controller := controller and type member := member
+end) =
+struct
+  let test seed () =
+    let gc = C.setup ~rng:(rng_of seed) ~capacity:8 in
+    let gc, alice, _ = Option.get (C.join gc ~uid:"alice") in
+    let gc, _bob, msg = Option.get (C.join gc ~uid:"bob") in
+    let alice = Option.get (C.rekey alice msg) in
+    let gc' =
+      Option.get (C.import_controller ~rng:(rng_of (seed + 1)) (C.export_controller gc))
+    in
+    Alcotest.(check int) "epoch" (C.controller_epoch gc) (C.controller_epoch gc');
+    Alcotest.(check string) "group key"
+      (Sha256.hex (C.controller_key gc))
+      (Sha256.hex (C.controller_key gc'));
+    (* restored controller keeps driving the group; restored member follows *)
+    let alice' = Option.get (C.import_member (C.export_member alice)) in
+    let gc', _carol, msg = Option.get (C.join gc' ~uid:"carol") in
+    (match C.rekey alice' msg with
+     | Some alice' ->
+       Alcotest.(check string) "restored member follows restored controller"
+         (Sha256.hex (C.controller_key gc'))
+         (Sha256.hex (C.group_key alice'))
+     | None -> Alcotest.fail "restored member could not rekey");
+    (* and a leave still locks the right people out *)
+    let gc', msg = Option.get (C.leave gc' ~uid:"alice") in
+    Alcotest.(check bool) "departed restored member locked out" true
+      (C.rekey alice' msg = None);
+    ignore gc';
+    Alcotest.(check bool) "controller garbage" true
+      (C.import_controller ~rng:(rng_of 1) "zz" = None);
+    Alcotest.(check bool) "member garbage" true (C.import_member "zz" = None)
+end
+
+module Lkh_rt = Cgkd_roundtrip (Lkh)
+module Sd_rt = Cgkd_roundtrip (Sd)
+module Lsd_rt = Cgkd_roundtrip (Lsd)
+module Oft_rt = Cgkd_roundtrip (Oft)
+
+let test_dhies_roundtrip () =
+  let rng = rng_of 604 in
+  let group = Lazy.force Params.schnorr_256 in
+  let pk, sk = Dhies.key_gen ~rng ~group in
+  let ct = Dhies.encrypt ~rng ~pk "persisted secret" in
+  let sk' = Option.get (Dhies.import_secret ~group (Dhies.export_secret sk)) in
+  Alcotest.(check (option string)) "decrypts after restore" (Some "persisted secret")
+    (Dhies.decrypt ~sk:sk' ct);
+  Alcotest.(check bool) "zero rejected" true
+    (Dhies.import_secret ~group "\x00" = None)
+
+(* ------------------------------------------------------------------ *)
+(* GSIG manager/member roundtrips (both schemes)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_acjt_roundtrip () =
+  let rng = rng_of 605 in
+  let mgr = Acjt.setup ~rng ~modulus:(Lazy.force Params.rsa_512) in
+  let join mgr uid =
+    let req, offer = Acjt.join_begin ~rng (Acjt.public mgr) in
+    match Acjt.join_issue ~rng mgr ~uid ~offer with
+    | Some (mgr, cert, upd) -> (mgr, Option.get (Acjt.join_complete req ~cert), upd)
+    | None -> Alcotest.fail "join"
+  in
+  let mgr, alice, _ = join mgr "alice" in
+  let mgr, bob, upd = join mgr "bob" in
+  let alice = Option.get (Acjt.apply_update alice upd) in
+  let mgr' = Option.get (Acjt.import_manager (Acjt.export_manager mgr)) in
+  let alice' = Option.get (Acjt.import_member (Acjt.export_member alice)) in
+  (* restored member signs; restored manager opens *)
+  let s = Acjt.sign ~rng alice' ~msg:"after restore" in
+  Alcotest.(check bool) "bob verifies restored member's signature" true
+    (Acjt.verify bob ~msg:"after restore" s);
+  Alcotest.(check (option string)) "restored manager opens" (Some "alice")
+    (Acjt.open_ mgr' ~msg:"after restore" s);
+  Alcotest.(check (list (pair string bool))) "roster preserved"
+    (Acjt.roster mgr) (Acjt.roster mgr');
+  (* restored manager revokes; live members notice *)
+  (match Acjt.revoke ~rng mgr' ~uid:"bob" with
+   | Some (_, upd) ->
+     let alice'' = Option.get (Acjt.apply_update alice' upd) in
+     Alcotest.(check bool) "witness still valid after restored revoke" true
+       (Acjt.member_witness_valid alice'')
+   | None -> Alcotest.fail "revoke after restore failed")
+
+let test_kty_roundtrip () =
+  let rng = rng_of 606 in
+  let mgr = Kty.setup ~rng ~modulus:(Lazy.force Params.rsa_512) in
+  let join mgr uid =
+    let req, offer = Kty.join_begin ~rng (Kty.public mgr) in
+    match Kty.join_issue ~rng mgr ~uid ~offer with
+    | Some (mgr, cert, upd) -> (mgr, Option.get (Kty.join_complete req ~cert), upd)
+    | None -> Alcotest.fail "join"
+  in
+  let mgr, alice, _ = join mgr "alice" in
+  let mgr, bob, _ = join mgr "bob" in
+  (* revoke bob so alice's CRL is non-empty, then roundtrip alice *)
+  let mgr, upd = Option.get (Kty.revoke ~rng mgr ~uid:"bob") in
+  let alice = Option.get (Kty.apply_update alice upd) in
+  let alice' = Option.get (Kty.import_member (Kty.export_member alice)) in
+  Alcotest.(check int) "CRL preserved" (Kty.crl_length alice) (Kty.crl_length alice');
+  let mgr' = Option.get (Kty.import_manager (Kty.export_manager mgr)) in
+  let s = Kty.sign ~rng alice' ~msg:"m" in
+  Alcotest.(check (option string)) "restored manager opens" (Some "alice")
+    (Kty.open_ mgr' ~msg:"m" s);
+  (* bob's revoked signature is still rejected by the restored member *)
+  let s_bob = Kty.sign ~rng bob ~msg:"zombie" in
+  Alcotest.(check bool) "restored CRL rejects revoked signer" false
+    (Kty.verify alice' ~msg:"zombie" s_bob);
+  Alcotest.(check bool) "tracing token preserved" true
+    (Kty.tracing_token mgr' ~uid:"alice" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Full-deployment roundtrips: the store modules                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheme1_store () =
+  let ga = Scheme1.default_authority ~rng:(rng_of 607) () in
+  let admit uid seed others =
+    let m, upd = Option.get (Scheme1.admit ga ~uid ~member_rng:(rng_of seed)) in
+    List.iter (fun e -> assert (Scheme1.update e upd)) others;
+    m
+  in
+  let alice = admit "alice" 6071 [] in
+  let bob = admit "bob" 6072 [ alice ] in
+  (* export the whole world, restore it under fresh rngs *)
+  let ga_bytes = Persist.Scheme1_store.export_authority ga in
+  let alice_bytes = Persist.Scheme1_store.export_member alice in
+  let bob_bytes = Persist.Scheme1_store.export_member bob in
+  let ga' =
+    Option.get (Persist.Scheme1_store.import_authority ~rng:(rng_of 6073) ga_bytes)
+  in
+  let alice' =
+    Option.get (Persist.Scheme1_store.import_member ~rng:(rng_of 6074) alice_bytes)
+  in
+  let bob' =
+    Option.get (Persist.Scheme1_store.import_member ~rng:(rng_of 6075) bob_bytes)
+  in
+  Alcotest.(check string) "uid preserved" "alice" (Scheme1.member_uid alice');
+  (* the restored world handshakes and traces *)
+  let fmt = Scheme1.default_format ga' in
+  let r =
+    Scheme1.run_session ~fmt
+      [| Scheme1.participant_of_member alice'; Scheme1.participant_of_member bob' |]
+  in
+  (match r.Gcd_types.outcomes.(0) with
+   | Some o ->
+     Alcotest.(check bool) "restored world handshakes" true o.Gcd_types.accepted;
+     let traced = Scheme1.trace_user ga' ~sid:o.Gcd_types.sid o.Gcd_types.transcript in
+     Alcotest.(check (array (option string))) "restored authority traces"
+       [| Some "alice"; Some "bob" |] traced
+   | None -> Alcotest.fail "no outcome");
+  (* the restored authority continues the lifecycle: admit a third member *)
+  (match Scheme1.admit ga' ~uid:"carol" ~member_rng:(rng_of 6076) with
+   | None -> Alcotest.fail "admit after restore failed"
+   | Some (carol, upd) ->
+     Alcotest.(check bool) "alice follows post-restore admit" true
+       (Scheme1.update alice' upd);
+     Alcotest.(check bool) "bob follows post-restore admit" true
+       (Scheme1.update bob' upd);
+     let r2 =
+       Scheme1.run_session ~fmt
+         [| Scheme1.participant_of_member alice';
+            Scheme1.participant_of_member carol |]
+     in
+     (match r2.Gcd_types.outcomes.(0) with
+      | Some o -> Alcotest.(check bool) "old+new member handshake" true o.Gcd_types.accepted
+      | None -> Alcotest.fail "no outcome"));
+  Alcotest.(check bool) "authority garbage" true
+    (Persist.Scheme1_store.import_authority ~rng:(rng_of 1) "zz" = None);
+  Alcotest.(check bool) "member garbage" true
+    (Persist.Scheme1_store.import_member ~rng:(rng_of 1) "zz" = None)
+
+let test_scheme2_store () =
+  let ga = Scheme2.default_authority ~rng:(rng_of 608) () in
+  let alice, _ = Option.get (Scheme2.admit ga ~uid:"alice" ~member_rng:(rng_of 6081)) in
+  let bob, upd = Option.get (Scheme2.admit ga ~uid:"bob" ~member_rng:(rng_of 6082)) in
+  assert (Scheme2.update alice upd);
+  let ga' =
+    Option.get
+      (Persist.Scheme2_store.import_authority ~rng:(rng_of 6083)
+         (Persist.Scheme2_store.export_authority ga))
+  in
+  let alice' =
+    Option.get
+      (Persist.Scheme2_store.import_member ~rng:(rng_of 6084)
+         (Persist.Scheme2_store.export_member alice))
+  in
+  let bob' =
+    Option.get
+      (Persist.Scheme2_store.import_member ~rng:(rng_of 6085)
+         (Persist.Scheme2_store.export_member bob))
+  in
+  let fmt = Scheme2.default_format ga' in
+  let gpub = Scheme2.group_public ga' in
+  let r =
+    Scheme2.run_session_sd ~gpub ~fmt
+      [| Scheme2.participant_of_member alice'; Scheme2.participant_of_member bob' |]
+  in
+  match r.Gcd_types.outcomes.(0) with
+  | Some o ->
+    Alcotest.(check bool) "restored scheme2 handshakes (self-distinction)" true
+      o.Gcd_types.accepted
+  | None -> Alcotest.fail "no outcome"
+
+(* cross-scheme confusion must be rejected *)
+let test_store_type_confusion () =
+  let ga1 = Scheme1.default_authority ~rng:(rng_of 609) () in
+  let bytes = Persist.Scheme1_store.export_authority ga1 in
+  Alcotest.(check bool) "scheme1 bytes rejected by scheme2 importer" true
+    (Persist.Scheme2_store.import_authority ~rng:(rng_of 1) bytes = None)
+
+let () =
+  Alcotest.run "persist"
+    [ ( "substrate",
+        [ Alcotest.test_case "accumulator" `Quick test_accumulator_roundtrip;
+          Alcotest.test_case "lkh" `Quick test_lkh_roundtrip;
+          Alcotest.test_case "dhies" `Quick test_dhies_roundtrip;
+          Alcotest.test_case "lkh generic" `Quick (Lkh_rt.test 610);
+          Alcotest.test_case "sd generic" `Quick (Sd_rt.test 611);
+          Alcotest.test_case "lsd generic" `Quick (Lsd_rt.test 612);
+          Alcotest.test_case "oft generic" `Quick (Oft_rt.test 613);
+        ] );
+      ( "gsig",
+        [ Alcotest.test_case "acjt" `Slow test_acjt_roundtrip;
+          Alcotest.test_case "kty" `Slow test_kty_roundtrip;
+        ] );
+      ( "deployment",
+        [ Alcotest.test_case "scheme1 world" `Slow test_scheme1_store;
+          Alcotest.test_case "scheme2 world" `Slow test_scheme2_store;
+          Alcotest.test_case "type confusion" `Slow test_store_type_confusion;
+        ] );
+    ]

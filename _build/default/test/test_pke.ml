@@ -1,0 +1,100 @@
+(* Tests for the DHIES tracing-key encryption scheme. *)
+
+let rng_of_seed seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+let group = lazy (Lazy.force Params.schnorr_256)
+
+let test_roundtrip () =
+  let rng = rng_of_seed 20 in
+  let group = Lazy.force group in
+  let pk, sk = Dhies.key_gen ~rng ~group in
+  List.iter
+    (fun msg ->
+      match Dhies.decrypt ~sk (Dhies.encrypt ~rng ~pk msg) with
+      | Some m -> Alcotest.(check string) "roundtrip" msg m
+      | None -> Alcotest.fail "decrypt failed")
+    [ ""; "k"; "a 32-byte session key goes here!"; String.make 500 'z' ]
+
+let test_wrong_key () =
+  let rng = rng_of_seed 21 in
+  let group = Lazy.force group in
+  let pk, _sk = Dhies.key_gen ~rng ~group in
+  let _pk2, sk2 = Dhies.key_gen ~rng ~group in
+  let ct = Dhies.encrypt ~rng ~pk "secret" in
+  Alcotest.(check bool) "other key fails" true (Dhies.decrypt ~sk:sk2 ct = None)
+
+let test_tamper () =
+  let rng = rng_of_seed 22 in
+  let group = Lazy.force group in
+  let pk, sk = Dhies.key_gen ~rng ~group in
+  let ct = Dhies.encrypt ~rng ~pk "secret" in
+  for i = 0 to String.length ct - 1 do
+    let b = Bytes.of_string ct in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x80));
+    match Dhies.decrypt ~sk (Bytes.to_string b) with
+    | None -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "tampered byte %d accepted" i)
+  done;
+  Alcotest.(check bool) "truncation rejected" true
+    (Dhies.decrypt ~sk (String.sub ct 0 8) = None)
+
+let test_probabilistic () =
+  let rng = rng_of_seed 23 in
+  let group = Lazy.force group in
+  let pk, _ = Dhies.key_gen ~rng ~group in
+  let c1 = Dhies.encrypt ~rng ~pk "same" and c2 = Dhies.encrypt ~rng ~pk "same" in
+  Alcotest.(check bool) "randomized" true (c1 <> c2)
+
+let test_length_uniformity () =
+  let rng = rng_of_seed 24 in
+  let group = Lazy.force group in
+  let pk, sk = Dhies.key_gen ~rng ~group in
+  let c1 = Dhies.encrypt ~rng ~pk ~pad_to:64 "short" in
+  let c2 = Dhies.encrypt ~rng ~pk ~pad_to:64 (String.make 64 'y') in
+  let fake = Dhies.random_ciphertext ~rng ~group ~plaintext_len:64 in
+  Alcotest.(check int) "real lengths equal" (String.length c1) (String.length c2);
+  Alcotest.(check int) "fake matches" (String.length c1) (String.length fake);
+  Alcotest.(check int) "formula"
+    (Dhies.ciphertext_len ~group ~plaintext_len:64)
+    (String.length c1);
+  (* padded plaintext still decrypts exactly *)
+  (match Dhies.decrypt ~sk c1 with
+   | Some m -> Alcotest.(check string) "padded roundtrip" "short" m
+   | None -> Alcotest.fail "padded decrypt failed");
+  (* fakes never decrypt *)
+  let fails = ref true in
+  for _ = 1 to 20 do
+    let fake = Dhies.random_ciphertext ~rng ~group ~plaintext_len:64 in
+    if Dhies.decrypt ~sk fake <> None then fails := false
+  done;
+  Alcotest.(check bool) "fakes rejected" true !fails
+
+let test_public_serialization () =
+  let rng = rng_of_seed 25 in
+  let group = Lazy.force group in
+  let pk, sk = Dhies.key_gen ~rng ~group in
+  (match Dhies.import_public ~group (Dhies.export_public pk) with
+   | None -> Alcotest.fail "import failed"
+   | Some pk' ->
+     let ct = Dhies.encrypt ~rng ~pk:pk' "via imported key" in
+     (match Dhies.decrypt ~sk ct with
+      | Some m -> Alcotest.(check string) "works" "via imported key" m
+      | None -> Alcotest.fail "decrypt after import failed"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Dhies.import_public ~group (String.make 4 'x') = None);
+  (* an element outside the prime-order subgroup must be rejected *)
+  let p = (Lazy.force Params.schnorr_256).Groupgen.p in
+  let bad = Bigint.to_bytes_be ~len:32 (Bigint.pred p) in
+  Alcotest.(check bool) "non-subgroup rejected" true
+    (Dhies.import_public ~group bad = None)
+
+let () =
+  Alcotest.run "pke"
+    [ ( "dhies",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key;
+          Alcotest.test_case "tamper" `Quick test_tamper;
+          Alcotest.test_case "probabilistic" `Quick test_probabilistic;
+          Alcotest.test_case "length uniformity" `Quick test_length_uniformity;
+          Alcotest.test_case "public key serialization" `Quick test_public_serialization;
+        ] );
+    ]

@@ -1,0 +1,25 @@
+(* Deterministic byte generator for tests: a splitmix64-style stream.
+   Not cryptographic; only used to drive property tests reproducibly. *)
+
+let make seed =
+  let state = ref (Int64.of_int seed) in
+  let next64 () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  fun n ->
+    let b = Bytes.create n in
+    let i = ref 0 in
+    while !i < n do
+      let v = ref (next64 ()) in
+      let k = Stdlib.min 8 (n - !i) in
+      for j = 0 to k - 1 do
+        Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xffL)));
+        v := Int64.shift_right_logical !v 8
+      done;
+      i := !i + k
+    done;
+    Bytes.to_string b

@@ -1,0 +1,77 @@
+(* Tests for the clearance-level hierarchy (paper §1 role scenario). *)
+
+let rng_of i = Drbg.bytes_fn (Drbg.of_int_seed i)
+
+let build seed =
+  let h = Roles.Hierarchy.create ~rng:(rng_of seed) ~levels:3 () in
+  Alcotest.(check bool) "enroll top" true
+    (Roles.Hierarchy.enroll h ~uid:"top" ~clearance:3 ~member_rng:(rng_of (seed + 1)));
+  Alcotest.(check bool) "enroll mid" true
+    (Roles.Hierarchy.enroll h ~uid:"mid" ~clearance:2 ~member_rng:(rng_of (seed + 2)));
+  Alcotest.(check bool) "enroll low" true
+    (Roles.Hierarchy.enroll h ~uid:"low" ~clearance:1 ~member_rng:(rng_of (seed + 3)));
+  h
+
+let partners_of r i =
+  match r.Gcd_types.outcomes.(i) with
+  | Some o -> o.Gcd_types.partners
+  | None -> Alcotest.fail "no outcome"
+
+let test_level_gating () =
+  let h = build 700 in
+  let everyone = [ "top"; "mid"; "low" ] in
+  (* level 1: all three *)
+  Alcotest.(check bool) "level 1 all cleared" true
+    (Roles.Hierarchy.all_cleared_at h ~level:1 everyone);
+  (* level 2: top+mid pair; low excluded without learning levels *)
+  Alcotest.(check bool) "level 2 not all" false
+    (Roles.Hierarchy.all_cleared_at h ~level:2 everyone);
+  let r = Roles.Hierarchy.handshake_at h ~level:2 everyone in
+  Alcotest.(check (list int)) "top sees mid" [ 0; 1 ] (partners_of r 0);
+  Alcotest.(check (list int)) "low sees nobody" [] (partners_of r 2);
+  (* level 3: top alone *)
+  let r = Roles.Hierarchy.handshake_at h ~level:3 everyone in
+  Alcotest.(check (list int)) "top alone (only itself)" [ 0 ] (partners_of r 0);
+  (* top+mid at level 2, by themselves: full success *)
+  Alcotest.(check bool) "top+mid cleared at 2" true
+    (Roles.Hierarchy.all_cleared_at h ~level:2 [ "top"; "mid" ])
+
+let test_clearance_queries () =
+  let h = build 701 in
+  Alcotest.(check (option int)) "top" (Some 3) (Roles.Hierarchy.clearance h ~uid:"top");
+  Alcotest.(check (option int)) "low" (Some 1) (Roles.Hierarchy.clearance h ~uid:"low");
+  Alcotest.(check (option int)) "unknown" None (Roles.Hierarchy.clearance h ~uid:"zed");
+  Alcotest.(check bool) "duplicate enrollment refused" false
+    (Roles.Hierarchy.enroll h ~uid:"top" ~clearance:1 ~member_rng:(rng_of 7011));
+  Alcotest.check_raises "clearance out of range"
+    (Invalid_argument "Hierarchy.enroll: clearance out of range")
+    (fun () ->
+      ignore (Roles.Hierarchy.enroll h ~uid:"x" ~clearance:9 ~member_rng:(rng_of 7012)))
+
+let test_revocation_strips_all_levels () =
+  let h = build 702 in
+  Alcotest.(check bool) "revoke top" true (Roles.Hierarchy.revoke h ~uid:"top");
+  Alcotest.(check (option int)) "gone" None (Roles.Hierarchy.clearance h ~uid:"top");
+  (* top can no longer complete at any level *)
+  let r = Roles.Hierarchy.handshake_at h ~level:1 [ "top"; "mid"; "low" ] in
+  Alcotest.(check (list int)) "mid+low pair without top" [ 1; 2 ] (partners_of r 1);
+  (* survivors unaffected *)
+  Alcotest.(check bool) "mid+low still fine at 1" true
+    (Roles.Hierarchy.all_cleared_at h ~level:1 [ "mid"; "low" ]);
+  Alcotest.(check bool) "double revoke" false (Roles.Hierarchy.revoke h ~uid:"top")
+
+let test_unknown_uid_is_outsider () =
+  let h = build 703 in
+  let r = Roles.Hierarchy.handshake_at h ~level:1 [ "top"; "stranger" ] in
+  Alcotest.(check (list int)) "stranger excluded" [ 0 ] (partners_of r 0)
+
+let () =
+  Alcotest.run "roles"
+    [ ( "hierarchy",
+        [ Alcotest.test_case "level gating" `Slow test_level_gating;
+          Alcotest.test_case "clearance queries" `Slow test_clearance_queries;
+          Alcotest.test_case "revocation strips all levels" `Slow
+            test_revocation_strips_all_levels;
+          Alcotest.test_case "unknown uid" `Slow test_unknown_uid_is_outsider;
+        ] );
+    ]

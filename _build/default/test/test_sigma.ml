@@ -1,0 +1,308 @@
+(* Tests for transcripts, intervals, Pedersen commitments and the generic
+   SPK engine. *)
+
+module B = Bigint
+
+let rng_of_seed seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+(* ------------------------------------------------------------------ *)
+(* Transcript                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_transcript_determinism () =
+  let t1 =
+    Transcript.absorb (Transcript.create ~domain:"d") ~label:"a" "x"
+  in
+  let t2 =
+    Transcript.absorb (Transcript.create ~domain:"d") ~label:"a" "x"
+  in
+  Alcotest.(check bool) "same" true
+    (B.equal (Transcript.challenge_bits t1 ~bits:128) (Transcript.challenge_bits t2 ~bits:128))
+
+let test_transcript_separation () =
+  let base = Transcript.create ~domain:"d" in
+  let c0 = Transcript.challenge_bits base ~bits:128 in
+  let variants =
+    [ Transcript.create ~domain:"d2";
+      Transcript.absorb base ~label:"a" "x";
+      Transcript.absorb base ~label:"b" "x";
+      Transcript.absorb base ~label:"a" "y";
+      Transcript.absorb_num base ~label:"a" (B.of_int 5);
+      Transcript.absorb_num base ~label:"a" (B.of_int (-5));
+    ]
+  in
+  List.iteri
+    (fun i t ->
+      Alcotest.(check bool) (Printf.sprintf "variant %d differs" i) false
+        (B.equal c0 (Transcript.challenge_bits t ~bits:128)))
+    variants
+
+let test_transcript_framing_injective () =
+  (* "ab" + "c" must differ from "a" + "bc" *)
+  let t1 =
+    Transcript.absorb (Transcript.absorb (Transcript.create ~domain:"d") ~label:"l" "ab")
+      ~label:"l" "c"
+  in
+  let t2 =
+    Transcript.absorb (Transcript.absorb (Transcript.create ~domain:"d") ~label:"l" "a")
+      ~label:"l" "bc"
+  in
+  Alcotest.(check bool) "boundary matters" false
+    (B.equal (Transcript.challenge_bits t1 ~bits:128) (Transcript.challenge_bits t2 ~bits:128))
+
+let test_transcript_challenge_bounds () =
+  let t = Transcript.absorb (Transcript.create ~domain:"d") ~label:"x" "y" in
+  let c = Transcript.challenge_bits t ~bits:17 in
+  Alcotest.(check bool) "fits" true (B.num_bits c <= 17);
+  let bound = B.of_int 1000 in
+  for i = 0 to 20 do
+    let t = Transcript.absorb t ~label:"i" (string_of_int i) in
+    let c = Transcript.challenge_below t ~bound in
+    Alcotest.(check bool) "below bound" true (B.compare c bound < 0);
+    Alcotest.(check bool) "non-negative" true (B.sign c >= 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_sampling () =
+  let rng = rng_of_seed 30 in
+  let spec = Interval.make ~center_log:64 ~halfwidth_log:32 in
+  for _ = 1 to 50 do
+    let v = Interval.sample ~rng spec in
+    Alcotest.(check bool) "in interval" true (Interval.mem spec v)
+  done;
+  Alcotest.(check bool) "lo excluded" false (Interval.mem spec (Interval.lo spec));
+  Alcotest.(check bool) "hi excluded" false (Interval.mem spec (Interval.hi spec));
+  Alcotest.(check bool) "center included" true (Interval.mem spec (Interval.center spec))
+
+let test_interval_free_var () =
+  let rng = rng_of_seed 31 in
+  let spec = Interval.make ~center_log:64 ~halfwidth_log:64 in
+  for _ = 1 to 20 do
+    let v = Interval.sample ~rng spec in
+    Alcotest.(check bool) "positive" true (B.sign v > 0);
+    Alcotest.(check bool) "below 2^65" true (B.num_bits v <= 65)
+  done
+
+let test_interval_response_roundtrip () =
+  let rng = rng_of_seed 32 in
+  let spec = Interval.make ~center_log:64 ~halfwidth_log:32 in
+  for _ = 1 to 50 do
+    let secret = Interval.sample ~rng spec in
+    let blinder = Interval.sample_blinder ~rng spec in
+    let challenge = B.random_bits rng Interval.challenge_bits in
+    let s = Interval.response ~blinder ~challenge ~secret spec in
+    Alcotest.(check bool) "in range" true (Interval.response_in_range spec s);
+    (* shifted exponent algebra: s − c·2^ℓ = r − c·v *)
+    let lhs = Interval.shifted_exponent ~challenge ~response:s spec in
+    let rhs = B.sub blinder (B.mul challenge secret) in
+    Alcotest.(check bool) "shift identity" true (B.equal lhs rhs)
+  done
+
+let test_interval_range_rejects () =
+  let spec = Interval.make ~center_log:64 ~halfwidth_log:32 in
+  let too_big =
+    B.shift_left B.one (32 + Interval.challenge_bits + Interval.slack_bits + 2)
+  in
+  Alcotest.(check bool) "too big rejected" false (Interval.response_in_range spec too_big);
+  Alcotest.(check bool) "too negative rejected" false
+    (Interval.response_in_range spec (B.neg too_big))
+
+(* ------------------------------------------------------------------ *)
+(* Pedersen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rsa = lazy (Lazy.force Params.rsa_512)
+
+let test_pedersen () =
+  let rng = rng_of_seed 33 in
+  let p = Pedersen.setup ~rng (Lazy.force rsa) in
+  let value = B.of_int 123456 in
+  let blind = Pedersen.random_blind ~rng p in
+  let c = Pedersen.commit p ~value ~blind in
+  Alcotest.(check bool) "opens" true (Pedersen.verify_opening p ~commitment:c ~value ~blind);
+  Alcotest.(check bool) "wrong value" false
+    (Pedersen.verify_opening p ~commitment:c ~value:(B.of_int 9) ~blind);
+  Alcotest.(check bool) "wrong blind" false
+    (Pedersen.verify_opening p ~commitment:c ~value ~blind:(B.succ blind));
+  (* hiding: same value, fresh blinds -> distinct commitments *)
+  let c2 = Pedersen.commit p ~value ~blind:(Pedersen.random_blind ~rng p) in
+  Alcotest.(check bool) "hiding" false (B.equal c c2);
+  (* homomorphism: commit(a)·commit(b) = commit(a+b) with blinds added *)
+  let b1 = Pedersen.random_blind ~rng p and b2 = Pedersen.random_blind ~rng p in
+  let ca = Pedersen.commit p ~value:(B.of_int 10) ~blind:b1 in
+  let cb = Pedersen.commit p ~value:(B.of_int 32) ~blind:b2 in
+  let cab = B.mul_mod ca cb p.Pedersen.n in
+  Alcotest.(check bool) "homomorphic" true
+    (Pedersen.verify_opening p ~commitment:cab ~value:(B.of_int 42) ~blind:(B.add b1 b2))
+
+(* ------------------------------------------------------------------ *)
+(* SPK engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Toy statement over QR(n): prove knowledge of (x, r) with
+   C1 = g^x h^r  and  C2 = g^x  (equality of exponents across relations). *)
+let toy_statement rng =
+  let m = Lazy.force rsa in
+  let n = m.Groupgen.n in
+  let g = Groupgen.sample_qr ~rng n in
+  let h = Groupgen.sample_qr ~rng n in
+  let x_spec = Interval.make ~center_log:64 ~halfwidth_log:32 in
+  let r_spec = Interval.make ~center_log:256 ~halfwidth_log:256 in
+  let x = Interval.sample ~rng x_spec in
+  let r = Interval.sample ~rng r_spec in
+  let c1 = B.mul_mod (B.pow_mod g x n) (B.pow_mod h r n) n in
+  let c2 = B.pow_mod g x n in
+  let st =
+    { Spk.modulus = n;
+      vars = [ ("x", x_spec); ("r", r_spec) ];
+      relations =
+        [ { Spk.target = c1; terms = [ { Spk.base = g; var = "x"; positive = true };
+                                       { Spk.base = h; var = "r"; positive = true } ] };
+          { Spk.target = c2; terms = [ { Spk.base = g; var = "x"; positive = true } ] };
+        ];
+    }
+  in
+  (st, [ ("x", x); ("r", r) ])
+
+let test_spk_complete () =
+  let rng = rng_of_seed 34 in
+  let st, secrets = toy_statement rng in
+  let tr = Transcript.absorb (Transcript.create ~domain:"test") ~label:"msg" "m" in
+  let proof = Spk.prove ~rng st ~secrets ~transcript:tr in
+  Alcotest.(check bool) "verifies" true (Spk.verify st ~transcript:tr proof)
+
+let test_spk_binds_transcript () =
+  let rng = rng_of_seed 35 in
+  let st, secrets = toy_statement rng in
+  let tr = Transcript.absorb (Transcript.create ~domain:"test") ~label:"msg" "m" in
+  let tr' = Transcript.absorb (Transcript.create ~domain:"test") ~label:"msg" "other" in
+  let proof = Spk.prove ~rng st ~secrets ~transcript:tr in
+  Alcotest.(check bool) "other message rejected" false
+    (Spk.verify st ~transcript:tr' proof)
+
+let test_spk_wrong_secret () =
+  let rng = rng_of_seed 36 in
+  let st, secrets = toy_statement rng in
+  let bad = List.map (fun (n, v) -> if n = "x" then (n, B.succ v) else (n, v)) secrets in
+  let tr = Transcript.create ~domain:"test" in
+  let proof = Spk.prove ~rng st ~secrets:bad ~transcript:tr in
+  Alcotest.(check bool) "bad witness rejected" false (Spk.verify st ~transcript:tr proof)
+
+let test_spk_negative_term () =
+  (* knowledge of x with  target = g^x  and  1 = g^x · (g^x)^-1 — uses an
+     inverted term to exercise the negative-exponent path *)
+  let rng = rng_of_seed 37 in
+  let m = Lazy.force rsa in
+  let n = m.Groupgen.n in
+  let g = Groupgen.sample_qr ~rng n in
+  let x_spec = Interval.make ~center_log:64 ~halfwidth_log:32 in
+  let x = Interval.sample ~rng x_spec in
+  let gx = B.pow_mod g x n in
+  let st =
+    { Spk.modulus = n;
+      vars = [ ("x", x_spec) ];
+      relations =
+        [ { Spk.target = gx; terms = [ { Spk.base = g; var = "x"; positive = true } ] };
+          { Spk.target = B.one;
+            terms = [ { Spk.base = g; var = "x"; positive = true };
+                      { Spk.base = gx; var = "x"; positive = false };
+                      (* g^x · gx^{-x} = g^x · g^{-x·x}... not identity;
+                         use instead two mutually-cancelling terms: *) ] };
+        ];
+    }
+  in
+  (* fix the second relation to a real identity: g^x · (g^{-1})^x = 1 *)
+  let g_inv = B.invert g n in
+  let st =
+    { st with
+      relations =
+        [ List.hd st.relations;
+          { Spk.target = B.one;
+            terms = [ { Spk.base = g; var = "x"; positive = true };
+                      { Spk.base = g_inv; var = "x"; positive = true } ] };
+          { Spk.target = B.one;
+            terms = [ { Spk.base = g; var = "x"; positive = true };
+                      { Spk.base = g; var = "x"; positive = false } ] };
+        ];
+    }
+  in
+  let tr = Transcript.create ~domain:"neg" in
+  let proof = Spk.prove ~rng st ~secrets:[ ("x", x) ] ~transcript:tr in
+  Alcotest.(check bool) "verifies" true (Spk.verify st ~transcript:tr proof)
+
+let test_spk_tamper_responses () =
+  let rng = rng_of_seed 38 in
+  let st, secrets = toy_statement rng in
+  let tr = Transcript.create ~domain:"test" in
+  let proof = Spk.prove ~rng st ~secrets ~transcript:tr in
+  let tampered =
+    { proof with
+      Spk.responses =
+        List.map (fun (n, v) -> if n = "r" then (n, B.succ v) else (n, v)) proof.Spk.responses;
+    }
+  in
+  Alcotest.(check bool) "tampered response rejected" false
+    (Spk.verify st ~transcript:tr tampered);
+  let bad_challenge = { proof with Spk.challenge = B.succ proof.Spk.challenge } in
+  Alcotest.(check bool) "tampered challenge rejected" false
+    (Spk.verify st ~transcript:tr bad_challenge)
+
+let test_spk_encoding () =
+  let rng = rng_of_seed 39 in
+  let st, secrets = toy_statement rng in
+  let tr = Transcript.create ~domain:"test" in
+  let proof = Spk.prove ~rng st ~secrets ~transcript:tr in
+  let enc = Spk.encode st proof in
+  Alcotest.(check int) "length formula" (Spk.encoded_len st) (String.length enc);
+  (match Spk.decode st enc with
+   | None -> Alcotest.fail "decode failed"
+   | Some p ->
+     Alcotest.(check bool) "roundtrip verifies" true (Spk.verify st ~transcript:tr p));
+  Alcotest.(check bool) "short input rejected" true (Spk.decode st "xx" = None);
+  (* encodings of different proofs have identical length *)
+  let proof2 = Spk.prove ~rng st ~secrets ~transcript:tr in
+  Alcotest.(check int) "constant size"
+    (String.length enc)
+    (String.length (Spk.encode st proof2))
+
+let test_spk_zk_shape () =
+  (* Two proofs of the same statement share no responses (statistical
+     hiding sanity check). *)
+  let rng = rng_of_seed 40 in
+  let st, secrets = toy_statement rng in
+  let tr = Transcript.create ~domain:"test" in
+  let p1 = Spk.prove ~rng st ~secrets ~transcript:tr in
+  let p2 = Spk.prove ~rng st ~secrets ~transcript:tr in
+  List.iter2
+    (fun (n1, v1) (_, v2) ->
+      Alcotest.(check bool) (n1 ^ " differs across proofs") false (B.equal v1 v2))
+    p1.Spk.responses p2.Spk.responses
+
+let () =
+  Alcotest.run "sigma"
+    [ ( "transcript",
+        [ Alcotest.test_case "determinism" `Quick test_transcript_determinism;
+          Alcotest.test_case "separation" `Quick test_transcript_separation;
+          Alcotest.test_case "framing injective" `Quick test_transcript_framing_injective;
+          Alcotest.test_case "challenge bounds" `Quick test_transcript_challenge_bounds;
+        ] );
+      ( "interval",
+        [ Alcotest.test_case "sampling" `Quick test_interval_sampling;
+          Alcotest.test_case "free variables" `Quick test_interval_free_var;
+          Alcotest.test_case "response roundtrip" `Quick test_interval_response_roundtrip;
+          Alcotest.test_case "range rejects" `Quick test_interval_range_rejects;
+        ] );
+      ("pedersen", [ Alcotest.test_case "commitments" `Quick test_pedersen ]);
+      ( "spk",
+        [ Alcotest.test_case "completeness" `Quick test_spk_complete;
+          Alcotest.test_case "binds transcript" `Quick test_spk_binds_transcript;
+          Alcotest.test_case "wrong secret" `Quick test_spk_wrong_secret;
+          Alcotest.test_case "negative terms" `Quick test_spk_negative_term;
+          Alcotest.test_case "tampering" `Quick test_spk_tamper_responses;
+          Alcotest.test_case "encoding" `Quick test_spk_encoding;
+          Alcotest.test_case "zk shape" `Quick test_spk_zk_shape;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Flexibility tests: the GCD compiler over alternative building-block
+   triples (§1.1 "lends itself to many practical instantiations"), plus
+   the model-agnosticism claim (asynchronous delivery with heterogeneous
+   latencies does not affect outcomes). *)
+
+let rng_of i = Drbg.bytes_fn (Drbg.of_int_seed i)
+
+module Exercise (V : sig
+  include Scheme_sig.SCHEME
+end) =
+struct
+  let build seed n =
+    let ga = V.default_authority ~rng:(rng_of seed) () in
+    let members = ref [] in
+    for i = 0 to n - 1 do
+      match V.admit ga ~uid:(Printf.sprintf "u%d" i) ~member_rng:(rng_of (seed + 10 + i)) with
+      | None -> Alcotest.fail "admit"
+      | Some (m, upd) ->
+        List.iter (fun e -> ignore (V.update e upd)) !members;
+        members := !members @ [ m ]
+    done;
+    (ga, Array.of_list !members)
+
+  let test_lifecycle () =
+    let ga, members = build 400 4 in
+    let fmt = V.default_format ga in
+    (* full handshake *)
+    let r =
+      V.run_session ~fmt (Array.map V.participant_of_member members)
+    in
+    Array.iter
+      (fun o ->
+        match o with
+        | Some o -> Alcotest.(check bool) "accepted" true o.Gcd_types.accepted
+        | None -> Alcotest.fail "no outcome")
+      r.Gcd_types.outcomes;
+    (* trace *)
+    (match r.Gcd_types.outcomes.(0) with
+     | Some o ->
+       let traced = V.trace_user ga ~sid:o.Gcd_types.sid o.Gcd_types.transcript in
+       Alcotest.(check (array (option string))) "traced"
+         [| Some "u0"; Some "u1"; Some "u2"; Some "u3" |]
+         traced
+     | None -> ());
+    (* revoke one and retry *)
+    (match V.remove ga ~uid:"u3" with
+     | None -> Alcotest.fail "remove"
+     | Some upd -> Array.iter (fun m -> ignore (V.update m upd)) members);
+    let r2 =
+      V.run_session ~fmt (Array.map V.participant_of_member members)
+    in
+    (match r2.Gcd_types.outcomes.(0) with
+     | Some o ->
+       Alcotest.(check bool) "revoked breaks acceptance" false o.Gcd_types.accepted;
+       Alcotest.(check (list int)) "survivors pair" [ 0; 1; 2 ] o.Gcd_types.partners
+     | None -> Alcotest.fail "no outcome");
+    (* survivors-only full success *)
+    let r3 =
+      V.run_session ~fmt
+        (Array.map V.participant_of_member (Array.sub members 0 3))
+    in
+    (match r3.Gcd_types.outcomes.(0) with
+     | Some o -> Alcotest.(check bool) "survivors accept" true o.Gcd_types.accepted
+     | None -> Alcotest.fail "no outcome")
+
+  let test_asynchrony () =
+    (* the model-agnosticism claim: wildly heterogeneous link latencies
+       reorder deliveries but leave the outcome untouched *)
+    let ga, members = build 401 4 in
+    let fmt = V.default_format ga in
+    let latency ~src ~dst = 0.5 +. float_of_int (((src * 31) + (dst * 17)) mod 23) in
+    let r =
+      V.run_session ~latency ~fmt (Array.map V.participant_of_member members)
+    in
+    Array.iter
+      (fun o ->
+        match o with
+        | Some o -> Alcotest.(check bool) "accepted under reordering" true o.Gcd_types.accepted
+        | None -> Alcotest.fail "no outcome")
+      r.Gcd_types.outcomes
+
+  let test_outsider_excluded () =
+    let ga, members = build 402 2 in
+    let fmt = V.default_format ga in
+    let parts =
+      [| V.participant_of_member members.(0);
+         V.participant_of_member members.(1);
+         V.outsider ~rng:(rng_of 4021) |]
+    in
+    let r = V.run_session ~fmt parts in
+    (match r.Gcd_types.outcomes.(0) with
+     | Some o ->
+       Alcotest.(check (list int)) "members pair, outsider out" [ 0; 1 ]
+         o.Gcd_types.partners
+     | None -> Alcotest.fail "no outcome")
+
+  let suite label =
+    [ Alcotest.test_case (label ^ ": lifecycle") `Slow test_lifecycle;
+      Alcotest.test_case (label ^ ": asynchrony") `Slow test_asynchrony;
+      Alcotest.test_case (label ^ ": outsider") `Slow test_outsider_excluded;
+    ]
+end
+
+(* give the variants the default-deployment helpers the signature expects *)
+module Acjt_sd_bd_full = struct
+  include Variants.Acjt_sd_bd
+
+  let default_authority ~rng ?(capacity = 64) () =
+    create_group ~rng
+      ~modulus:(Lazy.force Params.rsa_512)
+      ~dl_group:(Lazy.force Params.schnorr_512)
+      ~capacity
+
+  let default_format ga =
+    format_of_public ~dl_group:(Lazy.force Params.schnorr_512) (group_public ga)
+end
+
+module Acjt_lkh_gdh_full = struct
+  include Variants.Acjt_lkh_gdh
+
+  let default_authority ~rng ?(capacity = 64) () =
+    create_group ~rng
+      ~modulus:(Lazy.force Params.rsa_512)
+      ~dl_group:(Lazy.force Params.schnorr_512)
+      ~capacity
+
+  let default_format ga =
+    format_of_public ~dl_group:(Lazy.force Params.schnorr_512) (group_public ga)
+end
+
+module Kty_sd_gdh_full = struct
+  include Variants.Kty_sd_gdh
+
+  let default_authority ~rng ?(capacity = 64) () =
+    create_group ~rng
+      ~modulus:(Lazy.force Params.rsa_512)
+      ~dl_group:(Lazy.force Params.schnorr_512)
+      ~capacity
+
+  let default_format ga =
+    format_of_public ~dl_group:(Lazy.force Params.schnorr_512) (group_public ga)
+end
+
+module Acjt_oft_str_full = struct
+  include Variants.Acjt_oft_str
+
+  let default_authority ~rng ?(capacity = 64) () =
+    create_group ~rng
+      ~modulus:(Lazy.force Params.rsa_512)
+      ~dl_group:(Lazy.force Params.schnorr_512)
+      ~capacity
+
+  let default_format ga =
+    format_of_public ~dl_group:(Lazy.force Params.schnorr_512) (group_public ga)
+end
+
+module T1 = Exercise (Acjt_sd_bd_full)
+module T2 = Exercise (Acjt_lkh_gdh_full)
+module T3 = Exercise (Kty_sd_gdh_full)
+module T4 = Exercise (Acjt_oft_str_full)
+
+let () =
+  Alcotest.run "variants"
+    [ ("gcd(acjt,sd,bd)", T1.suite "acjt+sd+bd");
+      ("gcd(acjt,lkh,gdh)", T2.suite "acjt+lkh+gdh");
+      ("gcd(kty,sd,gdh)", T3.suite "kty+sd+gdh");
+      ("gcd(acjt,oft,str)", T4.suite "acjt+oft+str");
+    ]
