@@ -1,0 +1,71 @@
+(* Shared bench fixtures: the pre-admitted member worlds and handshake
+   drivers used by several experiments.  Building a world is expensive
+   (admissions generate primes), so both are lazy and forced once. *)
+
+let rng_of seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+
+let max_members = 8
+
+let scheme1_world =
+  lazy
+    (let ga = Scheme1.default_authority ~rng:(rng_of 1000) () in
+     let members =
+       Array.init max_members (fun i ->
+           match
+             Scheme1.admit ga ~uid:(Printf.sprintf "m%d" i)
+               ~member_rng:(rng_of (1100 + i))
+           with
+           | Some v -> v
+           | None -> failwith "admit")
+     in
+     Array.iteri
+       (fun i (_, upd) ->
+         Array.iteri
+           (fun j (m, _) -> if j < i then ignore (Scheme1.update m upd))
+           members)
+       members;
+     (ga, Array.map fst members))
+
+let scheme2_world =
+  lazy
+    (let ga = Scheme2.default_authority ~rng:(rng_of 2000) () in
+     let members =
+       Array.init max_members (fun i ->
+           match
+             Scheme2.admit ga ~uid:(Printf.sprintf "m%d" i)
+               ~member_rng:(rng_of (2100 + i))
+           with
+           | Some v -> v
+           | None -> failwith "admit")
+     in
+     Array.iteri
+       (fun i (_, upd) ->
+         Array.iteri
+           (fun j (m, _) -> if j < i then ignore (Scheme2.update m upd))
+           members)
+       members;
+     (ga, Array.map fst members))
+
+let s1_handshake m =
+  let ga, members = Lazy.force scheme1_world in
+  let fmt = Scheme1.default_format ga in
+  let parts =
+    Array.init m (fun i -> Scheme1.participant_of_member members.(i))
+  in
+  Scheme1.run_session ~fmt parts
+
+let s2_handshake m =
+  let ga, members = Lazy.force scheme2_world in
+  let fmt = Scheme2.default_format ga in
+  let gpub = Scheme2.group_public ga in
+  let parts =
+    Array.init m (fun i -> Scheme2.participant_of_member members.(i))
+  in
+  Scheme2.run_session_sd ~gpub ~fmt parts
+
+let assert_accepted (r : Gcd_types.session_result) =
+  Array.iter
+    (function
+      | Some o when o.Gcd_types.accepted -> ()
+      | _ -> failwith "bench handshake did not accept")
+    r.Gcd_types.outcomes

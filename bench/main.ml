@@ -12,15 +12,51 @@
 open Bechamel
 open Toolkit
 
-let rng_of seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
+let rng_of = Fixtures.rng_of
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_path : string option ref = ref None
+let base_quota = ref 0.5
+let only : string list ref = ref []
+
+let parse_cli () =
+  let specs =
+    [ ("--json",
+       Arg.String (fun p -> json_path := Some p),
+       "<path>  write machine-readable results (rows + Obs metrics) as JSON");
+      ("--quota",
+       Arg.Set_float base_quota,
+       "<s>  Bechamel time quota per series, seconds (default 0.5)");
+      ("--only",
+       Arg.String (fun s -> only := !only @ String.split_on_char ',' s),
+       "<e1,e2,..>  run only the named experiments");
+    ]
+  in
+  let usage = "main.exe [--json <path>] [--quota <s>] [--only e1,e2,..]" in
+  Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (* fail on an unwritable --json path now, not after a minute of bench *)
+  match !json_path with
+  | None -> ()
+  | Some p ->
+    (try close_out (open_out p)
+     with Sys_error msg ->
+       Printf.eprintf "cannot write --json file: %s\n" msg;
+       exit 2)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let run_bechamel ?(quota = 0.5) ?(limit = 8) tests =
+(* [scale] multiplies the CLI quota: experiments whose series need longer
+   to stabilise (E6, E8) ask for 2x whatever the user chose. *)
+let run_bechamel ?(scale = 1.0) ?(limit = 8) tests =
   let cfg =
-    Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None ~stabilize:false ()
+    Benchmark.cfg ~limit
+      ~quota:(Time.second (!base_quota *. scale))
+      ~kde:None ~stabilize:false ()
   in
   let raw =
     Benchmark.all cfg [ Instance.monotonic_clock ]
@@ -43,11 +79,12 @@ let pretty_ns ns =
   else if ns > 1e3 then Printf.sprintf "%7.2f us" (ns /. 1e3)
   else Printf.sprintf "%7.2f ns" ns
 
-let print_timings title rows =
+let print_timings ~experiment title rows =
   Printf.printf "\n%s\n" title;
   List.iter
     (fun (name, ns) -> Printf.printf "  %-32s %s\n" name (pretty_ns ns))
-    (List.sort compare rows)
+    (List.sort compare rows);
+  List.iter (Report.add_timing ~experiment) (List.sort compare rows)
 
 let header title claim =
   Printf.printf "\n==============================================================\n";
@@ -56,74 +93,14 @@ let header title claim =
   Printf.printf "==============================================================\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* Fixtures                                                            *)
+(* Fixtures (see fixtures.ml)                                          *)
 (* ------------------------------------------------------------------ *)
 
-let max_members = 8
-
-let scheme1_world =
-  lazy
-    (let ga = Scheme1.default_authority ~rng:(rng_of 1000) () in
-     let members =
-       Array.init max_members (fun i ->
-           match
-             Scheme1.admit ga ~uid:(Printf.sprintf "m%d" i)
-               ~member_rng:(rng_of (1100 + i))
-           with
-           | Some v -> v
-           | None -> failwith "admit")
-     in
-     Array.iteri
-       (fun i (_, upd) ->
-         Array.iteri
-           (fun j (m, _) -> if j < i then ignore (Scheme1.update m upd))
-           members)
-       members;
-     (ga, Array.map fst members))
-
-let scheme2_world =
-  lazy
-    (let ga = Scheme2.default_authority ~rng:(rng_of 2000) () in
-     let members =
-       Array.init max_members (fun i ->
-           match
-             Scheme2.admit ga ~uid:(Printf.sprintf "m%d" i)
-               ~member_rng:(rng_of (2100 + i))
-           with
-           | Some v -> v
-           | None -> failwith "admit")
-     in
-     Array.iteri
-       (fun i (_, upd) ->
-         Array.iteri
-           (fun j (m, _) -> if j < i then ignore (Scheme2.update m upd))
-           members)
-       members;
-     (ga, Array.map fst members))
-
-let s1_handshake m =
-  let ga, members = Lazy.force scheme1_world in
-  let fmt = Scheme1.default_format ga in
-  let parts =
-    Array.init m (fun i -> Scheme1.participant_of_member members.(i))
-  in
-  Scheme1.run_session ~fmt parts
-
-let s2_handshake m =
-  let ga, members = Lazy.force scheme2_world in
-  let fmt = Scheme2.default_format ga in
-  let gpub = Scheme2.group_public ga in
-  let parts =
-    Array.init m (fun i -> Scheme2.participant_of_member members.(i))
-  in
-  Scheme2.run_session_sd ~gpub ~fmt parts
-
-let assert_accepted (r : Gcd_types.session_result) =
-  Array.iter
-    (function
-      | Some o when o.Gcd_types.accepted -> ()
-      | _ -> failwith "bench handshake did not accept")
-    r.Gcd_types.outcomes
+let scheme1_world = Fixtures.scheme1_world
+let scheme2_world = Fixtures.scheme2_world
+let s1_handshake = Fixtures.s1_handshake
+let s2_handshake = Fixtures.s2_handshake
+let assert_accepted = Fixtures.assert_accepted
 
 (* ------------------------------------------------------------------ *)
 (* E1: per-party modular exponentiations vs m                          *)
@@ -156,6 +133,10 @@ let e1 () =
         in
         prev := Some (m, c1);
         Printf.printf "%6d %22d %22d %14s\n%!" m c1 c2 delta;
+        Report.add ~experiment:"e1" ~series:"scheme1 exps/party" ~param:m
+          ~unit_:"count" (float_of_int c1);
+        Report.add ~experiment:"e1" ~series:"scheme2 exps/party" ~param:m
+          ~unit_:"count" (float_of_int c2);
         (m, c1))
       sweep
   in
@@ -184,7 +165,11 @@ let e2 () =
       let st = r.Gcd_types.stats in
       let msgs = Array.fold_left ( + ) 0 st.Engine.messages_sent / m in
       let bytes = Array.fold_left ( + ) 0 st.Engine.bytes_sent / m in
-      Printf.printf "%6d %12d %14d %16d\n%!" m msgs bytes st.Engine.deliveries)
+      Printf.printf "%6d %12d %14d %16d\n%!" m msgs bytes st.Engine.deliveries;
+      Report.add ~experiment:"e2" ~series:"scheme1 msgs/party" ~param:m
+        ~unit_:"count" (float_of_int msgs);
+      Report.add ~experiment:"e2" ~series:"scheme1 bytes/party" ~param:m
+        ~unit_:"bytes" (float_of_int bytes))
     [ 2; 3; 4; 6; 8 ]
 
 (* ------------------------------------------------------------------ *)
@@ -205,8 +190,8 @@ let e3 () =
     @ [ Test.make ~name:"scheme2 handshake m=4"
           (Staged.stage (fun () -> ignore (s2_handshake 4))) ]
   in
-  print_timings "wall-clock (512-bit parameters, simulated network):"
-    (run_bechamel ~quota:0.5 ~limit:4 tests)
+  print_timings ~experiment:"e3" "wall-clock (512-bit parameters, simulated network):"
+    (run_bechamel ~limit:4 tests)
 
 (* ------------------------------------------------------------------ *)
 (* E4: DGKA — Burmester-Desmedt vs GDH.2                               *)
@@ -242,7 +227,14 @@ let e4 () =
       let str = Bigint.pow_mod_count () / m in
       let str_mul = Bigint.mul_count () / m in
       Printf.printf "%6d %13d %13d %13d %15d %15d %15d\n%!" m bd gdh str bd_mul
-        gdh_mul str_mul)
+        gdh_mul str_mul;
+      List.iter
+        (fun (series, v) ->
+          Report.add ~experiment:"e4" ~series ~param:m ~unit_:"count"
+            (float_of_int v))
+        [ ("bd exps/party", bd); ("gdh exps/party", gdh);
+          ("str exps/party", str); ("bd mults/party", bd_mul);
+          ("gdh mults/party", gdh_mul); ("str mults/party", str_mul) ])
     [ 2; 4; 8; 16 ];
   let tests =
     List.concat_map
@@ -256,7 +248,8 @@ let e4 () =
         ])
       [ 2; 4; 8; 16 ]
   in
-  print_timings "wall-clock (256-bit Schnorr group):" (run_bechamel tests)
+  print_timings ~experiment:"e4" "wall-clock (256-bit Schnorr group):"
+    (run_bechamel tests)
 
 (* ------------------------------------------------------------------ *)
 (* E5: CGKD — LKH vs subset difference                                 *)
@@ -293,9 +286,13 @@ let e5 () =
         in
         fill gc 0 None
       in
-      Printf.printf "%8d %20d %20d\n%!" cap
-        (Option.get (Lkh.rekey_entry_count (Option.get lkh_last)))
-        (Option.get (Oft.rekey_entry_count (Option.get oft_last))))
+      let lkh_entries = Option.get (Lkh.rekey_entry_count (Option.get lkh_last)) in
+      let oft_entries = Option.get (Oft.rekey_entry_count (Option.get oft_last)) in
+      Printf.printf "%8d %20d %20d\n%!" cap lkh_entries oft_entries;
+      Report.add ~experiment:"e5" ~series:"lkh rekey entries" ~param:cap
+        ~unit_:"count" (float_of_int lkh_entries);
+      Report.add ~experiment:"e5" ~series:"oft rekey entries" ~param:cap
+        ~unit_:"count" (float_of_int oft_entries))
     [ 16; 64; 256; 1024 ];
   (* SD vs LSD: cover size as revocations accumulate (n = 256), plus the
      member-storage trade-off *)
@@ -326,11 +323,16 @@ let e5 () =
       with
       | Some (sd_gc, sd_msg), Some (lsd_gc, lsd_msg) ->
         let r = i + 1 (* + dummy *) in
-        if i land (i - 1) = 0 || i = 16 then
-          Printf.printf "%8d %10d %11d %12d %11d %12d\n%!" r
-            (Option.get (Sd.cover_size sd_msg))
-            (Option.get (Lsd.cover_size lsd_msg))
+        if i land (i - 1) = 0 || i = 16 then begin
+          let sd_cover = Option.get (Sd.cover_size sd_msg) in
+          let lsd_cover = Option.get (Lsd.cover_size lsd_msg) in
+          Printf.printf "%8d %10d %11d %12d %11d %12d\n%!" r sd_cover lsd_cover
             ((2 * r) - 1) !sd_labels !lsd_labels;
+          Report.add ~experiment:"e5" ~series:"sd cover size" ~param:r
+            ~unit_:"count" (float_of_int sd_cover);
+          Report.add ~experiment:"e5" ~series:"lsd cover size" ~param:r
+            ~unit_:"count" (float_of_int lsd_cover)
+        end;
         revoke sd_gc lsd_gc (i + 1)
       | _ -> failwith "leave"
   in
@@ -376,7 +378,7 @@ let e5 () =
               | None -> failwith "join"));
     ]
   in
-  print_timings "wall-clock:" (run_bechamel tests)
+  print_timings ~experiment:"e5" "wall-clock:" (run_bechamel tests)
 
 (* ------------------------------------------------------------------ *)
 (* E6: GSIG — ACJT vs KTY sign/verify/open and revocation costs        *)
@@ -415,6 +417,10 @@ let e6 () =
   let ksig = Kty.sign ~rng km1 ~msg:"bench" in
   Printf.printf "signature sizes: acjt=%d bytes, kty=%d bytes\n"
     (String.length asig) (String.length ksig);
+  Report.add ~experiment:"e6" ~series:"acjt signature size" ~unit_:"bytes"
+    (float_of_int (String.length asig));
+  Report.add ~experiment:"e6" ~series:"kty signature size" ~unit_:"bytes"
+    (float_of_int (String.length ksig));
   let tests =
     [ Test.make ~name:"acjt sign"
         (Staged.stage (fun () -> ignore (Acjt.sign ~rng am1 ~msg:"bench")));
@@ -430,8 +436,8 @@ let e6 () =
         (Staged.stage (fun () -> assert (Kty.open_ kmgr ~msg:"bench" ksig <> None)));
     ]
   in
-  print_timings "per-operation wall-clock (512-bit modulus):"
-    (run_bechamel ~quota:1.0 ~limit:12 tests);
+  print_timings ~experiment:"e6" "per-operation wall-clock (512-bit modulus):"
+    (run_bechamel ~scale:2.0 ~limit:12 tests);
   (* revocation cost: direct measurement (destructive operations) *)
   let time_once f =
     let t0 = Unix.gettimeofday () in
@@ -454,7 +460,11 @@ let e6 () =
   Printf.printf
     "\nrevocation (manager op + one member update):\n  acjt (accumulator) %s\n  kty (token list)   %s\n"
     (pretty_ns (acjt_revoke *. 1e9))
-    (pretty_ns (kty_revoke *. 1e9))
+    (pretty_ns (kty_revoke *. 1e9));
+  Report.add ~experiment:"e6" ~series:"acjt revocation" ~unit_:"ns"
+    (acjt_revoke *. 1e9);
+  Report.add ~experiment:"e6" ~series:"kty revocation" ~unit_:"ns"
+    (kty_revoke *. 1e9)
 
 (* ------------------------------------------------------------------ *)
 (* E7: partially-successful handshakes                                 *)
@@ -508,6 +518,10 @@ let e7 () =
   Printf.printf "exponentiations: full 5-party %d vs mixed 2+3 %d (ratio %.2f)\n"
     full_exps mixed_exps
     (float_of_int mixed_exps /. float_of_int full_exps);
+  Report.add ~experiment:"e7" ~series:"full 5-party exps" ~param:5 ~unit_:"count"
+    (float_of_int full_exps);
+  Report.add ~experiment:"e7" ~series:"mixed 2+3 exps" ~param:5 ~unit_:"count"
+    (float_of_int mixed_exps);
   (* the tailorability row: the same 5 parties, phases I+II only *)
   let two_phase () =
     let ga, members = Lazy.force scheme1_world in
@@ -528,7 +542,7 @@ let e7 () =
         (Staged.stage (fun () -> ignore (two_phase ())));
     ]
   in
-  print_timings "wall-clock:" (run_bechamel ~quota:0.5 ~limit:3 tests)
+  print_timings ~experiment:"e7" "wall-clock:" (run_bechamel ~limit:3 tests)
 
 (* ------------------------------------------------------------------ *)
 (* E8: ablations                                                       *)
@@ -576,7 +590,8 @@ let e8 () =
             fun () -> ignore (Chacha20.encrypt ~key ~nonce block)));
     ]
   in
-  print_timings "microbenchmarks:" (run_bechamel ~quota:1.0 ~limit:30 tests);
+  print_timings ~experiment:"e8" "microbenchmarks:"
+    (run_bechamel ~scale:2.0 ~limit:30 tests);
   (* wire sizes *)
   let ga1, _ = Lazy.force scheme1_world in
   let ga2, _ = Lazy.force scheme2_world in
@@ -586,7 +601,14 @@ let e8 () =
     \  scheme1 theta=%d delta=%d per party per handshake\n\
     \  scheme2 theta=%d delta=%d per party per handshake\n"
     f1.Gcd_types.theta_len f1.Gcd_types.delta_len f2.Gcd_types.theta_len
-    f2.Gcd_types.delta_len
+    f2.Gcd_types.delta_len;
+  List.iter
+    (fun (series, v) ->
+      Report.add ~experiment:"e8" ~series ~unit_:"bytes" (float_of_int v))
+    [ ("scheme1 theta", f1.Gcd_types.theta_len);
+      ("scheme1 delta", f1.Gcd_types.delta_len);
+      ("scheme2 theta", f2.Gcd_types.theta_len);
+      ("scheme2 delta", f2.Gcd_types.delta_len) ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: framework-level effect of building-block choice                 *)
@@ -624,6 +646,10 @@ let e9 () =
   Printf.printf
     "4-party handshake bytes/party: gcd(acjt,lkh,bd)=%d  gcd(acjt,oft,str)=%d\n"
     (bytes r1) (bytes rv);
+  Report.add ~experiment:"e9" ~series:"gcd(acjt,lkh,bd) bytes/party" ~param:4
+    ~unit_:"bytes" (float_of_int (bytes r1));
+  Report.add ~experiment:"e9" ~series:"gcd(acjt,oft,str) bytes/party" ~param:4
+    ~unit_:"bytes" (float_of_int (bytes rv));
   let tests =
     [ Test.make ~name:"gcd(acjt,lkh,bd) m=4"
         (Staged.stage (fun () -> ignore (s1_handshake 4)));
@@ -633,22 +659,37 @@ let e9 () =
         (Staged.stage (fun () -> ignore (s2_handshake 4)));
     ]
   in
-  print_timings "wall-clock:" (run_bechamel ~quota:0.5 ~limit:3 tests)
+  print_timings ~experiment:"e9" "wall-clock:" (run_bechamel ~limit:3 tests)
 
 (* ------------------------------------------------------------------ *)
 
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9) ]
+
 let () =
+  parse_cli ();
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name experiments) then (
+        Printf.eprintf "unknown experiment %S (have e1..e9)\n" name;
+        exit 2))
+    !only;
+  (* with --json, collect the trace/histograms too so the output file
+     carries the full metrics registry; default runs stay on the no-op
+     sink so the timed series pay no tracing overhead *)
+  if !json_path <> None then Obs.set_sink Obs.Memory;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "secret-handshakes benchmark harness (pure-OCaml substrate)\n\
      parameters: 512-bit RSA modulus / 512-bit Schnorr group unless noted\n%!";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  Printf.printf "\ntotal bench wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun (name, f) -> if !only = [] || List.mem name !only then f ())
+    experiments;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench wall-clock: %.1fs\n" elapsed;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    Report.write ~path ~elapsed_s:elapsed ();
+    Printf.printf "results written to %s\n" path

@@ -1,0 +1,93 @@
+(* Machine-readable bench results.
+
+   Experiments append flat rows (experiment, series, optional n/m
+   parameter, value, unit); [write] groups them per experiment and
+   serialises everything — including the Obs metrics registry — as one
+   JSON document, the BENCH_*.json format referenced by EXPERIMENTS.md. *)
+
+type row = {
+  experiment : string;
+  series : string;
+  param : int option;
+  value : float;
+  unit_ : string;
+}
+
+let rows : row list ref = ref []
+
+let clear () = rows := []
+
+let add ~experiment ~series ?param ~unit_ value =
+  rows := { experiment; series; param; value; unit_ } :: !rows
+
+(* Pull the sweep parameter out of a Bechamel test name: any "m=<int>"
+   or "n=<int>" token ("scheme1 handshake m=4", "lkh join (n=1024)"). *)
+let param_of_name name =
+  let len = String.length name in
+  let is_alnum c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  in
+  let digits i =
+    let v = ref 0 and j = ref i in
+    while !j < len && name.[!j] >= '0' && name.[!j] <= '9' do
+      v := (!v * 10) + (Char.code name.[!j] - Char.code '0');
+      incr j
+    done;
+    if !j > i then Some !v else None
+  in
+  let rec scan i =
+    if i + 2 >= len then None
+    else if
+      (name.[i] = 'm' || name.[i] = 'n')
+      && name.[i + 1] = '='
+      && (i = 0 || not (is_alnum name.[i - 1]))
+    then
+      match digits (i + 2) with Some v -> Some v | None -> scan (i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+let add_timing ~experiment (name, ns) =
+  add ~experiment ~series:name ?param:(param_of_name name) ~unit_:"ns" ns
+
+let row_json r =
+  Obs_json.Obj
+    [ ("series", Obs_json.Str r.series);
+      ("param", match r.param with Some p -> Obs_json.Int p | None -> Obs_json.Null);
+      ("value", Obs_json.Float r.value);
+      ("unit", Obs_json.Str r.unit_);
+    ]
+
+let to_json ~elapsed_s () =
+  let ordered = List.rev !rows in
+  (* group by experiment, first-seen order *)
+  let names =
+    List.fold_left
+      (fun acc r -> if List.mem r.experiment acc then acc else r.experiment :: acc)
+      [] ordered
+    |> List.rev
+  in
+  let experiments =
+    List.map
+      (fun name ->
+        let series =
+          List.filter_map
+            (fun r -> if r.experiment = name then Some (row_json r) else None)
+            ordered
+        in
+        Obs_json.Obj
+          [ ("name", Obs_json.Str name); ("series", Obs_json.List series) ])
+      names
+  in
+  Obs_json.Obj
+    [ ("schema", Obs_json.Str "shs-bench/1");
+      ("elapsed_s", Obs_json.Float elapsed_s);
+      ("experiments", Obs_json.List experiments);
+      ("metrics", Obs.to_json ());
+    ]
+
+let write ~path ~elapsed_s () =
+  let oc = open_out path in
+  output_string oc (Obs_json.to_string ~pretty:true (to_json ~elapsed_s ()));
+  output_char oc '\n';
+  close_out oc

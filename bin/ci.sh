@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI entry point: full build, test suite, and an observability smoke
+# check exercising the bench --json pipeline and the demo's --metrics
+# report.  Run from the repository root.
+set -eu
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== obs smoke: bench --json =="
+out=$(mktemp /tmp/shs_bench_XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+dune exec bench/main.exe -- --only e2 --quota 0.05 --json "$out" > /dev/null
+grep -q '"schema": "shs-bench/1"' "$out"
+grep -q '"scheme1 msgs/party"' "$out"
+grep -q '"net.messages"' "$out"
+grep -q '"gcd.handshake"' "$out"
+
+echo "== obs smoke: shs_demo --metrics =="
+report=$(dune exec bin/shs_demo.exe -- handshake -m 2 --metrics)
+echo "$report" | grep -q 'gcd.handshake.phase3'
+echo "$report" | grep -q 'gsig.sign'
+
+echo "ci: all checks passed"

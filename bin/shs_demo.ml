@@ -59,7 +59,8 @@ let build ~seed ~n =
 (* handshake                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_handshake scheme m outsiders clone revoke_last seed verbose =
+let run_handshake scheme m outsiders clone revoke_last seed verbose metrics =
+  if metrics then Obs.set_sink Obs.Memory;
   Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
   let tb = build ~seed ~n:m in
   if revoke_last then begin
@@ -83,6 +84,9 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose =
     (if clone then " + 1 clone" else "")
     (if outsiders > 0 then Printf.sprintf " + %d outsiders" outsiders else "")
     scheme;
+  (* group construction also ticks the registry; reset so the report
+     covers the handshake session alone *)
+  if metrics then Obs.reset ();
   let t0 = Unix.gettimeofday () in
   let r =
     if scheme = 2 then Scheme2.run_session_sd ~gpub ~fmt parts
@@ -109,6 +113,7 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose =
     (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.messages_sent)))
     (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.bytes_sent)));
   Printf.printf "Wall clock: %.2fs\n" dt;
+  if metrics then print_string (Obs.report ());
   0
 
 (* ------------------------------------------------------------------ *)
@@ -332,7 +337,8 @@ let run_members dir =
   Store.save_authority dir ga;
   0
 
-let run_session_cmd dir uids trace =
+let run_session_cmd dir uids trace metrics =
+  if metrics then Obs.set_sink Obs.Memory;
   let ga = Store.load_authority dir in
   let uids =
     match uids with
@@ -349,6 +355,8 @@ let run_session_cmd dir uids trace =
   else begin
     let members = List.map (Store.load_member dir) uids in
     let fmt = Scheme1.default_format ga in
+    (* state loading ticks the registry too; report the session alone *)
+    if metrics then Obs.reset ();
     let r =
       Scheme1.run_session ~fmt
         (Array.of_list (List.map Scheme1.participant_of_member members))
@@ -376,6 +384,7 @@ let run_session_cmd dir uids trace =
            (String.concat "; "
               (Array.to_list (Array.map (Option.value ~default:"-") traced)))
        | None -> ());
+    if metrics then print_string (Obs.report ());
     0
   end
 
@@ -391,9 +400,17 @@ let seed_t =
 let verbose_flag =
   Arg.(value & flag & info [ "debug" ] ~doc:"Enable protocol debug logging.")
 
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect Obs metrics during the session and print the per-phase \
+           span/counter report afterwards.")
 
 
-let handshake_cmd =
+
+let handshake_term =
   let scheme_t =
     Arg.(value & opt int 1 & info [ "scheme" ] ~doc:"Instantiation: 1 (ACJT) or 2 (KTY, self-distinction).")
   in
@@ -402,17 +419,20 @@ let handshake_cmd =
   let clone_t = Arg.(value & flag & info [ "clone" ] ~doc:"Let the last member occupy a second seat.") in
   let revoke_t = Arg.(value & flag & info [ "revoke-last" ] ~doc:"Revoke the last member before the handshake.") in
   let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print session keys.") in
-  let run debug scheme m outsiders clone revoke seed verbose =
+  let run debug scheme m outsiders clone revoke seed verbose metrics =
     setup_logging debug;
     if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
     else if m < 2 then (prerr_endline "need at least 2 members"; 1)
-    else run_handshake scheme m outsiders clone revoke seed verbose
+    else run_handshake scheme m outsiders clone revoke seed verbose metrics
   in
+  Term.(
+    const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
+    $ seed_t $ verbose_t $ metrics_flag)
+
+let handshake_cmd =
   Cmd.v
     (Cmd.info "handshake" ~doc:"Run an m-party secret handshake in simulation.")
-    Term.(
-      const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
-      $ seed_t $ verbose_t)
+    handshake_term
 
 let lifecycle_cmd =
   let n_t = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Members to admit.") in
@@ -468,17 +488,19 @@ let members_cmd =
 let run_cmd =
   let uids_t = Arg.(value & pos_all string [] & info [] ~docv:"UID") in
   let trace_t = Arg.(value & flag & info [ "trace" ] ~doc:"Open the transcript as the authority afterwards.") in
-  let run debug dir trace uids =
+  let run debug dir trace uids metrics =
     setup_logging debug;
-    wrap (fun () -> run_session_cmd dir uids trace)
+    wrap (fun () -> run_session_cmd dir uids trace metrics)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a secret handshake between stored members (default: all active).")
-    Term.(const run $ verbose_flag $ dir_t $ trace_t $ uids_t)
+    Term.(const run $ verbose_flag $ dir_t $ trace_t $ uids_t $ metrics_flag)
 
 let main =
-  Cmd.group
+  (* [handshake] doubles as the default command, so
+     [shs_demo -- --metrics] works without naming a subcommand *)
+  Cmd.group ~default:handshake_term
     (Cmd.info "shs_demo" ~version:"1.0.0"
        ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
     [ handshake_cmd; lifecycle_cmd; trace_cmd; params_cmd; init_cmd; add_cmd;

@@ -14,14 +14,18 @@ type t = { sign : int; mag : int array }
 (* Invariant: mag has no trailing (most-significant) zero limb, and
    sign = 0 iff mag = [||]. *)
 
-let mul_counter = ref 0
-let pow_mod_counter = ref 0
-let mul_count () = !mul_counter
-let pow_mod_count () = !pow_mod_counter
+(* op counters live in the shared metrics registry (Shs_obs) so the bench
+   harness and the CLI's --metrics report read the same numbers; the
+   increment is a single field write, same cost as the int ref it
+   replaces *)
+let mul_counter = Obs.counter ~help:"bignum multiplications" "bigint.mul"
+let pow_mod_counter = Obs.counter ~help:"modular exponentiations" "bigint.pow_mod"
+let mul_count () = Obs.value mul_counter
+let pow_mod_count () = Obs.value pow_mod_counter
 
 let reset_counters () =
-  mul_counter := 0;
-  pow_mod_counter := 0
+  Obs.reset_counter mul_counter;
+  Obs.reset_counter pow_mod_counter
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude (natural-number) primitives on little-endian limb arrays  *)
@@ -136,7 +140,7 @@ module Nat = struct
     end
 
   let mul a b =
-    incr mul_counter;
+    Obs.incr mul_counter;
     mul_raw a b
 
   let num_bits a =
@@ -434,7 +438,7 @@ let invert a m =
 let pow_mod_naive b e m =
   if m.sign <= 0 then raise Division_by_zero;
   if e.sign < 0 then invalid_arg "Bigint.pow_mod_naive: negative exponent";
-  incr pow_mod_counter;
+  Obs.incr pow_mod_counter;
   let b = erem b m in
   let nbits = num_bits e in
   let acc = ref one in
@@ -491,7 +495,7 @@ module Montgomery = struct
 
   (* t <- (a*b + m*n) / R, result < 2n *)
   let mont_mul ctx a b =
-    incr mul_counter;
+    Obs.incr mul_counter;
     let k = ctx.k in
     let a = pad_to k a and b = pad_to k b in
     let n = ctx.n_limbs in
@@ -607,7 +611,7 @@ let mont_ctx m =
 let pow_mod_div b e m =
   if m.sign <= 0 then raise Division_by_zero;
   if e.sign < 0 then invalid_arg "Bigint.pow_mod_div: negative exponent";
-  incr pow_mod_counter;
+  Obs.incr pow_mod_counter;
   windowed_div_pow (erem b m) e m (num_bits e)
 
 let pow_mod b e m =
@@ -618,7 +622,7 @@ let pow_mod b e m =
     in
     pow_mod_naive inv (neg e) m |> fun r -> r
   else begin
-    incr pow_mod_counter;
+    Obs.incr pow_mod_counter;
     let b = erem b m in
     let nbits = num_bits e in
     if nbits <= window_bits * 2 then begin

@@ -1,5 +1,9 @@
 let name = "lkh"
 
+let join_counter = Obs.counter ~help:"CGKD member joins" "cgkd.join"
+let leave_counter = Obs.counter ~help:"CGKD member leaves" "cgkd.leave"
+let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.rekey"
+
 let key_len = 32
 
 (* Nodes in heap order: root = 1, children of v are 2v and 2v+1; leaves
@@ -92,6 +96,7 @@ let refresh_path gc ~leaf ~skip_leaf =
   List.rev !entries
 
 let join gc ~uid =
+  Obs.incr join_counter;
   if Hashtbl.mem gc.leaf_of uid then None
   else
     match gc.free with
@@ -109,6 +114,7 @@ let join gc ~uid =
       Some (gc, m, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
 
 let leave gc ~uid =
+  Obs.incr leave_counter;
   match Hashtbl.find_opt gc.leaf_of uid with
   | None -> None
   | Some leaf ->
@@ -120,6 +126,7 @@ let leave gc ~uid =
     Some (gc, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
 
 let rekey m msg =
+  Obs.incr rekey_counter;
   match Wire.expect ~tag:"lkh-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with

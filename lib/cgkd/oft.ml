@@ -1,5 +1,9 @@
 let name = "oft"
 
+let join_counter = Obs.counter ~help:"CGKD member joins" "cgkd.join"
+let leave_counter = Obs.counter ~help:"CGKD member leaves" "cgkd.leave"
+let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.rekey"
+
 let key_len = 32
 
 let blind k = Hmac.mac ~key:k "oft-blind"
@@ -131,6 +135,7 @@ let member_state gc ~uid leaf =
   m
 
 let join gc ~uid =
+  Obs.incr join_counter;
   if Hashtbl.mem gc.leaf_of uid then None
   else
     match gc.free with
@@ -145,6 +150,7 @@ let join gc ~uid =
       Some (gc, m, msg)
 
 let leave gc ~uid =
+  Obs.incr leave_counter;
   match Hashtbl.find_opt gc.leaf_of uid with
   | None -> None
   | Some leaf ->
@@ -156,6 +162,7 @@ let leave gc ~uid =
     Some (gc, broadcast_path gc leaf)
 
 let rekey m msg =
+  Obs.incr rekey_counter;
   match Wire.expect ~tag:"oft-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with

@@ -19,6 +19,12 @@ module type POLICY = sig
       the v→w path such that both S(v,u) and S(u,w) are useful. *)
 end
 
+(* outside the functor so Sd and Lsd hit the same registry entries as
+   Lkh/Oft — the counters classify by operation, not by scheme *)
+let join_counter = Obs.counter ~help:"CGKD member joins" "cgkd.join"
+let leave_counter = Obs.counter ~help:"CGKD member leaves" "cgkd.leave"
+let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.rekey"
+
 module Make (P : POLICY) = struct
   let name = P.name
 
@@ -202,6 +208,7 @@ module Make (P : POLICY) = struct
     labels
 
   let join gc ~uid =
+    Obs.incr join_counter;
     if Hashtbl.mem gc.leaf_of uid then None
     else
       match gc.free with
@@ -218,6 +225,7 @@ module Make (P : POLICY) = struct
         Some (gc, m, msg)
 
   let leave gc ~uid =
+    Obs.incr leave_counter;
     match Hashtbl.find_opt gc.leaf_of uid with
     | None -> None
     | Some leaf ->
@@ -248,6 +256,7 @@ module Make (P : POLICY) = struct
     end
 
   let rekey m msg =
+    Obs.incr rekey_counter;
     match Wire.expect ~tag:(P.name ^ "-rekey") msg with
     | Some (epoch_s :: confirm :: entries) ->
       (match int_of_string_opt epoch_s with

@@ -37,6 +37,10 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
 
   module Log = (val Logs.src_log log : Logs.LOG)
 
+  (* metrics: span names are shared across instantiations so the trace
+     tree aggregates by protocol phase, not by scheme *)
+  let sessions_counter = Obs.counter ~help:"handshake sessions run" "gcd.sessions"
+
   (* ---------------------------------------------------------------- *)
   (* Group authority and members                                       *)
   (* ---------------------------------------------------------------- *)
@@ -70,6 +74,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
   (* AdmitMember: GSIG join (three flights) + CGKD join; the GSIG update
      is sealed under the fresh CGKD key. *)
   let admit ga ~uid ~member_rng =
+    Obs.span "gcd.admit" @@ fun () ->
     let pub = G.public ga.gm in
     let req, offer = G.join_begin ~rng:member_rng pub in
     match G.join_issue ~rng:ga.ga_rng ga.gm ~uid ~offer with
@@ -105,6 +110,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
             Some (m, broadcast)))
 
   let remove ga ~uid =
+    Obs.span "gcd.remove" @@ fun () ->
     match C.leave ga.gc ~uid with
     | None -> None
     | Some (gc, cgkd_rekey) ->
@@ -251,6 +257,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
 
   (* Phase I complete: derive k' and publish the Phase II tag. *)
   let emit_phase2 p ~key ~sid =
+    Obs.span "gcd.handshake.phase2" @@ fun () ->
     let kprime =
       match p.role with
       | Member_of m when m.active -> xor_bytes key (C.group_key m.cgkd)
@@ -275,6 +282,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
   (* Phase III: real values when this party is a live member and the tag
      matrix allows it, random fakes otherwise. *)
   let emit_phase3 p =
+    Obs.span "gcd.handshake.phase3" @@ fun () ->
     Log.debug (fun f -> f "party %d: entering phase III" p.self);
     p.sent_p3 <- true;
     let sid = Option.get p.sid in
@@ -304,6 +312,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     [ (None, Wire.encode ~tag:"hs3" [ theta; delta ]) ]
 
   let finalize p =
+    Obs.span "gcd.handshake.finalize" @@ fun () ->
     let sid = Option.get p.sid in
     let kprime = Option.get p.kprime in
     let verified =
@@ -365,6 +374,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
 
   (* Phase II-only termination: the tag matrix is the whole outcome. *)
   let finalize_two_phase p =
+    Obs.span "gcd.handshake.finalize" @@ fun () ->
     let sid = Option.get p.sid in
     let kprime = Option.get p.kprime in
     let partners =
@@ -404,7 +414,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     | _ -> []
 
   let start p =
-    let msgs = D.start p.dgka in
+    let msgs = Obs.span "gcd.handshake.dgka" (fun () -> D.start p.dgka) in
     msgs @ after_dgka_progress p
 
   let receive p ~src payload =
@@ -430,7 +440,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
         else []
       | _ ->
         (* everything else belongs to the DGKA sub-protocol *)
-        let out = D.receive p.dgka ~src payload in
+        let out = Obs.span "gcd.handshake.dgka" (fun () -> D.receive p.dgka ~src payload) in
         let extra = after_dgka_progress p in
         (* late Phase II/III triggers: all peers' tags may already be in *)
         let extra2 =
@@ -462,6 +472,8 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
       ?(two_phase = false) ?(hooks = default_hooks) ~fmt participants =
     let n = Array.length participants in
     if n < 2 then invalid_arg "Gcd.run_session: need at least two parties";
+    Obs.incr sessions_counter;
+    Obs.span "gcd.handshake" @@ fun () ->
     let net = Engine.create ?adversary ?latency ~n () in
     let parties =
       Array.mapi
@@ -496,6 +508,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
      signature.  Positions that yield no identity are reported as [None]
      (fakes from failed or foreign-group participants). *)
   let trace_user ga ~sid transcript =
+    Obs.span "gcd.trace" @@ fun () ->
     Array.map
       (fun (theta, delta) ->
         match Dhies.decrypt ~sk:ga.trace_sk delta with

@@ -2,6 +2,9 @@ module B = Bigint
 
 let name = "bd"
 
+let start_counter = Obs.counter ~help:"DGKA protocol instances started" "dgka.start"
+let msg_counter = Obs.counter ~help:"DGKA protocol messages processed" "dgka.msg"
+
 type outcome = { key : string; sid : string }
 
 type instance = {
@@ -39,6 +42,7 @@ let aborted t = t.dead
 let all_present arr = Array.for_all Option.is_some arr
 
 let start t =
+  Obs.incr start_counter;
   let z_self = B.pow_mod t.grp.Groupgen.g t.r t.grp.Groupgen.p in
   t.z.(t.self) <- Some z_self;
   [ (None, Wire.encode ~tag:"bd1" [ enc t z_self ]) ]
@@ -99,6 +103,7 @@ let store t arr ~allow_one ~src v =
       end
 
 let receive t ~src payload =
+  Obs.incr msg_counter;
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

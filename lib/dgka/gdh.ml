@@ -2,6 +2,9 @@ module B = Bigint
 
 let name = "gdh"
 
+let start_counter = Obs.counter ~help:"DGKA protocol instances started" "dgka.start"
+let msg_counter = Obs.counter ~help:"DGKA protocol messages processed" "dgka.msg"
+
 type outcome = { key : string; sid : string }
 
 type instance = {
@@ -38,6 +41,7 @@ let finish t ~k ~downflow_bytes =
   t.out <- Some { key; sid }
 
 let start t =
+  Obs.incr start_counter;
   if t.self <> 0 then []
   else begin
     t.done_up <- true;
@@ -51,6 +55,7 @@ let start t =
 let valid_elem t v = Groupgen.in_subgroup t.grp v
 
 let receive t ~src payload =
+  Obs.incr msg_counter;
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

@@ -2,6 +2,9 @@ module B = Bigint
 
 let name = "str"
 
+let start_counter = Obs.counter ~help:"DGKA protocol instances started" "dgka.start"
+let msg_counter = Obs.counter ~help:"DGKA protocol messages processed" "dgka.msg"
+
 type outcome = { key : string; sid : string }
 
 type instance = {
@@ -77,11 +80,13 @@ let process_downflow t bgks =
   end
 
 let start t =
+  Obs.incr start_counter;
   let bk_self = B.pow_mod t.grp.Groupgen.g t.r t.grp.Groupgen.p in
   t.bk.(t.self) <- Some bk_self;
   [ (None, Wire.encode ~tag:"str1" [ enc t bk_self ]) ]
 
 let receive t ~src payload =
+  Obs.incr msg_counter;
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

@@ -2,6 +2,11 @@ module B = Bigint
 
 let name = "acjt"
 
+(* shared across GSIG schemes: one registry entry per operation kind *)
+let sign_counter = Obs.counter ~help:"group signatures produced" "gsig.sign"
+let verify_counter = Obs.counter ~help:"group signatures verified" "gsig.verify"
+let open_counter = Obs.counter ~help:"group signatures opened" "gsig.open"
+
 type public = {
   n : B.t;
   a : B.t;
@@ -219,6 +224,7 @@ let signature_len pub = (5 * elem_len pub) + Spk.encoded_len (skeleton_statement
 
 let sign ~rng mem ~msg =
   if not mem.valid then invalid_arg "Acjt.sign: member revoked";
+  Obs.incr sign_counter;
   let pub = mem.mpub in
   let s = pub.sizes in
   let r = Interval.sample ~rng s.Gsig_sizes.free in
@@ -268,13 +274,16 @@ let verify_against pub ~acc_value ~msg sigma =
     let tr = base_transcript pub ~acc_value ~msg in
     Spk.verify st ~transcript:tr proof
 
-let verify mem ~msg sigma = verify_against mem.mpub ~acc_value:mem.acc_value ~msg sigma
+let verify mem ~msg sigma =
+  Obs.incr verify_counter;
+  verify_against mem.mpub ~acc_value:mem.acc_value ~msg sigma
 
 (* ------------------------------------------------------------------ *)
 (* Open                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let open_ mgr ~msg sigma =
+  Obs.incr open_counter;
   let pub = mgr.pub in
   if not (verify_against pub ~acc_value:(Accumulator.value mgr.acc) ~msg sigma)
   then None

@@ -2,6 +2,11 @@ module B = Bigint
 
 let name = "kty"
 
+(* interned by name, so these are the same registry entries Acjt uses *)
+let sign_counter = Obs.counter ~help:"group signatures produced" "gsig.sign"
+let verify_counter = Obs.counter ~help:"group signatures verified" "gsig.verify"
+let open_counter = Obs.counter ~help:"group signatures opened" "gsig.open"
+
 type public = {
   n : B.t;
   a : B.t;
@@ -187,6 +192,7 @@ let base_of_bytes pub seed =
 
 let sign_internal ~rng mem ~msg ~t7_and_k' =
   if not mem.valid then invalid_arg "Kty.sign: member revoked";
+  Obs.incr sign_counter;
   let pub = mem.mpub in
   let s = pub.sizes in
   let r = Interval.sample ~rng s.Gsig_sizes.free in
@@ -251,6 +257,7 @@ let revoked_by_crl pub crl { tags; _ } =
   List.exists (fun token -> B.equal t4 (B.pow_mod t5 token pub.n)) crl
 
 let verify mem ~msg sigma =
+  Obs.incr verify_counter;
   match decode_signature mem.mpub sigma with
   | None -> false
   | Some dec ->
@@ -261,6 +268,7 @@ let verify mem ~msg sigma =
 (* ------------------------------------------------------------------ *)
 
 let open_ mgr ~msg sigma =
+  Obs.incr open_counter;
   let pub = mgr.pub in
   match decode_signature pub sigma with
   | None -> None

@@ -1,3 +1,9 @@
+(* global metrics, alongside the per-engine/per-party stats below: the
+   E2 bench reads the stats arrays, the observability layer reads these *)
+let msgs_counter = Obs.counter ~help:"messages sent (all engines)" "net.messages"
+let bytes_counter = Obs.counter ~help:"payload bytes sent (all engines)" "net.bytes"
+let deliveries_counter = Obs.counter ~help:"messages delivered (all engines)" "net.deliveries"
+
 type decision = Deliver | Drop | Replace of string
 
 type adversary = src:int -> dst:int -> payload:string -> decision
@@ -53,13 +59,16 @@ let deliver t ~src ~dst payload =
   | Some payload ->
     Sim.schedule t.sim ~delay:(t.latency ~src ~dst) (fun () ->
         t.delivered <- t.delivered + 1;
+        Obs.incr deliveries_counter;
         match t.receivers.(dst) with
         | Some cb -> cb ~src ~payload
         | None -> ())
 
 let account t ~src payload =
   t.msgs.(src) <- t.msgs.(src) + 1;
-  t.bytes.(src) <- t.bytes.(src) + String.length payload
+  t.bytes.(src) <- t.bytes.(src) + String.length payload;
+  Obs.incr msgs_counter;
+  Obs.add bytes_counter (String.length payload)
 
 let broadcast t ~src payload =
   if src < 0 || src >= t.n then invalid_arg "Engine.broadcast: bad source";

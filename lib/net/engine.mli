@@ -11,7 +11,9 @@
       replace payloads (the Appendix A adversary has "complete control over
       all communication");
     - per-party {b accounting} of messages and bytes, which the E2 bench
-      uses to verify the O(m)-messages claim.
+      uses to verify the O(m)-messages claim; the same sends and
+      deliveries also feed the global [net.messages] / [net.bytes] /
+      [net.deliveries] counters in the {!Obs} metrics registry.
 
     Delivery order is deterministic: latency is a pure function of the
     link, ties resolve by send order. *)

@@ -7,11 +7,13 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable clock : float;
+  mutable processed : int;
 }
 
 let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
 
-let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0; clock = 0.0 }
+let create () =
+  { heap = Array.make 64 dummy; size = 0; next_seq = 0; clock = 0.0; processed = 0 }
 
 let now t = t.clock
 
@@ -70,9 +72,11 @@ let step t =
   | None -> false
   | Some ev ->
     t.clock <- ev.time;
+    t.processed <- t.processed + 1;
     ev.action ();
     true
 
 let run t = while step t do () done
 
 let pending t = t.size
+let events_processed t = t.processed

@@ -24,3 +24,9 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val events_processed : t -> int
+(** Events executed since creation.  A drained scheduler reports
+    [pending = 0] and a processed count that is a pure function of the
+    run — the determinism guarantee the tracing layer's timestamps rely
+    on. *)

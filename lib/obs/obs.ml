@@ -1,0 +1,282 @@
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter ?(help = "") name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_help = help; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let reset_counter c = c.c_value <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type hist_stats = { count : int; sum : float; min : float; max : float }
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram ?(help = "") name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; h_help = help; h_count = 0; h_sum = 0.0;
+        h_min = 0.0; h_max = 0.0 }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let observe h v =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let hist_stats h =
+  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default_clock () = Unix.gettimeofday () *. 1e9
+
+let clock = ref default_clock
+
+let set_clock f = clock := f
+
+let manual_clock ?(start = 0.0) ?(step = 1.0) () =
+  let t = ref start in
+  fun () ->
+    let v = !t in
+    t := v +. step;
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = Noop | Memory
+
+(* aggregated trace node: children in reverse first-seen order *)
+type node = {
+  n_name : string;
+  mutable n_calls : int;
+  mutable n_total : float;
+  mutable n_children : node list;
+}
+
+let make_node name = { n_name = name; n_calls = 0; n_total = 0.0; n_children = [] }
+
+let root = ref (make_node "")
+let current = ref !root
+let tracing = ref false
+let sink_state = ref Noop
+
+let set_sink s =
+  sink_state := s;
+  tracing := s = Memory
+
+let current_sink () = !sink_state
+
+let child_of parent name =
+  match List.find_opt (fun n -> n.n_name = name) parent.n_children with
+  | Some n -> n
+  | None ->
+    let n = make_node name in
+    parent.n_children <- n :: parent.n_children;
+    n
+
+let span name f =
+  if not !tracing then f ()
+  else begin
+    let parent = !current in
+    let node = child_of parent name in
+    node.n_calls <- node.n_calls + 1;
+    current := node;
+    let t0 = !clock () in
+    let close () =
+      let dt = !clock () -. t0 in
+      node.n_total <- node.n_total +. dt;
+      observe (histogram ~help:"span latency (ns)" name) dt;
+      current := parent
+    in
+    match f () with
+    | v -> close (); v
+    | exception e -> close (); raise e
+  end
+
+type span_tree = {
+  span_name : string;
+  calls : int;
+  total_ns : float;
+  children : span_tree list;
+}
+
+let rec freeze node =
+  { span_name = node.n_name;
+    calls = node.n_calls;
+    total_ns = node.n_total;
+    (* children are stored newest-first; rev_map restores call order *)
+    children = List.rev_map freeze node.n_children;
+  }
+
+let trace () = (freeze !root).children
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- 0.0;
+      h.h_max <- 0.0)
+    histograms;
+  let r = make_node "" in
+  root := r;
+  current := r
+
+let snapshot_counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
+  |> List.sort compare
+
+let snapshot_histograms () =
+  Hashtbl.fold
+    (fun name h acc ->
+      if h.h_count = 0 then acc else (name, hist_stats h) :: acc)
+    histograms []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  "shs_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let p = sanitize name in
+      let help = (Hashtbl.find counters name).c_help in
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" p help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" p);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" p v))
+    (snapshot_counters ());
+  List.iter
+    (fun (name, st) ->
+      let p = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" p);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" p st.count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.17g\n" p st.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_min %.17g\n" p st.min);
+      Buffer.add_string buf (Printf.sprintf "%s_max %.17g\n" p st.max))
+    (snapshot_histograms ());
+  Buffer.contents buf
+
+let rec span_to_json s =
+  Obs_json.Obj
+    [ ("name", Obs_json.Str s.span_name);
+      ("calls", Obs_json.Int s.calls);
+      ("total_ns", Obs_json.Float s.total_ns);
+      ("children", Obs_json.List (List.map span_to_json s.children));
+    ]
+
+let hist_to_json st =
+  Obs_json.Obj
+    [ ("count", Obs_json.Int st.count);
+      ("sum", Obs_json.Float st.sum);
+      ("min", Obs_json.Float st.min);
+      ("max", Obs_json.Float st.max);
+    ]
+
+let to_json () =
+  Obs_json.Obj
+    [ ("counters",
+       Obs_json.Obj
+         (List.map (fun (n, v) -> (n, Obs_json.Int v)) (snapshot_counters ())));
+      ("histograms",
+       Obs_json.Obj
+         (List.map (fun (n, st) -> (n, hist_to_json st)) (snapshot_histograms ())));
+      ("trace", Obs_json.List (List.map span_to_json (trace ())));
+    ]
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let report () =
+  let buf = Buffer.create 1024 in
+  let counters = snapshot_counters () in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %12d\n" n v))
+      counters
+  end;
+  let hists = snapshot_histograms () in
+  if hists <> [] then begin
+    Buffer.add_string buf "span latencies:\n";
+    List.iter
+      (fun (n, st) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %6d calls  total %-10s mean %-10s max %s\n" n
+             st.count (pretty_ns st.sum)
+             (pretty_ns (st.sum /. float_of_int st.count))
+             (pretty_ns st.max)))
+      hists
+  end;
+  let tr = trace () in
+  if tr <> [] then begin
+    Buffer.add_string buf "trace:\n";
+    let rec go depth s =
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%-*s %6dx  %s\n"
+           (String.make (2 * depth) ' ')
+           (max 1 (32 - (2 * depth)))
+           s.span_name s.calls (pretty_ns s.total_ns));
+      List.iter (go (depth + 1)) s.children
+    in
+    List.iter (go 0) tr
+  end;
+  Buffer.contents buf

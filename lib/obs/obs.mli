@@ -1,0 +1,123 @@
+(** Shs_obs: metrics and tracing for the GCD secret-handshake stack.
+
+    Every protocol layer reports into one process-wide registry:
+
+    - {b counters} — monotonically increasing integers (bignum operation
+      counts, network messages/bytes, GSIG sign/verify calls, CGKD rekey
+      events).  Counters are always on; an increment is a single mutable
+      field write, cheap enough for the bignum hot path.
+    - {b histograms} — running [count/sum/min/max] aggregates of float
+      observations (span latencies in nanoseconds).
+    - {b spans} — hierarchical timed regions
+      ([span "gcd.handshake.phase2" f]).  Span recording is gated by the
+      installed {e sink}: under the default {!Noop} sink a span is one
+      flag check plus the call to [f] — no allocation, no clock read —
+      so instrumented code pays nothing when nobody is watching.  Under
+      the {!Memory} sink, spans build an aggregated trace tree (merged by
+      name at each nesting level, first-seen order preserved) and feed a
+      latency histogram per span name.
+
+    Naming scheme: dot-separated lowercase paths, [layer.component.verb]
+    — e.g. [bigint.mul], [net.messages], [gsig.sign], [cgkd.rekey],
+    [gcd.handshake.phase2].  See DESIGN.md "Observability".
+
+    Determinism: the span clock is pluggable.  The default reads the
+    system clock; tests install {!manual_clock} (a seedable fake that
+    advances a fixed step per reading) so the exported trace tree —
+    including every timing — is a pure function of the protocol run. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : ?help:string -> string -> counter
+(** Registers (or returns the existing) counter under a name.  Interned:
+    all callers naming ["gsig.sign"] share one counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset_counter : counter -> unit
+
+(** {1 Histograms} *)
+
+type histogram
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** 0.0 when [count = 0] *)
+  max : float;  (** 0.0 when [count = 0] *)
+}
+
+val histogram : ?help:string -> string -> histogram
+(** Interned by name, like {!counter}.  Counter and histogram namespaces
+    are separate. *)
+
+val observe : histogram -> float -> unit
+val hist_stats : histogram -> hist_stats
+
+(** {1 Spans and sinks} *)
+
+type sink =
+  | Noop  (** default: spans run their body and record nothing *)
+  | Memory  (** aggregate trace tree + per-span latency histograms *)
+
+val set_sink : sink -> unit
+val current_sink : unit -> sink
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; under the [Memory] sink the call is timed
+    and recorded as a child of the innermost enclosing span.  Exceptions
+    propagate; the span still closes. *)
+
+type span_tree = {
+  span_name : string;
+  calls : int;
+  total_ns : float;
+  children : span_tree list;
+}
+
+val trace : unit -> span_tree list
+(** Root spans recorded since the last {!reset}, aggregated by name. *)
+
+(** {1 Clock} *)
+
+val default_clock : unit -> float
+(** Wall clock in nanoseconds ([Unix.gettimeofday]-based). *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the span clock; it must return nanoseconds and never
+    decrease. *)
+
+val manual_clock : ?start:float -> ?step:float -> unit -> unit -> float
+(** A deterministic fake clock for tests: the first reading is [start]
+    (default [0.0]) and every reading advances it by [step] (default
+    [1.0] ns).  Install with {!set_clock}. *)
+
+(** {1 Registry} *)
+
+val reset : unit -> unit
+(** Zero every counter, clear every histogram, drop the recorded trace.
+    The sink and clock are left installed. *)
+
+val snapshot_counters : unit -> (string * int) list
+(** Sorted by name. *)
+
+val snapshot_histograms : unit -> (string * hist_stats) list
+(** Sorted by name; empty histograms are omitted. *)
+
+(** {1 Exporters} *)
+
+val to_prometheus : unit -> string
+(** Prometheus-style text: counters as [shs_<name>] with [# HELP]/[#
+    TYPE] headers, histograms as [_count]/[_sum]/[_min]/[_max] summary
+    series.  Names are sanitized ([.] → [_]). *)
+
+val to_json : unit -> Obs_json.t
+(** [{"counters": {..}, "histograms": {..}, "trace": [..]}] — the
+    document embedded in the bench harness's [--json] output. *)
+
+val report : unit -> string
+(** Human-readable dump: counter table, span-latency table and the
+    indented trace tree (the CLI's [--metrics] output). *)

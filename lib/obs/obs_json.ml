@@ -1,0 +1,274 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    (* shortest representation that still round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if pretty then Buffer.add_char buf '\n' in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          escape_string buf k;
+          Buffer.add_string buf (if pretty then ": " else ":");
+          go (depth + 1) item)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Malformed
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance () else raise Malformed
+  in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else raise Malformed
+  in
+  let hex4 () =
+    if !pos + 4 > n then raise Malformed;
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> raise Malformed
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    (* encode a Unicode scalar value as UTF-8 *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise Malformed;
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then raise Malformed;
+        (match s.[!pos] with
+         | '"' -> advance (); Buffer.add_char buf '"'; go ()
+         | '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+         | '/' -> advance (); Buffer.add_char buf '/'; go ()
+         | 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+         | 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+         | 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+         | 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+         | 't' -> advance (); Buffer.add_char buf '\t'; go ()
+         | 'u' ->
+           advance ();
+           let cp = hex4 () in
+           let cp =
+             (* combine a surrogate pair when one follows *)
+             if cp >= 0xd800 && cp <= 0xdbff && !pos + 1 < n && s.[!pos] = '\\'
+                && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let lo = hex4 () in
+               if lo < 0xdc00 || lo > 0xdfff then raise Malformed;
+               0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+             end
+             else cp
+           in
+           add_utf8 buf cp;
+           go ()
+         | _ -> raise Malformed)
+      | c when Char.code c < 0x20 -> raise Malformed
+      | c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      && (match s.[!pos] with
+          | '0' .. '9' -> true
+          | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
+          | _ -> false)
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if text = "" || text = "-" then raise Malformed;
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> raise Malformed
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None ->
+        (* out of native-int range: fall back to float *)
+        (match float_of_string_opt text with
+         | Some f -> Float f
+         | None -> raise Malformed)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> raise Malformed
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Malformed;
+    v
+  with
+  | v -> Some v
+  | exception Malformed -> None
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None

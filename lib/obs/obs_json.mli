@@ -1,0 +1,30 @@
+(** Minimal JSON document model used by the observability exporters.
+
+    The sealed container provides no JSON library, so this module supplies
+    the small subset the framework needs: a value type, a serializer
+    (compact or pretty-printed, always valid JSON), and a total parser for
+    round-trip tests and downstream tooling.  Numbers without a fraction
+    or exponent parse as [Int]; everything else numeric parses as
+    [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default [false]) indents with two spaces.
+    Non-finite floats serialize as [null] (JSON has no representation
+    for them). *)
+
+val of_string : string -> t option
+(** Total parser: [None] on any malformed input, including trailing
+    garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    missing keys and non-objects. *)

@@ -44,6 +44,28 @@ let test_sim_negative_delay () =
   Alcotest.check_raises "negative" (Invalid_argument "Sim.schedule: negative delay")
     (fun () -> Sim.schedule sim ~delay:(-1.0) (fun () -> ()))
 
+let test_sim_drained_deterministic () =
+  (* A drained scheduler must report pending = 0 and a processed count
+     that is identical across identical runs — the property the tracing
+     layer's deterministic timestamps rest on. *)
+  let run_once () =
+    let net = Engine.create ~n:3 () in
+    for i = 0 to 2 do
+      Engine.set_receiver net i (fun ~src ~payload ->
+          if payload = "ping" && i <> src then Engine.send net ~src:i ~dst:src "pong")
+    done;
+    Engine.broadcast net ~src:0 "ping";
+    Engine.run net;
+    let sim = Engine.sim net in
+    (Sim.pending sim, Sim.events_processed sim)
+  in
+  let p1, c1 = run_once () in
+  let p2, c2 = run_once () in
+  Alcotest.(check int) "drained" 0 p1;
+  Alcotest.(check int) "drained (2nd run)" 0 p2;
+  Alcotest.(check bool) "work happened" true (c1 > 0);
+  Alcotest.(check int) "stable processed count" c1 c2
+
 let test_sim_heap_stress () =
   (* Many events with pseudo-random delays must fire in sorted order. *)
   let sim = Sim.create () in
@@ -173,6 +195,8 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_sim_nested;
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
           Alcotest.test_case "heap stress" `Quick test_sim_heap_stress;
+          Alcotest.test_case "drained determinism" `Quick
+            test_sim_drained_deterministic;
         ] );
       ( "engine",
         [ Alcotest.test_case "broadcast" `Quick test_engine_broadcast;

@@ -1,0 +1,258 @@
+(* Tests for the observability layer: counter/histogram math, span
+   recording under both sinks, the exporters, the Obs_json codec, and an
+   end-to-end handshake whose span tree and message counters are checked
+   against the paper's O(m) communication claim. *)
+
+let reset_all () =
+  Obs.reset ();
+  Obs.set_sink Obs.Noop;
+  Obs.set_clock Obs.default_clock
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_math () =
+  reset_all ();
+  let c = Obs.counter ~help:"test" "test.obs.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  Alcotest.(check int) "incr + add" 42 (Obs.value c);
+  Obs.reset_counter c;
+  Alcotest.(check int) "reset_counter" 0 (Obs.value c)
+
+let test_counter_interning () =
+  reset_all ();
+  let a = Obs.counter "test.obs.shared" in
+  let b = Obs.counter "test.obs.shared" in
+  Obs.incr a;
+  Obs.incr b;
+  Alcotest.(check int) "two handles, one counter" 2 (Obs.value a);
+  Alcotest.(check bool) "snapshot carries it" true
+    (List.mem_assoc "test.obs.shared" (Obs.snapshot_counters ()))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_math () =
+  reset_all ();
+  let h = Obs.histogram "test.obs.hist" in
+  List.iter (Obs.observe h) [ 3.0; 1.0; 2.0 ];
+  let s = Obs.hist_stats h in
+  Alcotest.(check int) "count" 3 s.Obs.count;
+  Alcotest.(check (float 1e-9)) "sum" 6.0 s.Obs.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Obs.min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 s.Obs.max
+
+let test_histogram_empty_omitted () =
+  reset_all ();
+  let _ = Obs.histogram "test.obs.never" in
+  Alcotest.(check bool) "empty histogram not snapshotted" false
+    (List.mem_assoc "test.obs.never" (Obs.snapshot_histograms ()))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_noop_sink () =
+  reset_all ();
+  Alcotest.(check bool) "default sink" true (Obs.current_sink () = Obs.Noop);
+  let v = Obs.span "test.noop" (fun () -> 42) in
+  Alcotest.(check int) "span is transparent" 42 v;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.trace ()));
+  Alcotest.check_raises "exceptions propagate" Exit (fun () ->
+      Obs.span "test.noop" (fun () -> raise Exit))
+
+let test_span_nesting_deterministic () =
+  reset_all ();
+  Obs.set_sink Obs.Memory;
+  Obs.set_clock (Obs.manual_clock ~start:0.0 ~step:1.0 ());
+  Obs.span "outer" (fun () ->
+      Obs.span "inner" (fun () -> ());
+      Obs.span "inner" (fun () -> ()));
+  Obs.span "outer" (fun () -> ());
+  (match Obs.trace () with
+   | [ { Obs.span_name = "outer"; calls = 2; total_ns; children } ] ->
+     (* fake clock: one tick per reading, so the timings are exact *)
+     Alcotest.(check (float 1e-9)) "outer total" 6.0 total_ns;
+     (match children with
+      | [ { Obs.span_name = "inner"; calls = 2; total_ns; children = [] } ] ->
+        Alcotest.(check (float 1e-9)) "inner total" 2.0 total_ns
+      | _ -> Alcotest.fail "inner spans not aggregated")
+   | t -> Alcotest.fail (Printf.sprintf "unexpected trace shape (%d roots)" (List.length t)));
+  (* spans auto-feed a latency histogram per name *)
+  let s = Obs.hist_stats (Obs.histogram "inner") in
+  Alcotest.(check int) "latency histogram fed" 2 s.Obs.count;
+  reset_all ()
+
+let test_span_exception_closes () =
+  reset_all ();
+  Obs.set_sink Obs.Memory;
+  Alcotest.check_raises "propagates" Exit (fun () ->
+      Obs.span "test.raise" (fun () -> raise Exit));
+  (match Obs.trace () with
+   | [ { Obs.span_name = "test.raise"; calls = 1; _ } ] -> ()
+   | _ -> Alcotest.fail "span not closed on exception");
+  reset_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_export () =
+  reset_all ();
+  let c = Obs.counter ~help:"a test counter" "test.prom.hits" in
+  Obs.incr c;
+  Obs.observe (Obs.histogram "test.prom.lat") 2.5;
+  let out = Obs.to_prometheus () in
+  let mem s =
+    let n = String.length s and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE line" true (mem "# TYPE shs_test_prom_hits counter");
+  Alcotest.(check bool) "counter sample" true (mem "shs_test_prom_hits 1");
+  Alcotest.(check bool) "summary count" true (mem "shs_test_prom_lat_count 1");
+  Alcotest.(check bool) "summary sum" true (mem "shs_test_prom_lat_sum 2.5")
+
+let test_json_export_roundtrip () =
+  reset_all ();
+  Obs.set_sink Obs.Memory;
+  Obs.incr (Obs.counter "test.json.c");
+  Obs.span "test.json.root" (fun () -> Obs.span "test.json.leaf" (fun () -> ()));
+  let doc = Obs.to_json () in
+  let text = Obs_json.to_string ~pretty:true doc in
+  (match Obs_json.of_string text with
+   | None -> Alcotest.fail "exported JSON does not parse"
+   | Some reparsed ->
+     Alcotest.(check string) "serialize/parse/serialize is stable" text
+       (Obs_json.to_string ~pretty:true reparsed);
+     (match Obs_json.member "counters" reparsed with
+      | Some (Obs_json.Obj kvs) ->
+        Alcotest.(check bool) "counter present" true
+          (List.mem_assoc "test.json.c" kvs)
+      | _ -> Alcotest.fail "no counters object"));
+  reset_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Obs_json codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parser_accepts () =
+  (match Obs_json.of_string "{\"a\": [1, 2.5, true, null, \"x\\n\\u0041\"]}" with
+   | Some
+       (Obs_json.Obj
+          [ ("a",
+             Obs_json.List
+               [ Obs_json.Int 1; Obs_json.Float 2.5; Obs_json.Bool true;
+                 Obs_json.Null; Obs_json.Str "x\nA" ]) ]) -> ()
+   | _ -> Alcotest.fail "parse mismatch");
+  match Obs_json.of_string "  -12  " with
+  | Some (Obs_json.Int -12) -> ()
+  | _ -> Alcotest.fail "negative int"
+
+let test_json_parser_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ String.escaped s) true
+        (Obs_json.of_string s = None))
+    [ ""; "{"; "[1,]"; "tru"; "1 2"; "\"\\q\""; "{\"a\" 1}"; "\"unterminated" ]
+
+let test_json_string_escaping () =
+  let s = Obs_json.Str "a\"b\\c\nd\te\x01f" in
+  let text = Obs_json.to_string s in
+  match Obs_json.of_string text with
+  | Some (Obs_json.Str v) -> Alcotest.(check string) "escape roundtrip" "a\"b\\c\nd\te\x01f" v
+  | _ -> Alcotest.fail "string did not roundtrip"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a real handshake seen through the registry              *)
+(* ------------------------------------------------------------------ *)
+
+module W1 = World.Make (Scheme1)
+
+let span_names t = List.map (fun n -> n.Obs.span_name) t
+
+let test_e2e_handshake_trace () =
+  reset_all ();
+  let w = W1.create 7300 in
+  let _ = W1.populate w [ "u0"; "u1" ] in
+  Obs.set_sink Obs.Memory;
+  Obs.reset ();
+  let r = W1.handshake w [ "u0"; "u1" ] in
+  (match r.Gcd_types.outcomes.(0) with
+   | Some o -> Alcotest.(check bool) "accepted" true o.Gcd_types.accepted
+   | None -> Alcotest.fail "no outcome");
+  (match List.find_opt (fun n -> n.Obs.span_name = "gcd.handshake") (Obs.trace ()) with
+   | None -> Alcotest.fail "no gcd.handshake root span"
+   | Some root ->
+     Alcotest.(check int) "one session" 1 root.Obs.calls;
+     let kids = span_names root.Obs.children in
+     List.iter
+       (fun phase ->
+         Alcotest.(check bool) (phase ^ " recorded") true (List.mem phase kids))
+       [ "gcd.handshake.dgka"; "gcd.handshake.phase2"; "gcd.handshake.phase3";
+         "gcd.handshake.finalize" ]);
+  Alcotest.(check int) "gcd.sessions counter" 1
+    (Obs.value (Obs.counter "gcd.sessions"));
+  reset_all ()
+
+let test_e2e_message_complexity () =
+  (* E2 / paper sections 8.1-8.2: with BD as the DGKA each of the m
+     parties broadcasts exactly 4 messages, so the registry must read
+     4m after a session, for any m *)
+  reset_all ();
+  let w = W1.create 7400 in
+  let _ = W1.populate w [ "u0"; "u1"; "u2" ] in
+  let msgs = Obs.counter "net.messages" in
+  List.iter
+    (fun uids ->
+      let m = List.length uids in
+      Obs.reset ();
+      let r = W1.handshake w uids in
+      (match r.Gcd_types.outcomes.(0) with
+       | Some o -> Alcotest.(check bool) "accepted" true o.Gcd_types.accepted
+       | None -> Alcotest.fail "no outcome");
+      Alcotest.(check int)
+        (Printf.sprintf "net.messages = 4m for m=%d" m)
+        (4 * m) (Obs.value msgs))
+    [ [ "u0"; "u1" ]; [ "u0"; "u1"; "u2" ] ];
+  reset_all ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "counters",
+        [ Alcotest.test_case "math" `Quick test_counter_math;
+          Alcotest.test_case "interning" `Quick test_counter_interning;
+        ] );
+      ( "histograms",
+        [ Alcotest.test_case "math" `Quick test_histogram_math;
+          Alcotest.test_case "empty omitted" `Quick test_histogram_empty_omitted;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "noop sink" `Quick test_noop_sink;
+          Alcotest.test_case "nesting, manual clock" `Quick
+            test_span_nesting_deterministic;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+        ] );
+      ( "exporters",
+        [ Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+          Alcotest.test_case "json roundtrip" `Quick test_json_export_roundtrip;
+        ] );
+      ( "obs_json",
+        [ Alcotest.test_case "parser accepts" `Quick test_json_parser_accepts;
+          Alcotest.test_case "parser rejects" `Quick test_json_parser_rejects;
+          Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "handshake span tree" `Slow test_e2e_handshake_trace;
+          Alcotest.test_case "O(m) messages from registry" `Slow
+            test_e2e_message_complexity;
+        ] );
+    ]
