@@ -63,6 +63,18 @@ let s2_handshake m =
   in
   Scheme2.run_session_sd ~gpub ~fmt parts
 
+(* A handshake over a faulty channel: per-link drops, occasional
+   duplication and reordering jitter, with the session watchdog armed so
+   every party reaches a terminal outcome.  Deterministic in [seed]. *)
+let s1_chaos_handshake ?(duplicate = 0.05) ?(jitter = 0.3) ~m ~seed ~drop () =
+  let ga, members = Lazy.force scheme1_world in
+  let fmt = Scheme1.default_format ga in
+  let parts =
+    Array.init m (fun i -> Scheme1.participant_of_member members.(i))
+  in
+  let faults = Faults.create ~drop ~duplicate ~jitter ~seed () in
+  Scheme1.run_session ~faults ~watchdog:Gcd_types.default_watchdog ~fmt parts
+
 let assert_accepted (r : Gcd_types.session_result) =
   Array.iter
     (function

@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every quantitative claim of the paper's
-   evaluation as a table or series (experiments E1-E8; the index lives in
+   evaluation as a table or series (experiments E1-E10; the index lives in
    DESIGN.md §4 and the measured results in EXPERIMENTS.md).
 
    The paper itself reports no measured numbers (implementation is listed
@@ -662,17 +662,75 @@ let e9 () =
   print_timings ~experiment:"e9" "wall-clock:" (run_bechamel ~limit:3 tests)
 
 (* ------------------------------------------------------------------ *)
+(* E10: lossy-channel robustness sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* No Bechamel here: the series are protocol outcomes over fixed seeds
+   (deterministic), not wall-clock timings, so each cell runs exactly
+   once per seed and the experiment stays cheap enough for CI. *)
+let e10 () =
+  header "E10  lossy-channel robustness"
+    "completion rate and handshake latency vs. per-link drop probability      under the seeded fault plan (drops + 5% duplication + latency jitter),      with the session watchdog guaranteeing every party terminates";
+  let seeds = [ 11; 23; 47 ] in
+  let drops_pct = [ 0; 5; 10; 15; 20 ] in
+  Printf.printf
+    "%2s  %8s  %10s  %10s  %8s  %8s  %8s\n"
+    "m" "drop" "complete" "partial" "aborted" "avg dur" "dropped";
+  List.iter
+    (fun m ->
+      List.iter
+        (fun pct ->
+          let drop = float_of_int pct /. 100.0 in
+          let complete = ref 0 and partial = ref 0 and aborted = ref 0 in
+          let total = ref 0 and dur = ref 0.0 and dropped = ref 0 in
+          List.iter
+            (fun seed ->
+              let r = Fixtures.s1_chaos_handshake ~m ~seed ~drop () in
+              Array.iter
+                (function
+                  | None -> failwith "e10: party did not terminate"
+                  | Some o ->
+                    incr total;
+                    (match o.Gcd_types.termination with
+                     | Gcd_types.Complete -> incr complete
+                     | Gcd_types.Partial -> incr partial
+                     | Gcd_types.Aborted -> incr aborted))
+                r.Gcd_types.outcomes;
+              dur := !dur +. r.Gcd_types.duration;
+              dropped := !dropped + r.Gcd_types.stats.Engine.dropped)
+            seeds;
+          let frac k = float_of_int k /. float_of_int !total in
+          let avg_dur = !dur /. float_of_int (List.length seeds) in
+          Printf.printf "%2d  %7d%%  %10.2f  %10.2f  %8.2f  %8.2f  %8d\n" m
+            pct (frac !complete) (frac !partial) (frac !aborted) avg_dur
+            !dropped;
+          Report.add ~experiment:"e10"
+            ~series:(Printf.sprintf "complete fraction m=%d" m) ~param:pct
+            ~unit_:"fraction" (frac !complete);
+          Report.add ~experiment:"e10"
+            ~series:(Printf.sprintf "partial fraction m=%d" m) ~param:pct
+            ~unit_:"fraction" (frac !partial);
+          Report.add ~experiment:"e10"
+            ~series:(Printf.sprintf "avg session duration m=%d" m) ~param:pct
+            ~unit_:"sim-time" avg_dur;
+          Report.add ~experiment:"e10"
+            ~series:(Printf.sprintf "messages dropped m=%d" m) ~param:pct
+            ~unit_:"count" (float_of_int !dropped))
+        drops_pct)
+    [ 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10) ]
 
 let () =
   parse_cli ();
   List.iter
     (fun name ->
       if not (List.mem_assoc name experiments) then (
-        Printf.eprintf "unknown experiment %S (have e1..e9)\n" name;
+        Printf.eprintf "unknown experiment %S (have e1..e10)\n" name;
         exit 2))
     !only;
   (* with --json, collect the trace/histograms too so the output file

@@ -19,6 +19,18 @@ grep -q '"scheme1 msgs/party"' "$out"
 grep -q '"net.messages"' "$out"
 grep -q '"gcd.handshake"' "$out"
 
+echo "== chaos smoke: bench e10 (fixed-seed loss sweep) =="
+chaos=$(mktemp /tmp/shs_chaos_XXXXXX.json)
+trap 'rm -f "$out" "$chaos"' EXIT
+dune exec bench/main.exe -- --only e10 --json "$chaos" > /dev/null
+grep -q '"schema": "shs-bench/1"' "$chaos"
+grep -q '"complete fraction m=4"' "$chaos"
+grep -q '"complete fraction m=8"' "$chaos"
+grep -q '"net.dropped"' "$chaos"
+grep -q '"net.duplicated"' "$chaos"
+grep -q '"gcd.timeouts"' "$chaos"
+grep -q '"gcd.retransmissions"' "$chaos"
+
 echo "== obs smoke: shs_demo --metrics =="
 report=$(dune exec bin/shs_demo.exe -- handshake -m 2 --metrics)
 echo "$report" | grep -q 'gcd.handshake.phase3'

@@ -59,7 +59,8 @@ let build ~seed ~n =
 (* handshake                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_handshake scheme m outsiders clone revoke_last seed verbose metrics =
+let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
+    drop duplicate jitter crash net_seed =
   if metrics then Obs.set_sink Obs.Memory;
   Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
   let tb = build ~seed ~n:m in
@@ -84,13 +85,31 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics =
     (if clone then " + 1 clone" else "")
     (if outsiders > 0 then Printf.sprintf " + %d outsiders" outsiders else "")
     scheme;
+  (* any fault option arms the seeded fault plan plus the session
+     watchdog, so lossy runs still terminate for every party *)
+  let faulty = drop > 0.0 || duplicate > 0.0 || jitter > 0.0 || crash <> [] in
+  let faults =
+    if faulty then (
+      Printf.printf
+        "Fault plan: drop=%.2f duplicate=%.2f jitter=%.2f crashes=[%s] \
+         net-seed=%d (watchdog armed)\n%!"
+        drop duplicate jitter
+        (String.concat "; " (List.map string_of_int crash))
+        net_seed;
+      Some
+        (Faults.create ~drop ~duplicate ~jitter
+           ~crashes:(List.map (fun i -> (i, 1.0)) crash)
+           ~seed:net_seed ()))
+    else None
+  in
+  let watchdog = if faulty then Some Gcd_types.default_watchdog else None in
   (* group construction also ticks the registry; reset so the report
      covers the handshake session alone *)
   if metrics then Obs.reset ();
   let t0 = Unix.gettimeofday () in
   let r =
-    if scheme = 2 then Scheme2.run_session_sd ~gpub ~fmt parts
-    else Scheme2.run_session ~fmt parts
+    if scheme = 2 then Scheme2.run_session_sd ?faults ?watchdog ~gpub ~fmt parts
+    else Scheme2.run_session ?faults ?watchdog ~fmt parts
   in
   let dt = Unix.gettimeofday () -. t0 in
   Array.iteri
@@ -98,8 +117,9 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics =
       match o with
       | None -> Printf.printf "  position %d: no outcome\n" i
       | Some o ->
-        Printf.printf "  position %d: accepted=%-5b partners=[%s]%s\n" i
-          o.Gcd_types.accepted
+        Printf.printf "  position %d: accepted=%-5b termination=%-8s partners=[%s]%s\n"
+          i o.Gcd_types.accepted
+          (Gcd_types.string_of_termination o.Gcd_types.termination)
           (String.concat "; " (List.map string_of_int o.Gcd_types.partners))
           (if verbose then
              match o.Gcd_types.session_key with
@@ -112,6 +132,9 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics =
     st.Engine.deliveries
     (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.messages_sent)))
     (String.concat "; " (Array.to_list (Array.map string_of_int st.Engine.bytes_sent)));
+  if faulty then
+    Printf.printf "Channel: %d dropped, %d duplicated; session sim-time %.2f\n"
+      st.Engine.dropped st.Engine.duplicated r.Gcd_types.duration;
   Printf.printf "Wall clock: %.2fs\n" dt;
   if metrics then print_string (Obs.report ());
   0
@@ -419,15 +442,41 @@ let handshake_term =
   let clone_t = Arg.(value & flag & info [ "clone" ] ~doc:"Let the last member occupy a second seat.") in
   let revoke_t = Arg.(value & flag & info [ "revoke-last" ] ~doc:"Revoke the last member before the handshake.") in
   let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print session keys.") in
-  let run debug scheme m outsiders clone revoke seed verbose metrics =
+  let drop_t =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~doc:"Per-link message drop probability in [0,1].")
+  in
+  let duplicate_t =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~doc:"Message duplication probability in [0,1].")
+  in
+  let jitter_t =
+    Arg.(value & opt float 0.0
+         & info [ "jitter" ] ~doc:"Extra random delivery latency bound (reorders messages).")
+  in
+  let crash_t =
+    Arg.(value & opt_all int []
+         & info [ "crash" ] ~docv:"POSITION"
+             ~doc:"Crash-stop the party at this position (repeatable).")
+  in
+  let net_seed_t =
+    Arg.(value & opt int 7 & info [ "net-seed" ] ~doc:"Seed for the fault plan's DRBG.")
+  in
+  let run debug scheme m outsiders clone revoke seed verbose metrics drop
+      duplicate jitter crash net_seed =
     setup_logging debug;
     if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
     else if m < 2 then (prerr_endline "need at least 2 members"; 1)
-    else run_handshake scheme m outsiders clone revoke seed verbose metrics
+    else
+      try
+        run_handshake scheme m outsiders clone revoke seed verbose metrics drop
+          duplicate jitter crash net_seed
+      with Invalid_argument msg -> prerr_endline msg; 1
   in
   Term.(
     const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
-    $ seed_t $ verbose_t $ metrics_flag)
+    $ seed_t $ verbose_t $ metrics_flag $ drop_t $ duplicate_t $ jitter_t
+    $ crash_t $ net_seed_t)
 
 let handshake_cmd =
   Cmd.v

@@ -25,13 +25,16 @@ let word32_le s off =
 let init_state ~key ~nonce ~counter =
   if String.length key <> key_size then invalid_arg "Chacha20: bad key size";
   if String.length nonce <> nonce_size then invalid_arg "Chacha20: bad nonce size";
+  (* the RFC 8439 block counter is a single 32-bit word: silently masking
+     a larger value would wrap and reuse keystream *)
+  if counter < 0 || counter > m32 then invalid_arg "Chacha20: counter out of range";
   let st = Array.make 16 0 in
   st.(0) <- 0x61707865;
   st.(1) <- 0x3320646e;
   st.(2) <- 0x79622d32;
   st.(3) <- 0x6b206574;
   for i = 0 to 7 do st.(4 + i) <- word32_le key (i * 4) done;
-  st.(12) <- counter land m32;
+  st.(12) <- counter;
   for i = 0 to 2 do st.(13 + i) <- word32_le nonce (i * 4) done;
   st
 
@@ -62,6 +65,9 @@ let encrypt ~key ~nonce ?(counter = 1) msg =
   let len = String.length msg in
   let out = Bytes.create len in
   let nblocks = (len + 63) / 64 in
+  if counter < 0 || counter > m32 then invalid_arg "Chacha20: counter out of range";
+  if nblocks > 0 && counter > m32 - (nblocks - 1) then
+    invalid_arg "Chacha20: counter/length overflow the 32-bit block counter";
   for b = 0 to nblocks - 1 do
     let ks = block ~key ~nonce ~counter:(counter + b) in
     let off = b * 64 in

@@ -10,11 +10,16 @@ val nonce_size : int
 (** 12 bytes. *)
 
 val block : key:string -> nonce:string -> counter:int -> string
-(** One 64-byte keystream block. *)
+(** One 64-byte keystream block.
+    @raise Invalid_argument if [counter] is outside [0 .. 2^32 - 1]. *)
 
 val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
 (** XOR the input with the keystream; encryption and decryption are the
-    same operation.
-    @raise Invalid_argument on wrong key or nonce size. *)
+    same operation.  The RFC 8439 block counter is 32 bits wide: a
+    [counter]/length combination whose final block index would exceed
+    [2^32 - 1] is rejected rather than silently wrapping (which would
+    reuse keystream).
+    @raise Invalid_argument on wrong key or nonce size, or a
+    counter/length combination past the 32-bit limit. *)
 
 val decrypt : key:string -> nonce:string -> ?counter:int -> string -> string

@@ -40,6 +40,12 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
   (* metrics: span names are shared across instantiations so the trace
      tree aggregates by protocol phase, not by scheme *)
   let sessions_counter = Obs.counter ~help:"handshake sessions run" "gcd.sessions"
+  let retransmissions_counter =
+    Obs.counter ~help:"handshake messages retransmitted by the watchdog"
+      "gcd.retransmissions"
+  let timeouts_counter =
+    Obs.counter ~help:"handshake phase timeouts forced by the watchdog"
+      "gcd.timeouts"
 
   (* ---------------------------------------------------------------- *)
   (* Group authority and members                                       *)
@@ -255,6 +261,15 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     | Member_of m -> m.active
     | Outsider -> false
 
+  (* Terminal-state classification: a full-circle handshake is Complete;
+     a §7 maximal-subset handshake (some proper subset, self included,
+     sharing a key) is Partial; everything else — outsiders, revoked
+     members, timed-out random-values continuations — is Aborted. *)
+  let classify ~accepted ~partners =
+    if accepted then Gcd_types.Complete
+    else if List.length partners >= 2 then Gcd_types.Partial
+    else Gcd_types.Aborted
+
   (* Phase I complete: derive k' and publish the Phase II tag. *)
   let emit_phase2 p ~key ~sid =
     Obs.span "gcd.handshake.phase2" @@ fun () ->
@@ -368,8 +383,11 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
         { Gcd_types.accepted;
           partners;
           session_key;
+          termination = classify ~accepted ~partners;
           sid;
-          transcript = Array.map Option.get p.p3;
+          (* positions whose Phase III message never arrived (timeout /
+             crash) have no bytes to trace *)
+          transcript = Array.map (Option.value ~default:("", "")) p.p3;
         }
 
   (* Phase II-only termination: the tag matrix is the whole outcome. *)
@@ -398,6 +416,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
         { Gcd_types.accepted;
           partners;
           session_key;
+          termination = classify ~accepted ~partners;
           sid;
           transcript = [||];  (* nothing traceable: that is the point *)
         }
@@ -456,6 +475,39 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
 
   let outcome p = p.outcome
 
+  (* Watchdog phase marker: strictly increases as the party progresses,
+     so a stalled marker means the current phase lost a message. *)
+  let phase_of p =
+    if p.outcome <> None then 3
+    else if p.sent_p3 then 2
+    else if p.kprime <> None then 1
+    else 0
+
+  (* A phase timed out: force the party one phase forward, continuing
+     with random values where the protocol data never arrived (§7's
+     indistinguishable abort).  Progresses by at least one phase per
+     call, so repeated application always terminates the party. *)
+  let force_progress p =
+    Obs.incr timeouts_counter;
+    if p.outcome <> None then []
+    else if p.kprime = None then begin
+      (* Phase I timed out: abort the DGKA and improvise k' and sid *)
+      Log.debug (fun f -> f "party %d: phase I timeout, continuing randomly" p.self);
+      emit_phase2 p ~key:(p.rng key_len) ~sid:(Sha256.digest (p.rng 32))
+    end
+    else if not p.sent_p3 then begin
+      (* Phase II timed out: missing tags stay unverified; with
+         [allow_partial] the tag matrix decides the partner subset *)
+      Log.debug (fun f -> f "party %d: phase II timeout" p.self);
+      if p.two_phase then (finalize_two_phase p; []) else emit_phase3 p
+    end
+    else begin
+      (* Phase III timed out: finalize over the (θ, δ) pairs that made it *)
+      Log.debug (fun f -> f "party %d: phase III timeout" p.self);
+      finalize p;
+      []
+    end
+
   (* ---------------------------------------------------------------- *)
   (* Session runner over the simulated network                         *)
   (* ---------------------------------------------------------------- *)
@@ -468,13 +520,13 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
   let participant_of_member m = { p_role = Member_of m; p_rng = m.m_rng }
   let outsider ~rng = { p_role = Outsider; p_rng = rng }
 
-  let run_session ?adversary ?latency ?(allow_partial = true)
+  let run_session ?faults ?watchdog ?adversary ?latency ?(allow_partial = true)
       ?(two_phase = false) ?(hooks = default_hooks) ~fmt participants =
     let n = Array.length participants in
     if n < 2 then invalid_arg "Gcd.run_session: need at least two parties";
     Obs.incr sessions_counter;
     Obs.span "gcd.handshake" @@ fun () ->
-    let net = Engine.create ?adversary ?latency ~n () in
+    let net = Engine.create ?adversary ?latency ?faults ~n () in
     let parties =
       Array.mapi
         (fun self pt ->
@@ -482,7 +534,12 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
             ~two_phase ~rng:pt.p_rng)
         participants
     in
+    (* per-party send history, for watchdog retransmission: the protocol
+       state machines ignore exact duplicates, so replaying everything a
+       party ever said is safe and repairs any earlier loss *)
+    let history = Array.make n [] in
     let emit self msgs =
+      history.(self) <- history.(self) @ msgs;
       List.iter
         (fun (dst, payload) ->
           match dst with
@@ -495,9 +552,60 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
         Engine.set_receiver net self (fun ~src ~payload ->
             emit self (receive party ~src payload)))
       parties;
+    (* Session watchdog: per-party timers on the Sim clock.  While the
+       party's phase marker advances, the timer just re-arms; a stalled
+       phase is retransmitted [max_retransmits] times with exponential
+       backoff, then forced forward.  Each party therefore reaches a
+       terminal outcome (complete / partial / aborted) within a bounded
+       number of timer events — no session can hang. *)
+    (match watchdog with
+     | None -> ()
+     | Some wd ->
+       if not (wd.Gcd_types.retransmit_after > 0.0 && wd.Gcd_types.backoff >= 1.0)
+       then invalid_arg "Gcd.run_session: bad watchdog policy";
+       let sim = Engine.sim net in
+       let resend self =
+         Obs.add retransmissions_counter (List.length history.(self));
+         List.iter
+           (fun (dst, payload) ->
+             match dst with
+             | None -> Engine.broadcast net ~src:self payload
+             | Some dst -> Engine.send net ~src:self ~dst payload)
+           history.(self)
+       in
+       let rec arm self ~phase ~attempt ~delay =
+         Sim.schedule sim ~delay (fun () ->
+             let p = parties.(self) in
+             if p.outcome = None then begin
+               let now_phase = phase_of p in
+               if now_phase > phase then
+                 (* progress since the last tick: fresh timer for the new
+                    phase *)
+                 arm self ~phase:now_phase ~attempt:0
+                   ~delay:wd.Gcd_types.retransmit_after
+               else if attempt < wd.Gcd_types.max_retransmits then begin
+                 resend self;
+                 arm self ~phase ~attempt:(attempt + 1)
+                   ~delay:(delay *. wd.Gcd_types.backoff)
+               end
+               else begin
+                 emit self (force_progress p);
+                 if p.outcome = None then
+                   arm self ~phase:(phase_of p) ~attempt:0
+                     ~delay:wd.Gcd_types.retransmit_after
+               end
+             end)
+       in
+       Array.iteri
+         (fun self _ ->
+           arm self ~phase:0 ~attempt:0 ~delay:wd.Gcd_types.retransmit_after)
+         parties);
     Array.iteri (fun self party -> emit self (start party)) parties;
     Engine.run net;
-    { Gcd_types.outcomes = Array.map outcome parties; stats = Engine.stats net }
+    { Gcd_types.outcomes = Array.map outcome parties;
+      stats = Engine.stats net;
+      duration = Sim.now (Engine.sim net);
+    }
 
   (* ---------------------------------------------------------------- *)
   (* GCD.TraceUser                                                     *)

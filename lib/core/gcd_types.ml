@@ -10,15 +10,50 @@ type format = {
   dl_group : Groupgen.schnorr_group;  (** system-wide DGKA/PKE parameters *)
 }
 
+(** How a party's session ended.  Every party reaches exactly one of
+    these — under a watchdog there is no "hung" state. *)
+type termination =
+  | Complete  (** every participant proved same-group membership *)
+  | Partial
+      (** completed with the §7 maximal common-group subset (at least one
+          partner besides self) *)
+  | Aborted
+      (** continued with random values (paper §7's indistinguishable
+          abort): outsiders, revoked members, and timed-out phases *)
+
+let string_of_termination = function
+  | Complete -> "complete"
+  | Partial -> "partial"
+  | Aborted -> "aborted"
+
 type outcome = {
   accepted : bool;  (** every participant proved same-group membership *)
   partners : int list;  (** session positions verified, self included *)
   session_key : string option;  (** fresh key shared by [partners] *)
+  termination : termination;
   sid : string;
-  transcript : (string * string) array;  (** (θ, δ) per position, for tracing *)
+  transcript : (string * string) array;
+      (** (θ, δ) per position, for tracing; [("", "")] for positions whose
+          Phase III message never arrived before a timeout *)
 }
+
+(** Session watchdog policy: per-phase retransmission with exponential
+    backoff, then a forced phase transition.  A phase that makes no
+    progress is retransmitted after [retransmit_after] sim-time units,
+    again after [retransmit_after *. backoff], and so on
+    [max_retransmits] times; the next expiry forces the party into the
+    following phase (Phase I times out into the §7 random-values
+    continuation), so every party terminates. *)
+type watchdog = {
+  retransmit_after : float;
+  backoff : float;
+  max_retransmits : int;
+}
+
+let default_watchdog = { retransmit_after = 8.0; backoff = 2.0; max_retransmits = 3 }
 
 type session_result = {
   outcomes : outcome option array;
   stats : Engine.stats;
+  duration : float;  (** simulated time consumed by the session *)
 }

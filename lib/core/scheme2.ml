@@ -52,9 +52,10 @@ let sd_hooks ~gpub =
 (** Run a handshake session with the self-distinction hooks installed.
     [gpub] must be the group public key of the (expected) common group —
     participants of other groups simply fail Phase II as usual. *)
-let run_session_sd ?adversary ?latency ?allow_partial ~gpub ~fmt participants =
-  run_session ?adversary ?latency ?allow_partial ~hooks:(sd_hooks ~gpub) ~fmt
-    participants
+let run_session_sd ?faults ?watchdog ?adversary ?latency ?allow_partial ~gpub
+    ~fmt participants =
+  run_session ?faults ?watchdog ?adversary ?latency ?allow_partial
+    ~hooks:(sd_hooks ~gpub) ~fmt participants
 
 let default_authority ~rng ?(capacity = 64) () =
   create_group ~rng

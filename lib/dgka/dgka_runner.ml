@@ -7,9 +7,9 @@ type result = {
   stats : Engine.stats;
 }
 
-let run (module D : Dgka_intf.S) ?adversary ?latency ~rngs ~group () =
+let run (module D : Dgka_intf.S) ?faults ?adversary ?latency ~rngs ~group () =
   let n = Array.length rngs in
-  let net = Engine.create ?adversary ?latency ~n () in
+  let net = Engine.create ?adversary ?latency ?faults ~n () in
   let instances =
     Array.init n (fun self -> D.create ~rng:rngs.(self) ~group ~self ~n)
   in

@@ -15,6 +15,7 @@ type instance = {
   mutable out : outcome option;
   mutable dead : bool;
   mutable done_up : bool;
+  mutable last_up : (int * string) option;  (* accepted upflow, for dup detection *)
 }
 
 let create ~rng ~group ~self ~n =
@@ -27,6 +28,7 @@ let create ~rng ~group ~self ~n =
     out = None;
     dead = false;
     done_up = false;
+    last_up = None;
   }
 
 let elem_len t = (B.num_bits t.grp.Groupgen.p + 7) / 8
@@ -60,8 +62,12 @@ let receive t ~src payload =
   else
     match Wire.decode payload with
     | Some ("gdh-up", fields) ->
-      (* expected only from our predecessor, carrying self+1 values *)
-      if src <> t.self - 1 || t.done_up || List.length fields <> t.self + 1 then begin
+      (* a duplicated or retransmitted copy of the upflow we already
+         processed is channel noise, not an attack: ignore it *)
+      if t.done_up && t.last_up = Some (src, payload) then []
+      (* otherwise expected only from our predecessor, carrying self+1 values *)
+      else if src <> t.self - 1 || t.done_up || List.length fields <> t.self + 1
+      then begin
         t.dead <- true;
         []
       end
@@ -73,6 +79,7 @@ let receive t ~src payload =
         end
         else begin
           t.done_up <- true;
+          t.last_up <- Some (src, payload);
           let p = t.grp.Groupgen.p in
           let raised = List.map (fun v -> B.pow_mod v t.r p) vals in
           let full = List.nth vals (t.self) in

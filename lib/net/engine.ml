@@ -3,6 +3,8 @@
 let msgs_counter = Obs.counter ~help:"messages sent (all engines)" "net.messages"
 let bytes_counter = Obs.counter ~help:"payload bytes sent (all engines)" "net.bytes"
 let deliveries_counter = Obs.counter ~help:"messages delivered (all engines)" "net.deliveries"
+let dropped_counter = Obs.counter ~help:"messages dropped by fault injection" "net.dropped"
+let duplicated_counter = Obs.counter ~help:"messages duplicated by fault injection" "net.duplicated"
 
 type decision = Deliver | Drop | Replace of string
 
@@ -12,6 +14,8 @@ type stats = {
   messages_sent : int array;
   bytes_sent : int array;
   deliveries : int;
+  dropped : int;
+  duplicated : int;
 }
 
 type t = {
@@ -20,21 +24,29 @@ type t = {
   receivers : (src:int -> payload:string -> unit) option array;
   latency : src:int -> dst:int -> float;
   adversary : adversary option;
+  faults : Faults.t option;
   msgs : int array;
   bytes : int array;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable started : bool;
 }
 
-let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?adversary ~n () =
+let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?adversary ?faults ~n () =
   if n <= 0 then invalid_arg "Engine.create: need at least one party";
   { sim = Sim.create ();
     n;
     receivers = Array.make n None;
     latency;
     adversary;
+    faults;
     msgs = Array.make n 0;
     bytes = Array.make n 0;
     delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    started = false;
   }
 
 let n_parties t = t.n
@@ -43,6 +55,15 @@ let sim t = t.sim
 let set_receiver t i cb =
   if i < 0 || i >= t.n then invalid_arg "Engine.set_receiver: bad index";
   t.receivers.(i) <- Some cb
+
+let sender_crashed t src =
+  match t.faults with
+  | Some f -> Faults.crashed f ~party:src ~now:(Sim.now t.sim)
+  | None -> false
+
+let drop_one t =
+  t.dropped <- t.dropped + 1;
+  Obs.incr dropped_counter
 
 let deliver t ~src ~dst payload =
   let payload =
@@ -57,12 +78,45 @@ let deliver t ~src ~dst payload =
   match payload with
   | None -> ()
   | Some payload ->
-    Sim.schedule t.sim ~delay:(t.latency ~src ~dst) (fun () ->
-        t.delivered <- t.delivered + 1;
-        Obs.incr deliveries_counter;
-        match t.receivers.(dst) with
-        | Some cb -> cb ~src ~payload
-        | None -> ())
+    let lat = t.latency ~src ~dst in
+    (* validate here, not deep inside Sim.schedule, so the error names
+       the offending link *)
+    if not (lat >= 0.0) then
+      invalid_arg
+        (Printf.sprintf "Engine: latency function returned %g on link %d->%d"
+           lat src dst);
+    let deliver_copy extra =
+      Sim.schedule t.sim ~delay:(lat +. extra) (fun () ->
+          match t.faults with
+          | Some f when Faults.crashed f ~party:dst ~now:(Sim.now t.sim) ->
+            (* the receiver crash-stopped before this copy arrived *)
+            drop_one t
+          | _ ->
+            (* deliveries count actual receiver invocations only *)
+            match t.receivers.(dst) with
+            | Some cb ->
+              t.delivered <- t.delivered + 1;
+              Obs.incr deliveries_counter;
+              cb ~src ~payload
+            | None ->
+              if t.started then
+                failwith
+                  (Printf.sprintf
+                     "Engine: delivery from %d to party %d, which has no receiver"
+                     src dst))
+    in
+    match t.faults with
+    | None -> deliver_copy 0.0
+    | Some f ->
+      let copies = if Faults.draw_duplicate f then 2 else 1 in
+      if copies = 2 then begin
+        t.duplicated <- t.duplicated + 1;
+        Obs.incr duplicated_counter
+      end;
+      for _ = 1 to copies do
+        if Faults.draw_drop f ~src ~dst then drop_one t
+        else deliver_copy (Faults.draw_jitter f)
+      done
 
 let account t ~src payload =
   t.msgs.(src) <- t.msgs.(src) + 1;
@@ -72,21 +126,29 @@ let account t ~src payload =
 
 let broadcast t ~src payload =
   if src < 0 || src >= t.n then invalid_arg "Engine.broadcast: bad source";
-  account t ~src payload;
-  for dst = 0 to t.n - 1 do
-    if dst <> src then deliver t ~src ~dst payload
-  done
+  if not (sender_crashed t src) then begin
+    account t ~src payload;
+    for dst = 0 to t.n - 1 do
+      if dst <> src then deliver t ~src ~dst payload
+    done
+  end
 
 let send t ~src ~dst payload =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Engine.send: bad address";
-  account t ~src payload;
-  deliver t ~src ~dst payload
+  if not (sender_crashed t src) then begin
+    account t ~src payload;
+    deliver t ~src ~dst payload
+  end
 
-let run t = Sim.run t.sim
+let run t =
+  t.started <- true;
+  Sim.run t.sim
 
 let stats t =
   { messages_sent = Array.copy t.msgs;
     bytes_sent = Array.copy t.bytes;
     deliveries = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
   }

@@ -10,13 +10,18 @@
     - an {b adversary tap} that observes every delivery and may drop or
       replace payloads (the Appendix A adversary has "complete control over
       all communication");
+    - a seeded {b fault plan} ({!Faults.t}) injecting probabilistic drops,
+      duplication, latency jitter and crash-stop parties — composable with
+      the adversary tap (the tap runs first, the plan second);
     - per-party {b accounting} of messages and bytes, which the E2 bench
       uses to verify the O(m)-messages claim; the same sends and
       deliveries also feed the global [net.messages] / [net.bytes] /
-      [net.deliveries] counters in the {!Obs} metrics registry.
+      [net.deliveries] counters in the {!Obs} metrics registry, and fault
+      injection feeds [net.dropped] / [net.duplicated].
 
     Delivery order is deterministic: latency is a pure function of the
-    link, ties resolve by send order. *)
+    link, ties resolve by send order, and fault draws consume a seeded
+    DRBG stream in send order. *)
 
 type t
 
@@ -30,19 +35,26 @@ type adversary = src:int -> dst:int -> payload:string -> decision
 val create :
   ?latency:(src:int -> dst:int -> float) ->
   ?adversary:adversary ->
+  ?faults:Faults.t ->
   n:int ->
   unit ->
   t
-(** Default latency: 1.0 for every link. *)
+(** Default latency: 1.0 for every link.  A [latency] function returning
+    a negative (or NaN) value raises [Invalid_argument] naming the link,
+    at send time. *)
 
 val n_parties : t -> int
 val sim : t -> Sim.t
 
 val set_receiver : t -> int -> (src:int -> payload:string -> unit) -> unit
-(** Install the receive callback of a party; must be done before [run]. *)
+(** Install the receive callback of a party; must be done before [run].
+    Once [run] has started, a delivery addressed to a party with no
+    receiver raises [Failure] — silent losses outside the fault plan are
+    a bug, not a feature. *)
 
 val broadcast : t -> src:int -> string -> unit
-(** Deliver to every party except [src]; counts as one sent message. *)
+(** Deliver to every party except [src]; counts as one sent message.
+    A no-op if [src] has crash-stopped under the fault plan. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 
@@ -54,7 +66,9 @@ val run : t -> unit
 type stats = {
   messages_sent : int array;  (** indexed by party *)
   bytes_sent : int array;
-  deliveries : int;
+  deliveries : int;  (** receiver callbacks actually invoked *)
+  dropped : int;  (** copies lost to the fault plan (incl. crashed receivers) *)
+  duplicated : int;  (** transmissions that gained a duplicate copy *)
 }
 
 val stats : t -> stats

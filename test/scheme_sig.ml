@@ -30,6 +30,8 @@ module type SCHEME = sig
   val outsider : rng:(int -> string) -> participant
 
   val run_session :
+    ?faults:Faults.t ->
+    ?watchdog:Gcd_types.watchdog ->
     ?adversary:Engine.adversary ->
     ?latency:(src:int -> dst:int -> float) ->
     ?allow_partial:bool ->

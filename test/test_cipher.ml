@@ -47,6 +47,46 @@ let test_bad_sizes () =
   Alcotest.check_raises "bad nonce" (Invalid_argument "Chacha20: bad nonce size")
     (fun () -> ignore (Chacha20.encrypt ~key:(String.make 32 'k') ~nonce:"n" "x"))
 
+let test_counter_continuity () =
+  (* the keystream is a function of the block counter alone: encrypting
+     block-by-block with explicit counters must match one long call *)
+  let key = String.make 32 'k' and nonce = String.make 12 'n' in
+  let msg = String.init 200 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  let whole = Chacha20.encrypt ~key ~nonce ~counter:1 msg in
+  let pieces =
+    String.concat ""
+      (List.map
+         (fun b ->
+           let off = b * 64 in
+           let len = min 64 (String.length msg - off) in
+           Chacha20.encrypt ~key ~nonce ~counter:(1 + b)
+             (String.sub msg off len))
+         [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check string) "blockwise = whole" (hex whole) (hex pieces)
+
+let test_counter_limits () =
+  let key = String.make 32 'k' and nonce = String.make 12 'n' in
+  let last = 0xffffffff in
+  (* one block at the last counter value is fine... *)
+  let ct = Chacha20.encrypt ~key ~nonce ~counter:last (String.make 64 'p') in
+  Alcotest.(check string) "roundtrip at limit" (String.make 64 'p')
+    (Chacha20.decrypt ~key ~nonce ~counter:last ct);
+  (* ...but a 65th byte would wrap the 32-bit word back to block 0,
+     reusing keystream; the old code masked and wrapped silently *)
+  Alcotest.check_raises "overflowing length"
+    (Invalid_argument "Chacha20: counter/length overflow the 32-bit block counter")
+    (fun () -> ignore (Chacha20.encrypt ~key ~nonce ~counter:last (String.make 65 'p')));
+  Alcotest.check_raises "counter too large"
+    (Invalid_argument "Chacha20: counter out of range")
+    (fun () -> ignore (Chacha20.encrypt ~key ~nonce ~counter:(last + 1) "x"));
+  Alcotest.check_raises "negative counter"
+    (Invalid_argument "Chacha20: counter out of range")
+    (fun () -> ignore (Chacha20.encrypt ~key ~nonce ~counter:(-1) "x"));
+  Alcotest.check_raises "block at out-of-range counter"
+    (Invalid_argument "Chacha20: counter out of range")
+    (fun () -> ignore (Chacha20.block ~key ~nonce ~counter:(last + 1)))
+
 (* ------------------------------------------------------------------ *)
 
 let rng_of_seed seed =
@@ -115,6 +155,8 @@ let () =
           Alcotest.test_case "RFC 8439 encrypt vector" `Quick test_encrypt_vector;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "bad sizes" `Quick test_bad_sizes;
+          Alcotest.test_case "counter continuity" `Quick test_counter_continuity;
+          Alcotest.test_case "counter limits" `Quick test_counter_limits;
         ] );
       ( "secretbox",
         [ Alcotest.test_case "roundtrip" `Quick test_box_roundtrip;

@@ -7,8 +7,8 @@ let rngs seed n =
   Array.init n (fun i -> Drbg.bytes_fn (Drbg.of_int_seed ((seed * 1000) + i)))
 
 module Generic (D : Dgka_intf.S) = struct
-  let run ?adversary ?latency seed n =
-    Dgka_runner.run (module D) ?adversary ?latency ~rngs:(rngs seed n)
+  let run ?faults ?adversary ?latency seed n =
+    Dgka_runner.run (module D) ?faults ?adversary ?latency ~rngs:(rngs seed n)
       ~group:(Lazy.force group) ()
 
   let test_agreement () =
@@ -89,12 +89,33 @@ module Generic (D : Dgka_intf.S) = struct
         Alcotest.(check string) "key" (Sha256.hex k0) (Sha256.hex k))
       r.Dgka_runner.outcomes
 
+  let test_duplicates_tolerated () =
+    (* a lossy channel retransmits: an exact duplicate of every message
+       must be ignored, not treated as an attack (GDH used to kill the
+       instance on a duplicated upflow) *)
+    let faults = Faults.create ~duplicate:1.0 ~seed:9 () in
+    let r = run ~faults 109 4 in
+    let k0, _ =
+      match r.Dgka_runner.outcomes.(0) with
+      | Some v -> v
+      | None -> Alcotest.fail "party 0 aborted under duplication"
+    in
+    Array.iteri
+      (fun i o ->
+        match o with
+        | None -> Alcotest.fail (Printf.sprintf "party %d aborted under duplication" i)
+        | Some (k, _) ->
+          Alcotest.(check string) (Printf.sprintf "key %d" i) (Sha256.hex k0)
+            (Sha256.hex k))
+      r.Dgka_runner.outcomes
+
   let suite label =
     [ Alcotest.test_case (label ^ ": agreement 2..8") `Quick test_agreement;
       Alcotest.test_case (label ^ ": fresh keys") `Quick test_fresh_keys_across_runs;
       Alcotest.test_case (label ^ ": tampering") `Quick test_mitm_splits_keys;
       Alcotest.test_case (label ^ ": dropped messages stall") `Quick test_dropped_message_stalls;
       Alcotest.test_case (label ^ ": latency reordering") `Quick test_latency_insensitive;
+      Alcotest.test_case (label ^ ": duplicates tolerated") `Quick test_duplicates_tolerated;
     ]
 end
 

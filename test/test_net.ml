@@ -147,6 +147,125 @@ let test_engine_latency_order () =
   Engine.run net;
   Alcotest.(check (list int)) "fast link first" [ 2; 1 ] (List.rev !log)
 
+let test_engine_no_receiver_error () =
+  (* delivery to a party that never registered a receiver is a harness
+     bug; it used to be silently counted as a delivery *)
+  let net = Engine.create ~n:2 () in
+  Engine.set_receiver net 0 (fun ~src:_ ~payload:_ -> ());
+  Engine.send net ~src:0 ~dst:1 "x";
+  Alcotest.check_raises "missing receiver"
+    (Failure "Engine: delivery from 0 to party 1, which has no receiver")
+    (fun () -> Engine.run net);
+  Alcotest.(check int) "not counted as delivered" 0
+    (Engine.stats net).Engine.deliveries
+
+let test_engine_negative_latency () =
+  let latency ~src:_ ~dst = if dst = 1 then -0.5 else 1.0 in
+  let net = Engine.create ~latency ~n:2 () in
+  Engine.set_receiver net 1 (fun ~src:_ ~payload:_ -> ());
+  Alcotest.check_raises "offending link named"
+    (Invalid_argument "Engine: latency function returned -0.5 on link 0->1")
+    (fun () -> Engine.send net ~src:0 ~dst:1 "x")
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_faulty ~seed ~drop ~duplicate ~jitter =
+  let faults = Faults.create ~drop ~duplicate ~jitter ~seed () in
+  let net = Engine.create ~faults ~n:4 () in
+  let got = ref [] in
+  for i = 0 to 3 do
+    Engine.set_receiver net i (fun ~src ~payload ->
+        got := (i, src, payload) :: !got)
+  done;
+  for k = 0 to 9 do
+    Engine.broadcast net ~src:(k mod 4) (Printf.sprintf "m%d" k)
+  done;
+  Engine.run net;
+  (Engine.stats net, List.rev !got)
+
+let test_faults_deterministic () =
+  let s1, g1 = run_faulty ~seed:5 ~drop:0.3 ~duplicate:0.2 ~jitter:0.5 in
+  let s2, g2 = run_faulty ~seed:5 ~drop:0.3 ~duplicate:0.2 ~jitter:0.5 in
+  Alcotest.(check int) "same drops" s1.Engine.dropped s2.Engine.dropped;
+  Alcotest.(check int) "same duplicates" s1.Engine.duplicated s2.Engine.duplicated;
+  Alcotest.(check (list (triple int int string))) "same transcript" g1 g2;
+  Alcotest.(check bool) "faults actually fired" true
+    (s1.Engine.dropped > 0 && s1.Engine.duplicated > 0);
+  (* a different seed gives a different schedule *)
+  let s3, g3 = run_faulty ~seed:6 ~drop:0.3 ~duplicate:0.2 ~jitter:0.5 in
+  Alcotest.(check bool) "seed matters" true
+    (g3 <> g1 || s3.Engine.dropped <> s1.Engine.dropped)
+
+let test_faults_drop_all () =
+  let faults = Faults.create ~drop:1.0 ~seed:1 () in
+  let net = Engine.create ~faults ~n:3 () in
+  for i = 0 to 2 do
+    Engine.set_receiver net i (fun ~src:_ ~payload:_ ->
+        Alcotest.fail "nothing should be delivered")
+  done;
+  Engine.broadcast net ~src:0 "x";
+  Engine.run net;
+  let st = Engine.stats net in
+  Alcotest.(check int) "no deliveries" 0 st.Engine.deliveries;
+  Alcotest.(check int) "both copies dropped" 2 st.Engine.dropped;
+  Alcotest.(check int) "send still accounted" 1 st.Engine.messages_sent.(0)
+
+let test_faults_duplicate_all () =
+  let faults = Faults.create ~duplicate:1.0 ~seed:1 () in
+  let net = Engine.create ~faults ~n:3 () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Engine.set_receiver net i (fun ~src:_ ~payload:_ -> got.(i) <- got.(i) + 1)
+  done;
+  Engine.broadcast net ~src:0 "x";
+  Engine.run net;
+  let st = Engine.stats net in
+  Alcotest.(check int) "party 1 got two copies" 2 got.(1);
+  Alcotest.(check int) "party 2 got two copies" 2 got.(2);
+  Alcotest.(check int) "four deliveries" 4 st.Engine.deliveries;
+  Alcotest.(check int) "two transmissions duplicated" 2 st.Engine.duplicated
+
+let test_faults_crash_stop () =
+  (* dst crashes at t=2: the t=1 delivery lands, the t=3.5 one is lost *)
+  let faults = Faults.create ~crashes:[ (1, 2.0) ] ~seed:1 () in
+  let net = Engine.create ~faults ~n:2 () in
+  let got = ref 0 in
+  Engine.set_receiver net 0 (fun ~src:_ ~payload:_ -> ());
+  Engine.set_receiver net 1 (fun ~src:_ ~payload:_ -> incr got);
+  Engine.send net ~src:0 ~dst:1 "pre";
+  Sim.schedule (Engine.sim net) ~delay:2.5 (fun () ->
+      Engine.send net ~src:0 ~dst:1 "post");
+  Engine.run net;
+  Alcotest.(check int) "only the pre-crash delivery" 1 !got;
+  Alcotest.(check int) "post-crash copy dropped" 1 (Engine.stats net).Engine.dropped
+
+let test_faults_crashed_sender () =
+  let faults = Faults.create ~crashes:[ (0, 0.0) ] ~seed:1 () in
+  let net = Engine.create ~faults ~n:2 () in
+  Engine.set_receiver net 0 (fun ~src:_ ~payload:_ -> ());
+  Engine.set_receiver net 1 (fun ~src:_ ~payload:_ ->
+      Alcotest.fail "crashed party must not send");
+  Engine.broadcast net ~src:0 "x";
+  Engine.run net;
+  let st = Engine.stats net in
+  Alcotest.(check int) "send not accounted" 0 st.Engine.messages_sent.(0);
+  Alcotest.(check int) "no deliveries" 0 st.Engine.deliveries
+
+let test_faults_validation () =
+  Alcotest.check_raises "drop > 1"
+    (Invalid_argument "Faults.create: drop probability 1.5 not in [0,1]")
+    (fun () -> ignore (Faults.create ~drop:1.5 ~seed:1 ()));
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Faults.create: jitter -1 must be >= 0")
+    (fun () -> ignore (Faults.create ~jitter:(-1.0) ~seed:1 ()));
+  let f = Faults.create ~seed:1 () in
+  for _ = 1 to 100 do
+    let u = Faults.uniform f in
+    if not (u >= 0.0 && u < 1.0) then Alcotest.fail "uniform out of range"
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Wire                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -204,6 +323,16 @@ let () =
           Alcotest.test_case "adversary drop" `Quick test_engine_adversary_drop;
           Alcotest.test_case "adversary replace" `Quick test_engine_adversary_replace;
           Alcotest.test_case "latency ordering" `Quick test_engine_latency_order;
+          Alcotest.test_case "no-receiver error" `Quick test_engine_no_receiver_error;
+          Alcotest.test_case "negative latency" `Quick test_engine_negative_latency;
+        ] );
+      ( "faults",
+        [ Alcotest.test_case "deterministic from seed" `Quick test_faults_deterministic;
+          Alcotest.test_case "drop all" `Quick test_faults_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_faults_duplicate_all;
+          Alcotest.test_case "crash-stop receiver" `Quick test_faults_crash_stop;
+          Alcotest.test_case "crash-stop sender" `Quick test_faults_crashed_sender;
+          Alcotest.test_case "parameter validation" `Quick test_faults_validation;
         ] );
       ( "wire",
         Alcotest.test_case "roundtrip known" `Quick test_wire_roundtrip_known
