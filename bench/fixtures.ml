@@ -6,6 +6,12 @@ let rng_of seed = Drbg.bytes_fn (Drbg.of_int_seed seed)
 
 let max_members = 8
 
+(* seed provenance, stamped into shs-bench/1 output: the member-world
+   DRBG seeds below and the fault-plan seeds the chaos experiments
+   (E10/E11) sweep over *)
+let world_seeds = [ 1000; 2000 ]
+let fault_seeds = [ 11; 23; 47 ]
+
 let scheme1_world =
   lazy
     (let ga = Scheme1.default_authority ~rng:(rng_of 1000) () in

@@ -21,6 +21,9 @@ let rng_of = Fixtures.rng_of
 let json_path : string option ref = ref None
 let base_quota = ref 0.5
 let only : string list ref = ref []
+let compare_path : string option ref = ref None
+let against_path : string option ref = ref None
+let tolerance = ref 0.15
 
 let parse_cli () =
   let specs =
@@ -33,10 +36,28 @@ let parse_cli () =
       ("--only",
        Arg.String (fun s -> only := !only @ String.split_on_char ',' s),
        "<e1,e2,..>  run only the named experiments");
+      ("--compare",
+       Arg.String (fun p -> compare_path := Some p),
+       "<baseline.json>  regression gate: compare tracked series against a \
+        checked-in shs-bench/1 baseline; exit 1 beyond the tolerance");
+      ("--against",
+       Arg.String (fun p -> against_path := Some p),
+       "<current.json>  with --compare: compare this existing results file \
+        instead of running any experiment");
+      ("--tolerance",
+       Arg.Set_float tolerance,
+       "<f>  relative tolerance for --compare (default 0.15)");
     ]
   in
-  let usage = "main.exe [--json <path>] [--quota <s>] [--only e1,e2,..]" in
+  let usage =
+    "main.exe [--json <path>] [--quota <s>] [--only e1,e2,..] \
+     [--compare <baseline.json> [--against <current.json>] [--tolerance <f>]]"
+  in
   Arg.parse specs (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !against_path <> None && !compare_path = None then begin
+    Printf.eprintf "--against requires --compare <baseline.json>\n";
+    exit 2
+  end;
   (* fail on an unwritable --json path now, not after a minute of bench *)
   match !json_path with
   | None -> ()
@@ -45,6 +66,37 @@ let parse_cli () =
      with Sys_error msg ->
        Printf.eprintf "cannot write --json file: %s\n" msg;
        exit 2)
+
+let load_doc path =
+  let read_file () =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match read_file () with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot read %s: %s\n" path msg;
+    exit 2
+  | text ->
+    (match Obs_json.of_string text with
+     | Some doc -> doc
+     | None ->
+       Printf.eprintf "%s: not valid JSON\n" path;
+       exit 2)
+
+(* the regression gate: compare [current] against the baseline file and
+   exit non-zero when any tracked series regressed or went missing *)
+let run_compare ~baseline_path ~current =
+  let baseline = load_doc baseline_path in
+  match Obs_bench.compare_docs ~tolerance:!tolerance ~baseline ~current with
+  | Error msg ->
+    Printf.eprintf "bench compare: %s\n" msg;
+    exit 2
+  | Ok c ->
+    print_string (Obs_bench.render ~tolerance:!tolerance c);
+    if not (Obs_bench.passed c) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
@@ -720,34 +772,173 @@ let e10 () =
     [ 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* E11: per-phase sim-time percentiles from the causal event log       *)
+(* ------------------------------------------------------------------ *)
+
+(* Like E10, no Bechamel: everything here is sim-time read off the event
+   timeline of seeded lossy sessions, so the series are deterministic
+   and participate in the regression gate. *)
+let e11 () =
+  header "E11  per-phase latency percentiles under loss (event timeline)"
+    "where lossy sessions spend their sim-time: the section 9 robustness      cost read off the causal event log — when each party completes each      protocol phase, how long deliveries take under jitter/retransmission,      with drops, duplicates, timeouts and retransmissions as instants";
+  let m = 8 and drop = 0.2 in
+  (* computation inside a delivery callback is instantaneous in the
+     discrete-event sim, so phase *durations* are zero by construction;
+     the informative sim-time measures are (a) when each party's last
+     span of a phase ends — its phase completion time — and (b) the
+     send→receive latency of every flow edge, which jitter and
+     retransmission stretch *)
+  ignore (Lazy.force Fixtures.scheme1_world);
+  (* ^ build the member world before events go on, so admissions don't
+     pollute the timeline with wall-clock-stamped spans *)
+  let was_events = Obs.events_enabled () in
+  Obs.set_events true;
+  let phases =
+    [ "gcd.handshake.dgka"; "gcd.handshake.phase2"; "gcd.handshake.phase3";
+      "gcd.handshake.finalize" ]
+  in
+  let completion : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.add completion p (ref [])) phases;
+  let flow_lat = ref [] in
+  let durations = ref [] in
+  let seen = ref 0 in
+  List.iter
+    (fun seed ->
+      ignore (Fixtures.s1_chaos_handshake ~m ~seed ~drop ());
+      (* this session's suffix of the shared event log *)
+      let evs =
+        let all = Obs.events () in
+        let rec drop_n n l = if n = 0 then l else drop_n (n - 1) (List.tl l) in
+        let suffix = drop_n !seen all in
+        seen := List.length all;
+        suffix
+      in
+      let sends : (int, float) Hashtbl.t = Hashtbl.create 64 in
+      let hs_begin = ref 0.0 in
+      List.iter
+        (fun (e : Obs.event) ->
+          match e.Obs.ev_kind with
+          | Obs.Flow_send -> Hashtbl.replace sends e.Obs.ev_id e.Obs.ev_ts
+          | Obs.Flow_recv ->
+            (match Hashtbl.find_opt sends e.Obs.ev_id with
+             | Some t0 -> flow_lat := (e.Obs.ev_ts -. t0) :: !flow_lat
+             | None -> ())
+          | Obs.Span_begin when e.Obs.ev_name = "gcd.handshake" ->
+            hs_begin := e.Obs.ev_ts
+          | Obs.Span_end when e.Obs.ev_name = "gcd.handshake" ->
+            durations := (e.Obs.ev_ts -. !hs_begin) :: !durations
+          | _ -> ())
+        evs;
+      (* phase completion: the last end of that span per party track *)
+      List.iter
+        (fun phase ->
+          for i = 0 to m - 1 do
+            let track = "party-" ^ string_of_int i in
+            let last =
+              List.fold_left
+                (fun acc (e : Obs.event) ->
+                  if
+                    e.Obs.ev_kind = Obs.Span_end
+                    && e.Obs.ev_name = phase && e.Obs.ev_track = track
+                  then Some e.Obs.ev_ts
+                  else acc)
+                None evs
+            in
+            match last with
+            | Some ts ->
+              let r = Hashtbl.find completion phase in
+              r := ts :: !r
+            | None -> ()
+          done)
+        phases)
+    Fixtures.fault_seeds;
+  (* exact nearest-rank percentile over the (small) sample sets *)
+  let pct sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  let emit name values =
+    let sorted = Array.of_list values in
+    Array.sort compare sorted;
+    let p50 = pct sorted 0.50 and p95 = pct sorted 0.95 and p99 = pct sorted 0.99 in
+    Printf.printf "  %-28s %8d %10.2f %10.2f %10.2f\n" name
+      (Array.length sorted) p50 p95 p99;
+    List.iter
+      (fun (q, v) ->
+        Report.add ~experiment:"e11" ~series:(Printf.sprintf "%s %s (sim)" name q)
+          ~param:m ~unit_:"sim-time" v)
+      [ ("p50", p50); ("p95", p95); ("p99", p99) ]
+  in
+  Printf.printf "sim-time percentiles (m=%d, drop=%.0f%%, seeds %s):\n" m
+    (drop *. 100.0)
+    (String.concat "," (List.map string_of_int Fixtures.fault_seeds));
+  Printf.printf "  %-28s %8s %10s %10s %10s\n" "measure" "samples" "p50" "p95"
+    "p99";
+  List.iter
+    (fun phase -> emit (phase ^ " done") !(Hashtbl.find completion phase))
+    phases;
+  emit "net delivery latency" !flow_lat;
+  emit "session duration" !durations;
+  Printf.printf "fault/recovery instants across the %d sessions:\n"
+    (List.length Fixtures.fault_seeds);
+  List.iter
+    (fun (name, count) ->
+      Printf.printf "  %-28s %8d\n" name count;
+      Report.add ~experiment:"e11" ~series:(name ^ " instants") ~param:m
+        ~unit_:"count" (float_of_int count))
+    (Obs.instant_counts ());
+  Obs.set_events was_events
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ]
 
 let () =
   parse_cli ();
+  (* pure file-vs-file compare: no experiment runs at all *)
+  (match (!against_path, !compare_path) with
+   | Some current_path, Some baseline_path ->
+     run_compare ~baseline_path ~current:(load_doc current_path);
+     exit 0
+   | _ -> ());
   List.iter
     (fun name ->
       if not (List.mem_assoc name experiments) then (
-        Printf.eprintf "unknown experiment %S (have e1..e10)\n" name;
+        Printf.eprintf "unknown experiment %S (have e1..e11)\n" name;
         exit 2))
     !only;
   (* with --json, collect the trace/histograms too so the output file
      carries the full metrics registry; default runs stay on the no-op
      sink so the timed series pay no tracing overhead *)
-  if !json_path <> None then Obs.set_sink Obs.Memory;
+  let arm_sink () = if !json_path <> None then Obs.set_sink Obs.Memory in
+  arm_sink ();
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "secret-handshakes benchmark harness (pure-OCaml substrate)\n\
      parameters: 512-bit RSA modulus / 512-bit Schnorr group unless noted\n%!";
   List.iter
-    (fun (name, f) -> if !only = [] || List.mem name !only then f ())
+    (fun (name, f) ->
+      if !only = [] || List.mem name !only then begin
+        f ();
+        (* isolate fixtures: snapshot this experiment's registry into
+           the report, then reset everything so no counter, histogram,
+           trace or event bleeds into the next experiment *)
+        if !json_path <> None then Report.set_metrics ~experiment:name (Obs.to_json ());
+        Obs.reset_all ();
+        arm_sink ()
+      end)
     experiments;
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal bench wall-clock: %.1fs\n" elapsed;
-  match !json_path with
+  let doc = lazy (Report.to_json ~elapsed_s:elapsed ()) in
+  (match !json_path with
+   | None -> ()
+   | Some path ->
+     Report.write_doc ~path (Lazy.force doc);
+     Printf.printf "results written to %s\n" path);
+  match !compare_path with
   | None -> ()
-  | Some path ->
-    Report.write ~path ~elapsed_s:elapsed ();
-    Printf.printf "results written to %s\n" path
+  | Some baseline_path -> run_compare ~baseline_path ~current:(Lazy.force doc)

@@ -2,8 +2,13 @@
 
    Experiments append flat rows (experiment, series, optional n/m
    parameter, value, unit); [write] groups them per experiment and
-   serialises everything — including the Obs metrics registry — as one
-   JSON document, the BENCH_*.json format referenced by EXPERIMENTS.md. *)
+   serialises everything as one JSON document, the BENCH_*.json format
+   referenced by EXPERIMENTS.md.  The driver snapshots the Obs metrics
+   registry after each experiment ([set_metrics]) before resetting it,
+   so the registry dump rides per experiment rather than as one blurred
+   whole-run aggregate; a provenance header (schema version, git
+   commit, seed sets) makes the tracked series reproducible and feeds
+   the Obs_bench regression gate. *)
 
 type row = {
   experiment : string;
@@ -15,7 +20,15 @@ type row = {
 
 let rows : row list ref = ref []
 
-let clear () = rows := []
+(* per-experiment Obs registry snapshots, captured by the driver just
+   before it resets the registry for the next fixture *)
+let metrics : (string * Obs_json.t) list ref = ref []
+
+let clear () =
+  rows := [];
+  metrics := []
+
+let set_metrics ~experiment doc = metrics := (experiment, doc) :: !metrics
 
 let add ~experiment ~series ?param ~unit_ value =
   rows := { experiment; series; param; value; unit_ } :: !rows
@@ -75,19 +88,30 @@ let to_json ~elapsed_s () =
             (fun r -> if r.experiment = name then Some (row_json r) else None)
             ordered
         in
-        Obs_json.Obj
-          [ ("name", Obs_json.Str name); ("series", Obs_json.List series) ])
+        let fields =
+          [ ("name", Obs_json.Str name); ("series", Obs_json.List series) ]
+        in
+        let fields =
+          match List.assoc_opt name !metrics with
+          | Some doc -> fields @ [ ("metrics", doc) ]
+          | None -> fields
+        in
+        Obs_json.Obj fields)
       names
   in
   Obs_json.Obj
     [ ("schema", Obs_json.Str "shs-bench/1");
+      ("provenance",
+       Obs_bench.provenance ~world_seeds:Fixtures.world_seeds
+         ~fault_seeds:Fixtures.fault_seeds);
       ("elapsed_s", Obs_json.Float elapsed_s);
       ("experiments", Obs_json.List experiments);
-      ("metrics", Obs.to_json ());
     ]
 
-let write ~path ~elapsed_s () =
+let write_doc ~path doc =
   let oc = open_out path in
-  output_string oc (Obs_json.to_string ~pretty:true (to_json ~elapsed_s ()));
+  output_string oc (Obs_json.to_string ~pretty:true doc);
   output_char oc '\n';
   close_out oc
+
+let write ~path ~elapsed_s () = write_doc ~path (to_json ~elapsed_s ())

@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI entry point: full build, test suite, and an observability smoke
-# check exercising the bench --json pipeline and the demo's --metrics
-# report.  Run from the repository root.
+# CI entry point: full build, test suite, the bench regression gate
+# against the checked-in baseline (plus a perturbation check proving the
+# gate can fail), a deterministic trace-export smoke, and the demo's
+# --metrics report.  Run from the repository root.
 set -eu
 
 echo "== build =="
@@ -10,30 +11,53 @@ dune build @all
 echo "== tests =="
 dune runtest
 
-echo "== obs smoke: bench --json =="
+echo "== bench regression gate: compare vs BENCH_3.json =="
 out=$(mktemp /tmp/shs_bench_XXXXXX.json)
-trap 'rm -f "$out"' EXIT
-dune exec bench/main.exe -- --only e2 --quota 0.05 --json "$out" > /dev/null
+perturbed=$(mktemp /tmp/shs_perturb_XXXXXX.json)
+trace1=$(mktemp /tmp/shs_trace1_XXXXXX.json)
+trace2=$(mktemp /tmp/shs_trace2_XXXXXX.json)
+trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2"' EXIT
+dune exec bench/main.exe -- --only e2,e10,e11 --quota 0.05 \
+  --json "$out" --compare BENCH_3.json
 grep -q '"schema": "shs-bench/1"' "$out"
+grep -q '"provenance"' "$out"
 grep -q '"scheme1 msgs/party"' "$out"
 grep -q '"net.messages"' "$out"
 grep -q '"gcd.handshake"' "$out"
+grep -q '"complete fraction m=4"' "$out"
+grep -q '"complete fraction m=8"' "$out"
+grep -q '"net.dropped"' "$out"
+grep -q '"net.duplicated"' "$out"
+grep -q '"gcd.timeouts"' "$out"
+grep -q '"gcd.retransmissions"' "$out"
+grep -q '"p95"' "$out"
+grep -q 'net.drop instants' "$out"
 
-echo "== chaos smoke: bench e10 (fixed-seed loss sweep) =="
-chaos=$(mktemp /tmp/shs_chaos_XXXXXX.json)
-trap 'rm -f "$out" "$chaos"' EXIT
-dune exec bench/main.exe -- --only e10 --json "$chaos" > /dev/null
-grep -q '"schema": "shs-bench/1"' "$chaos"
-grep -q '"complete fraction m=4"' "$chaos"
-grep -q '"complete fraction m=8"' "$chaos"
-grep -q '"net.dropped"' "$chaos"
-grep -q '"net.duplicated"' "$chaos"
-grep -q '"gcd.timeouts"' "$chaos"
-grep -q '"gcd.retransmissions"' "$chaos"
+echo "== bench regression gate: perturbed baseline must fail =="
+sed 's/"value": 745,/"value": 900,/' BENCH_3.json > "$perturbed"
+if cmp -s BENCH_3.json "$perturbed"; then
+  echo "ci: perturbation did not change the baseline" >&2
+  exit 1
+fi
+if dune exec bench/main.exe -- --compare BENCH_3.json --against "$perturbed"; then
+  echo "ci: compare gate failed to flag a perturbed series" >&2
+  exit 1
+fi
+
+echo "== trace smoke: deterministic Chrome trace export =="
+dune exec bin/shs_demo.exe -- trace --drop 0.2 --net-seed 7 -o "$trace1" > /dev/null
+dune exec bin/shs_demo.exe -- trace --drop 0.2 --net-seed 7 -o "$trace2" > /dev/null
+cmp "$trace1" "$trace2"
+grep -q '"traceEvents"' "$trace1"
+grep -q '"ph": "s"' "$trace1"
+grep -q 'gcd.retransmit' "$trace1"
 
 echo "== obs smoke: shs_demo --metrics =="
-report=$(dune exec bin/shs_demo.exe -- handshake -m 2 --metrics)
+report=$(dune exec bin/shs_demo.exe -- handshake -m 2 --metrics \
+  --drop 0.2 --net-seed 7)
 echo "$report" | grep -q 'gcd.handshake.phase3'
 echo "$report" | grep -q 'gsig.sign'
+echo "$report" | grep -q 'p50'
+echo "$report" | grep -q 'instant events'
 
 echo "ci: all checks passed"

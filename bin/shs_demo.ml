@@ -61,7 +61,13 @@ let build ~seed ~n =
 
 let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
     drop duplicate jitter crash net_seed =
-  if metrics then Obs.set_sink Obs.Memory;
+  if metrics then begin
+    Obs.set_sink Obs.Memory;
+    (* the event log feeds the retransmission/timeout instant counts in
+       the report; the reset below clears the log again but keeps the
+       flag, so only the session itself is counted *)
+    Obs.set_events true
+  end;
   Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
   let tb = build ~seed ~n:m in
   if revoke_last then begin
@@ -181,12 +187,38 @@ let run_lifecycle n seed =
 (* trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_trace m seed =
+let run_trace m seed out drop duplicate jitter net_seed =
   let tb = build ~seed ~n:m in
   let fmt = Scheme2.default_format tb.ga2 in
-  let r =
-    Scheme2.run_session ~fmt (Array.map Scheme2.participant_of_member tb.members)
+  let faulty = drop > 0.0 || duplicate > 0.0 || jitter > 0.0 in
+  let faults =
+    if faulty then
+      Some (Faults.create ~drop ~duplicate ~jitter ~seed:net_seed ())
+    else None
   in
+  let watchdog = if faulty then Some Gcd_types.default_watchdog else None in
+  (* with -o, record the causal event timeline of the session; events go
+     on only now — after the group build — so every event is stamped by
+     the sim clock the session runner installs, making the exported
+     trace a pure function of (seed, net_seed, fault rates): running
+     the same command twice yields byte-identical JSON *)
+  if out <> None then Obs.set_events true;
+  let r =
+    Scheme2.run_session ?faults ?watchdog ~fmt
+      (Array.map Scheme2.participant_of_member tb.members)
+  in
+  (match out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Obs_json.to_string ~pretty:true (Obs.to_chrome_trace ()));
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf
+       "event timeline written to %s (%d events; load in Perfetto or \
+        chrome://tracing)\n"
+       path
+       (List.length (Obs.events ())));
   (match r.Gcd_types.outcomes.(0) with
    | Some o when o.Gcd_types.accepted ->
      Printf.printf "handshake succeeded (sid %s...)\n"
@@ -491,9 +523,40 @@ let lifecycle_cmd =
 
 let trace_cmd =
   let m_t = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Participants.") in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Also export the session's causal event timeline (per-party \
+             phase spans on sim time, send→receive flow edges, \
+             drop/retransmission instants) as Chrome trace_event JSON, \
+             loadable in Perfetto.  Deterministic: same seeds, same bytes.")
+  in
+  let drop_t =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~doc:"Per-link message drop probability in [0,1].")
+  in
+  let duplicate_t =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~doc:"Message duplication probability in [0,1].")
+  in
+  let jitter_t =
+    Arg.(value & opt float 0.0
+         & info [ "jitter" ] ~doc:"Extra random delivery latency bound.")
+  in
+  let net_seed_t =
+    Arg.(value & opt int 7 & info [ "net-seed" ] ~doc:"Seed for the fault plan's DRBG.")
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a handshake and open the transcript as the authority.")
-    Term.(const run_trace $ m_t $ seed_t)
+    (Cmd.info "trace"
+       ~doc:
+         "Run a handshake, open the transcript as the authority, and \
+          optionally export the event timeline ($(b,-o)).")
+    Term.(
+      const run_trace $ m_t $ seed_t $ out_t $ drop_t $ duplicate_t $ jitter_t
+      $ net_seed_t)
 
 let params_cmd =
   Cmd.v

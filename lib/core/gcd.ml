@@ -489,6 +489,11 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
      call, so repeated application always terminates the party. *)
   let force_progress p =
     Obs.incr timeouts_counter;
+    if Obs.events_enabled () then
+      Obs.instant "gcd.timeout"
+        ~args:
+          [ ("party", string_of_int p.self);
+            ("phase", string_of_int (phase_of p)) ];
     if p.outcome <> None then []
     else if p.kprime = None then begin
       (* Phase I timed out: abort the DGKA and improvise k' and sid *)
@@ -525,8 +530,14 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     let n = Array.length participants in
     if n < 2 then invalid_arg "Gcd.run_session: need at least two parties";
     Obs.incr sessions_counter;
-    Obs.span "gcd.handshake" @@ fun () ->
     let net = Engine.create ?adversary ?latency ?faults ~n () in
+    (* event timelines run on sim time, one trace id per session; the
+       engine stamps both into every message envelope *)
+    if Obs.events_enabled () then begin
+      Obs.set_event_clock (fun () -> Sim.now (Engine.sim net));
+      ignore (Obs.new_trace ())
+    end;
+    Obs.span "gcd.handshake" @@ fun () ->
     let parties =
       Array.mapi
         (fun self pt ->
@@ -566,6 +577,11 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
        let sim = Engine.sim net in
        let resend self =
          Obs.add retransmissions_counter (List.length history.(self));
+         if Obs.events_enabled () then
+           Obs.instant "gcd.retransmit"
+             ~args:
+               [ ("party", string_of_int self);
+                 ("msgs", string_of_int (List.length history.(self))) ];
          List.iter
            (fun (dst, payload) ->
              match dst with
@@ -575,6 +591,8 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
        in
        let rec arm self ~phase ~attempt ~delay =
          Sim.schedule sim ~delay (fun () ->
+             if Obs.events_enabled () then
+               Obs.set_track ("party-" ^ string_of_int self);
              let p = parties.(self) in
              if p.outcome = None then begin
                let now_phase = phase_of p in
@@ -600,7 +618,12 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
          (fun self _ ->
            arm self ~phase:0 ~attempt:0 ~delay:wd.Gcd_types.retransmit_after)
          parties);
-    Array.iteri (fun self party -> emit self (start party)) parties;
+    Array.iteri
+      (fun self party ->
+        if Obs.events_enabled () then
+          Obs.set_track ("party-" ^ string_of_int self);
+        emit self (start party))
+      parties;
     Engine.run net;
     { Gcd_types.outcomes = Array.map outcome parties;
       stats = Engine.stats net;

@@ -61,9 +61,14 @@ let sender_crashed t src =
   | Some f -> Faults.crashed f ~party:src ~now:(Sim.now t.sim)
   | None -> false
 
-let drop_one t =
+let link_args ~src ~dst =
+  [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+
+let drop_one t ~src ~dst =
   t.dropped <- t.dropped + 1;
-  Obs.incr dropped_counter
+  Obs.incr dropped_counter;
+  if Obs.events_enabled () then
+    Obs.instant "net.drop" ~args:(link_args ~src ~dst)
 
 let deliver t ~src ~dst payload =
   let payload =
@@ -86,12 +91,37 @@ let deliver t ~src ~dst payload =
         (Printf.sprintf "Engine: latency function returned %g on link %d->%d"
            lat src dst);
     let deliver_copy extra =
+      (* with events on, each scheduled copy is its own causal edge: a
+         flow id is minted at send time and rides the wire inside a
+         Wire trace envelope, unwrapped again at delivery — so the
+         receiver's state machine never sees the envelope, and
+         duplicates/retransmissions each draw their own edge *)
+      let payload =
+        if Obs.events_enabled () then begin
+          let flow_id = Obs.flow_send "net.msg" ~args:(link_args ~src ~dst) in
+          Wire.wrap_trace ~trace_id:(Obs.current_trace ()) ~flow_id payload
+        end
+        else payload
+      in
       Sim.schedule t.sim ~delay:(lat +. extra) (fun () ->
+          if Obs.events_enabled () then
+            Obs.set_track ("party-" ^ string_of_int dst);
           match t.faults with
           | Some f when Faults.crashed f ~party:dst ~now:(Sim.now t.sim) ->
             (* the receiver crash-stopped before this copy arrived *)
-            drop_one t
+            drop_one t ~src ~dst
           | _ ->
+            let payload =
+              match
+                if Obs.events_enabled () then Wire.unwrap_trace payload
+                else None
+              with
+              | Some (trace_id, flow_id, inner) ->
+                Obs.set_current_trace trace_id;
+                Obs.flow_recv "net.msg" ~id:flow_id ~args:(link_args ~src ~dst);
+                inner
+              | None -> payload
+            in
             (* deliveries count actual receiver invocations only *)
             match t.receivers.(dst) with
             | Some cb ->
@@ -111,10 +141,12 @@ let deliver t ~src ~dst payload =
       let copies = if Faults.draw_duplicate f then 2 else 1 in
       if copies = 2 then begin
         t.duplicated <- t.duplicated + 1;
-        Obs.incr duplicated_counter
+        Obs.incr duplicated_counter;
+        if Obs.events_enabled () then
+          Obs.instant "net.duplicate" ~args:(link_args ~src ~dst)
       end;
       for _ = 1 to copies do
-        if Faults.draw_drop f ~src ~dst then drop_one t
+        if Faults.draw_drop f ~src ~dst then drop_one t ~src ~dst
         else deliver_copy (Faults.draw_jitter f)
       done
 

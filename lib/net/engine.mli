@@ -21,7 +21,18 @@
 
     Delivery order is deterministic: latency is a pure function of the
     link, ties resolve by send order, and fault draws consume a seeded
-    DRBG stream in send order. *)
+    DRBG stream in send order.
+
+    {b Event tracing.}  When [Obs.set_events true] is in effect, every
+    scheduled copy is stamped with a causal edge: the engine mints a
+    flow id at send time, wraps the payload in a {!Wire.wrap_trace}
+    envelope carrying ([trace id], [flow id]), and unwraps it at
+    delivery — recording [Flow_send]/[Flow_recv] events, switching the
+    current track to ["party-<dst>"] before invoking the receiver, and
+    recording [net.drop]/[net.duplicate] instant events for fault
+    outcomes.  Receivers never see the envelope, and with events off no
+    wrapping (and no overhead beyond the counters) happens at all; the
+    flag must not be toggled while deliveries are in flight. *)
 
 type t
 

@@ -23,6 +23,11 @@ let reset_counter c = c.c_value <- 0
 (* Histograms                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Log-bucketed: every positive observation v lands in the power-of-two
+   bucket [2^(e-1), 2^e) with e from [frexp], so the bucket table is a
+   sparse exponent -> count map and quantiles interpolate inside one
+   bucket — bounded relative error (a factor of 2 per bucket, tightened
+   by clamping to the exact min/max) at O(1) memory per decade. *)
 type histogram = {
   h_name : string;
   h_help : string;
@@ -30,9 +35,19 @@ type histogram = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  mutable h_nonpos : int;  (* observations <= 0 sit below every bucket *)
+  h_buckets : (int, int) Hashtbl.t;
 }
 
-type hist_stats = { count : int; sum : float; min : float; max : float }
+type hist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
@@ -42,7 +57,7 @@ let histogram ?(help = "") name =
   | None ->
     let h =
       { h_name = name; h_help = help; h_count = 0; h_sum = 0.0;
-        h_min = 0.0; h_max = 0.0 }
+        h_min = 0.0; h_max = 0.0; h_nonpos = 0; h_buckets = Hashtbl.create 8 }
     in
     Hashtbl.add histograms name h;
     h
@@ -57,10 +72,48 @@ let observe h v =
     if v > h.h_max then h.h_max <- v
   end;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v
+  h.h_sum <- h.h_sum +. v;
+  if v > 0.0 then begin
+    let _, e = Float.frexp v in
+    Hashtbl.replace h.h_buckets e
+      (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets e))
+  end
+  else h.h_nonpos <- h.h_nonpos + 1
+
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    (* nearest-rank target, then linear interpolation inside the bucket *)
+    let rank = Float.max 1.0 (q *. float_of_int h.h_count) in
+    if float_of_int h.h_nonpos >= rank then h.h_min
+    else begin
+      let buckets =
+        Hashtbl.fold (fun e c acc -> (e, c) :: acc) h.h_buckets []
+        |> List.sort compare
+      in
+      let rec go cum = function
+        | [] -> h.h_max
+        | (e, c) :: rest ->
+          if float_of_int (cum + c) >= rank then begin
+            let lo = Float.ldexp 1.0 (e - 1) and hi = Float.ldexp 1.0 e in
+            let frac = (rank -. float_of_int cum) /. float_of_int c in
+            Float.min h.h_max (Float.max h.h_min (lo +. (frac *. (hi -. lo))))
+          end
+          else go (cum + c) rest
+      in
+      go h.h_nonpos buckets
+    end
+  end
 
 let hist_stats h =
-  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+  { count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = quantile h 0.50;
+    p95 = quantile h 0.95;
+    p99 = quantile h 0.99;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
@@ -78,6 +131,71 @@ let manual_clock ?(start = 0.0) ?(step = 1.0) () =
     let v = !t in
     t := v +. step;
     v
+
+(* ------------------------------------------------------------------ *)
+(* Event log (individual events, causal ids)                           *)
+(* ------------------------------------------------------------------ *)
+
+type event_kind = Span_begin | Span_end | Instant | Flow_send | Flow_recv
+
+type event = {
+  ev_kind : event_kind;
+  ev_name : string;
+  ev_track : string;
+  ev_ts : float;
+  ev_id : int;
+  ev_args : (string * string) list;
+}
+
+let events_on = ref false
+let event_log : event list ref = ref []
+
+(* the event clock defaults to following the span clock; session runners
+   point it at Sim.now so timelines are in deterministic sim time *)
+let default_event_clock () = !clock ()
+let event_clock = ref default_event_clock
+
+let track_ref = ref "main"
+let next_flow = ref 0
+let next_trace_id = ref 0
+let trace_ctx = ref 0
+
+let set_events b = events_on := b
+let events_enabled () = !events_on
+let set_event_clock f = event_clock := f
+let set_track s = track_ref := s
+let current_track () = !track_ref
+
+let record kind name ~id ~args =
+  event_log :=
+    { ev_kind = kind; ev_name = name; ev_track = !track_ref;
+      ev_ts = !event_clock (); ev_id = id; ev_args = args }
+    :: !event_log
+
+let instant ?(args = []) name =
+  if !events_on then record Instant name ~id:0 ~args
+
+let flow_send ?(args = []) name =
+  if not !events_on then 0
+  else begin
+    Stdlib.incr next_flow;
+    let id = !next_flow in
+    record Flow_send name ~id ~args;
+    id
+  end
+
+let flow_recv ?(args = []) ~id name =
+  if !events_on then record Flow_recv name ~id ~args
+
+let new_trace () =
+  Stdlib.incr next_trace_id;
+  trace_ctx := !next_trace_id;
+  !next_trace_id
+
+let current_trace () = !trace_ctx
+let set_current_trace i = trace_ctx := i
+
+let events () = List.rev !event_log
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -115,18 +233,41 @@ let child_of parent name =
     n
 
 let span name f =
-  if not !tracing then f ()
+  let ev = !events_on and tr = !tracing in
+  if not (ev || tr) then f ()
   else begin
+    (* the end event reuses the begin-time track: a span opened on one
+       timeline closes on it even if deliveries switch tracks inside *)
+    let btrack = !track_ref in
+    if ev then
+      event_log :=
+        { ev_kind = Span_begin; ev_name = name; ev_track = btrack;
+          ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
+        :: !event_log;
     let parent = !current in
-    let node = child_of parent name in
-    node.n_calls <- node.n_calls + 1;
-    current := node;
-    let t0 = !clock () in
+    let node =
+      if tr then begin
+        let node = child_of parent name in
+        node.n_calls <- node.n_calls + 1;
+        current := node;
+        Some node
+      end
+      else None
+    in
+    let t0 = if tr then !clock () else 0.0 in
     let close () =
-      let dt = !clock () -. t0 in
-      node.n_total <- node.n_total +. dt;
-      observe (histogram ~help:"span latency (ns)" name) dt;
-      current := parent
+      (match node with
+       | Some node ->
+         let dt = !clock () -. t0 in
+         node.n_total <- node.n_total +. dt;
+         observe (histogram ~help:"span latency (ns)" name) dt;
+         current := parent
+       | None -> ());
+      if ev then
+        event_log :=
+          { ev_kind = Span_end; ev_name = name; ev_track = btrack;
+            ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
+          :: !event_log
     in
     match f () with
     | v -> close (); v
@@ -161,11 +302,25 @@ let reset () =
       h.h_count <- 0;
       h.h_sum <- 0.0;
       h.h_min <- 0.0;
-      h.h_max <- 0.0)
+      h.h_max <- 0.0;
+      h.h_nonpos <- 0;
+      Hashtbl.reset h.h_buckets)
     histograms;
   let r = make_node "" in
   root := r;
-  current := r
+  current := r;
+  event_log := [];
+  next_flow := 0;
+  next_trace_id := 0;
+  trace_ctx := 0;
+  track_ref := "main"
+
+let reset_all () =
+  reset ();
+  set_sink Noop;
+  events_on := false;
+  clock := default_clock;
+  event_clock := default_event_clock
 
 let snapshot_counters () =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
@@ -205,6 +360,12 @@ let to_prometheus () =
     (fun (name, st) ->
       let p = sanitize name in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" p);
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.5\"} %.17g\n" p st.p50);
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.95\"} %.17g\n" p st.p95);
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.99\"} %.17g\n" p st.p99);
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" p st.count);
       Buffer.add_string buf (Printf.sprintf "%s_sum %.17g\n" p st.sum);
       Buffer.add_string buf (Printf.sprintf "%s_min %.17g\n" p st.min);
@@ -226,6 +387,9 @@ let hist_to_json st =
       ("sum", Obs_json.Float st.sum);
       ("min", Obs_json.Float st.min);
       ("max", Obs_json.Float st.max);
+      ("p50", Obs_json.Float st.p50);
+      ("p95", Obs_json.Float st.p95);
+      ("p99", Obs_json.Float st.p99);
     ]
 
 let to_json () =
@@ -239,11 +403,101 @@ let to_json () =
       ("trace", Obs_json.List (List.map span_to_json (trace ())));
     ]
 
+(* Chrome trace_event JSON (chrome://tracing, Perfetto).  One pid;
+   tracks become threads, named via metadata events, tids assigned in
+   first-appearance order so the document is a pure function of the
+   event log.  ts is the event clock reading verbatim (sim time when a
+   session runner installed it), interpreted by the viewer as us. *)
+let to_chrome_trace () =
+  let evs = events () in
+  let tracks =
+    List.fold_left
+      (fun acc e -> if List.mem e.ev_track acc then acc else e.ev_track :: acc)
+      [] evs
+    |> List.rev
+  in
+  let tid_of track =
+    let rec go i = function
+      | [] -> 0
+      | t :: rest -> if t = track then i else go (i + 1) rest
+    in
+    go 1 tracks
+  in
+  let meta_event fields = Obs_json.Obj fields in
+  let meta =
+    meta_event
+      [ ("name", Obs_json.Str "process_name");
+        ("ph", Obs_json.Str "M");
+        ("pid", Obs_json.Int 1);
+        ("args", Obs_json.Obj [ ("name", Obs_json.Str "shs-sim") ]);
+      ]
+    :: List.map
+         (fun track ->
+           meta_event
+             [ ("name", Obs_json.Str "thread_name");
+               ("ph", Obs_json.Str "M");
+               ("pid", Obs_json.Int 1);
+               ("tid", Obs_json.Int (tid_of track));
+               ("args", Obs_json.Obj [ ("name", Obs_json.Str track) ]);
+             ])
+         tracks
+  in
+  let ev_json e =
+    let ph =
+      match e.ev_kind with
+      | Span_begin -> "B"
+      | Span_end -> "E"
+      | Instant -> "i"
+      | Flow_send -> "s"
+      | Flow_recv -> "f"
+    in
+    let base =
+      [ ("name", Obs_json.Str e.ev_name);
+        ("ph", Obs_json.Str ph);
+        ("pid", Obs_json.Int 1);
+        ("tid", Obs_json.Int (tid_of e.ev_track));
+        ("ts", Obs_json.Float e.ev_ts);
+      ]
+    in
+    let extra =
+      match e.ev_kind with
+      | Instant -> [ ("s", Obs_json.Str "t") ]
+      | Flow_send -> [ ("cat", Obs_json.Str "net"); ("id", Obs_json.Int e.ev_id) ]
+      | Flow_recv ->
+        [ ("cat", Obs_json.Str "net"); ("id", Obs_json.Int e.ev_id);
+          ("bt", Obs_json.Str "e") ]
+      | Span_begin | Span_end -> []
+    in
+    let args =
+      if e.ev_args = [] then []
+      else
+        [ ("args",
+           Obs_json.Obj (List.map (fun (k, v) -> (k, Obs_json.Str v)) e.ev_args))
+        ]
+    in
+    Obs_json.Obj (base @ extra @ args)
+  in
+  Obs_json.Obj
+    [ ("traceEvents", Obs_json.List (meta @ List.map ev_json evs));
+      ("displayTimeUnit", Obs_json.Str "ms");
+    ]
+
 let pretty_ns ns =
   if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
   else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
+
+let instant_counts () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if e.ev_kind = Instant then
+        Hashtbl.replace tbl e.ev_name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.ev_name)))
+    !event_log;
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl []
+  |> List.sort compare
 
 let report () =
   let buf = Buffer.create 1024 in
@@ -260,11 +514,21 @@ let report () =
     List.iter
       (fun (n, st) ->
         Buffer.add_string buf
-          (Printf.sprintf "  %-32s %6d calls  total %-10s mean %-10s max %s\n" n
-             st.count (pretty_ns st.sum)
+          (Printf.sprintf
+             "  %-32s %6d calls  total %-10s mean %-10s p50 %-10s p95 %-10s \
+              p99 %-10s max %s\n"
+             n st.count (pretty_ns st.sum)
              (pretty_ns (st.sum /. float_of_int st.count))
+             (pretty_ns st.p50) (pretty_ns st.p95) (pretty_ns st.p99)
              (pretty_ns st.max)))
       hists
+  end;
+  let instants = instant_counts () in
+  if instants <> [] then begin
+    Buffer.add_string buf "instant events:\n";
+    List.iter
+      (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "  %-32s %12d\n" n c))
+      instants
   end;
   let tr = trace () in
   if tr <> [] then begin

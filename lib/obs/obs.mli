@@ -6,8 +6,10 @@
       counts, network messages/bytes, GSIG sign/verify calls, CGKD rekey
       events).  Counters are always on; an increment is a single mutable
       field write, cheap enough for the bignum hot path.
-    - {b histograms} — running [count/sum/min/max] aggregates of float
-      observations (span latencies in nanoseconds).
+    - {b histograms} — log-bucketed aggregates of float observations
+      (span latencies in nanoseconds): count/sum/min/max plus a sparse
+      power-of-two bucket table from which p50/p95/p99 are estimated
+      (interpolated within one bucket, clamped to the observed range).
     - {b spans} — hierarchical timed regions
       ([span "gcd.handshake.phase2" f]).  Span recording is gated by the
       installed {e sink}: under the default {!Noop} sink a span is one
@@ -16,6 +18,14 @@
       the {!Memory} sink, spans build an aggregated trace tree (merged by
       name at each nesting level, first-seen order preserved) and feed a
       latency histogram per span name.
+    - {b events} — when enabled ({!set_events}), every span additionally
+      records {e individual} (not name-merged) begin/end events, and
+      instrumented code can record instant events and causal
+      send→receive flow edges, all stamped by a dedicated event clock
+      (session runners point it at the simulation clock) and grouped on
+      named {e tracks} (one per simulated party).  {!to_chrome_trace}
+      exports the log as Chrome [trace_event] JSON for
+      Perfetto/[chrome://tracing].
 
     Naming scheme: dot-separated lowercase paths, [layer.component.verb]
     — e.g. [bigint.mul], [net.messages], [gsig.sign], [cgkd.rekey],
@@ -24,7 +34,10 @@
     Determinism: the span clock is pluggable.  The default reads the
     system clock; tests install {!manual_clock} (a seedable fake that
     advances a fixed step per reading) so the exported trace tree —
-    including every timing — is a pure function of the protocol run. *)
+    including every timing — is a pure function of the protocol run.
+    The event clock is separately pluggable ({!set_event_clock}); under
+    sim time plus fixed seeds the exported Chrome trace is byte-stable
+    across runs. *)
 
 (** {1 Counters} *)
 
@@ -48,6 +61,9 @@ type hist_stats = {
   sum : float;
   min : float;  (** 0.0 when [count = 0] *)
   max : float;  (** 0.0 when [count = 0] *)
+  p50 : float;  (** estimated quantiles from the log-bucket table; *)
+  p95 : float;  (** exact for counts 0 and 1, within one power-of-two *)
+  p99 : float;  (** bucket otherwise, always inside [min, max] *)
 }
 
 val histogram : ?help:string -> string -> histogram
@@ -56,6 +72,10 @@ val histogram : ?help:string -> string -> histogram
 
 val observe : histogram -> float -> unit
 val hist_stats : histogram -> hist_stats
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: nearest-rank estimate off the
+    log-bucket table; [0.0] on an empty histogram. *)
 
 (** {1 Spans and sinks} *)
 
@@ -68,8 +88,9 @@ val current_sink : unit -> sink
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()]; under the [Memory] sink the call is timed
-    and recorded as a child of the innermost enclosing span.  Exceptions
-    propagate; the span still closes. *)
+    and recorded as a child of the innermost enclosing span, and with
+    events enabled it records individual begin/end events on the current
+    track.  Exceptions propagate; the span still closes. *)
 
 type span_tree = {
   span_name : string;
@@ -80,6 +101,73 @@ type span_tree = {
 
 val trace : unit -> span_tree list
 (** Root spans recorded since the last {!reset}, aggregated by name. *)
+
+(** {1 Event tracing}
+
+    Orthogonal to the sink: [set_events true] turns on the individual
+    event log (span begin/end pairs, instants, flow edges) even under
+    the [Noop] sink, so a deterministic timeline can be exported without
+    paying for the aggregated tree. *)
+
+type event_kind =
+  | Span_begin
+  | Span_end
+  | Instant  (** a point on a timeline: drop, duplicate, timeout, ... *)
+  | Flow_send  (** causal edge source; [ev_id] is the fresh flow id *)
+  | Flow_recv  (** causal edge target; [ev_id] matches the send *)
+
+type event = {
+  ev_kind : event_kind;
+  ev_name : string;
+  ev_track : string;  (** timeline the event belongs to ("party-3") *)
+  ev_ts : float;  (** event-clock stamp (sim time in a session) *)
+  ev_id : int;  (** flow correlation id; 0 when not a flow event *)
+  ev_args : (string * string) list;
+}
+
+val set_events : bool -> unit
+val events_enabled : unit -> bool
+
+val set_event_clock : (unit -> float) -> unit
+(** Time source for event stamps.  Defaults to following the span
+    clock; [Gcd.run_session] installs the simulation clock so event
+    timelines are in deterministic sim time. *)
+
+val set_track : string -> unit
+(** Name the timeline subsequent events land on.  The network engine
+    sets ["party-<i>"] around receiver invocations. *)
+
+val current_track : unit -> string
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Record an instant event on the current track; no-op when events are
+    disabled. *)
+
+val flow_send : ?args:(string * string) list -> string -> int
+(** Record the source of a causal edge and return its fresh flow id
+    (0, and nothing recorded, when events are disabled). *)
+
+val flow_recv : ?args:(string * string) list -> id:int -> string -> unit
+(** Record the matching edge target. *)
+
+(** {2 Trace context}
+
+    A lightweight (trace id, flow id) pair rides inside message
+    envelopes ({!Wire.wrap_trace}) so deliveries — including duplicates
+    and watchdog retransmissions — stitch into send→receive edges. *)
+
+val new_trace : unit -> int
+(** Mint a fresh trace id and make it current (one per session). *)
+
+val current_trace : unit -> int
+val set_current_trace : int -> unit
+
+val events : unit -> event list
+(** The event log since the last {!reset}, in record order. *)
+
+val instant_counts : unit -> (string * int) list
+(** Instant events grouped by name, sorted — e.g.
+    [("gcd.retransmit", 12); ("net.drop", 31)]. *)
 
 (** {1 Clock} *)
 
@@ -98,8 +186,15 @@ val manual_clock : ?start:float -> ?step:float -> unit -> unit -> float
 (** {1 Registry} *)
 
 val reset : unit -> unit
-(** Zero every counter, clear every histogram, drop the recorded trace.
-    The sink and clock are left installed. *)
+(** Zero every counter, clear every histogram, drop the recorded trace
+    and event log, and rewind the flow/trace id counters and current
+    track.  The sink, event flag and clocks are left installed. *)
+
+val reset_all : unit -> unit
+(** {!reset}, then return the configuration to its initial state too:
+    [Noop] sink, events disabled, default span and event clocks.  Bench
+    fixtures call this between experiments so no counter bleeds across;
+    re-arm the sink afterwards if you still need one. *)
 
 val snapshot_counters : unit -> (string * int) list
 (** Sorted by name. *)
@@ -111,13 +206,25 @@ val snapshot_histograms : unit -> (string * hist_stats) list
 
 val to_prometheus : unit -> string
 (** Prometheus-style text: counters as [shs_<name>] with [# HELP]/[#
-    TYPE] headers, histograms as [_count]/[_sum]/[_min]/[_max] summary
-    series.  Names are sanitized ([.] → [_]). *)
+    TYPE] headers, histograms as summaries with [{quantile="0.5|0.95|
+    0.99"}] sample lines plus [_count]/[_sum]/[_min]/[_max] series.
+    Names are sanitized ([.] → [_]). *)
 
 val to_json : unit -> Obs_json.t
 (** [{"counters": {..}, "histograms": {..}, "trace": [..]}] — the
-    document embedded in the bench harness's [--json] output. *)
+    document embedded in the bench harness's [--json] output; histogram
+    objects carry [p50]/[p95]/[p99]. *)
+
+val to_chrome_trace : unit -> Obs_json.t
+(** The event log as a Chrome [trace_event] document:
+    [{"traceEvents": [..], "displayTimeUnit": "ms"}] with one process,
+    one thread per track (named via metadata events, tids in
+    first-appearance order), [B]/[E] slices for spans, [i] instants and
+    [s]/[f] flow edges.  Deterministic given a deterministic event
+    clock. *)
 
 val report : unit -> string
-(** Human-readable dump: counter table, span-latency table and the
-    indented trace tree (the CLI's [--metrics] output). *)
+(** Human-readable dump: counter table, span-latency table with
+    percentile columns, instant-event counts (when events were
+    recorded) and the indented trace tree (the CLI's [--metrics]
+    output). *)

@@ -1,0 +1,185 @@
+(* shs-bench/1 documents: provenance stamping and the regression gate.
+   See the .mli for the contract; bin/ci.sh is the main consumer. *)
+
+type series = {
+  sx_experiment : string;
+  sx_series : string;
+  sx_param : int option;
+  sx_value : float;
+  sx_unit : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let provenance ~world_seeds ~fault_seeds =
+  Obs_json.Obj
+    [ ("schema_version", Obs_json.Int 1);
+      ("git_commit", Obs_json.Str (git_commit ()));
+      ("world_seeds", Obs_json.List (List.map (fun s -> Obs_json.Int s) world_seeds));
+      ("fault_seeds", Obs_json.List (List.map (fun s -> Obs_json.Int s) fault_seeds));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Series extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the hand-rolled serializer prints integral floats without a ".", so a
+   count written as [Float 4.] reads back as [Int 4]: accept both *)
+let num = function
+  | Obs_json.Int i -> Some (float_of_int i)
+  | Obs_json.Float f -> Some f
+  | _ -> None
+
+let series_of_doc doc =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Obs_json.member "schema" doc with
+    | Some (Obs_json.Str "shs-bench/1") -> Ok ()
+    | Some (Obs_json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
+    | _ -> Error "not a shs-bench/1 document (no \"schema\" field)"
+  in
+  let* experiments =
+    match Obs_json.member "experiments" doc with
+    | Some (Obs_json.List l) -> Ok l
+    | _ -> Error "missing \"experiments\" list"
+  in
+  let row_of experiment j =
+    match
+      ( Obs_json.member "series" j,
+        Obs_json.member "param" j,
+        Option.bind (Obs_json.member "value" j) num,
+        Obs_json.member "unit" j )
+    with
+    | Some (Obs_json.Str sx_series), Some param, Some sx_value,
+      Some (Obs_json.Str sx_unit) ->
+      let sx_param =
+        match param with Obs_json.Int p -> Some p | _ -> None
+      in
+      Ok { sx_experiment = experiment; sx_series; sx_param; sx_value; sx_unit }
+    | _ ->
+      Error
+        (Printf.sprintf "experiment %S: malformed series row" experiment)
+  in
+  let rec exps acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+      let* name =
+        match Obs_json.member "name" e with
+        | Some (Obs_json.Str n) -> Ok n
+        | _ -> Error "experiment without a \"name\""
+      in
+      let* rows =
+        match Obs_json.member "series" e with
+        | Some (Obs_json.List l) ->
+          List.fold_left
+            (fun acc j ->
+              let* acc = acc in
+              let* r = row_of name j in
+              Ok (r :: acc))
+            (Ok []) l
+        | _ -> Error (Printf.sprintf "experiment %S: missing series list" name)
+      in
+      exps (List.rev_append rows acc) rest
+  in
+  exps [] experiments
+
+let tracked s = s.sx_unit <> "ns"
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_baseline : series;
+  v_current : float;
+  v_rel_delta : float;
+}
+
+type comparison = {
+  compared : int;
+  violations : violation list;
+  missing : series list;
+}
+
+let key s = (s.sx_experiment, s.sx_series, s.sx_param)
+
+let compare_docs ~tolerance ~baseline ~current =
+  let ( let* ) = Result.bind in
+  let* base_rows = series_of_doc baseline in
+  let* cur_rows = series_of_doc current in
+  let cur_exps =
+    List.fold_left
+      (fun acc r ->
+        if List.mem r.sx_experiment acc then acc else r.sx_experiment :: acc)
+      [] cur_rows
+  in
+  let find k = List.find_opt (fun r -> key r = k) cur_rows in
+  let compared = ref 0 and violations = ref [] and missing = ref [] in
+  List.iter
+    (fun b ->
+      if tracked b && List.mem b.sx_experiment cur_exps then
+        match find (key b) with
+        | None -> missing := b :: !missing
+        | Some c ->
+          incr compared;
+          let rel =
+            if b.sx_value = 0.0 then
+              if c.sx_value = 0.0 then 0.0 else infinity
+            else abs_float (c.sx_value -. b.sx_value) /. abs_float b.sx_value
+          in
+          if rel > tolerance then
+            violations :=
+              { v_baseline = b; v_current = c.sx_value; v_rel_delta = rel }
+              :: !violations)
+    base_rows;
+  Ok
+    { compared = !compared;
+      violations = List.rev !violations;
+      missing = List.rev !missing;
+    }
+
+let passed c = c.violations = [] && c.missing = []
+
+let describe s =
+  Printf.sprintf "%s / %s%s" s.sx_experiment s.sx_series
+    (match s.sx_param with
+     | Some p -> Printf.sprintf " [param %d]" p
+     | None -> "")
+
+let render ~tolerance c =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  REGRESSION %s: baseline %g, current %g (%+.1f%%)\n"
+           (describe v.v_baseline) v.v_baseline.sx_value v.v_current
+           ((if v.v_current >= v.v_baseline.sx_value then 1.0 else -1.0)
+           *. (if v.v_rel_delta = infinity then infinity
+               else v.v_rel_delta *. 100.0))))
+    c.violations;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  MISSING    %s: in baseline, absent from this run\n"
+           (describe s)))
+    c.missing;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "bench compare: %s — %d tracked series checked, %d regression(s), %d missing (tolerance %.0f%%)\n"
+       (if passed c then "PASS" else "FAIL")
+       c.compared
+       (List.length c.violations)
+       (List.length c.missing)
+       (tolerance *. 100.0));
+  Buffer.contents buf

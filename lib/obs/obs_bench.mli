@@ -1,0 +1,73 @@
+(** shs-bench/1 result documents: provenance stamping and the bench
+    regression gate.
+
+    The bench harness writes its results as a [shs-bench/1] JSON
+    document (see bench/report.ml).  This module is the consumer side:
+    it extracts the flat series rows back out of a document, decides
+    which of them are {e tracked} — deterministic protocol measures
+    (operation counts, bytes, fractions, sim-time durations) as opposed
+    to wall-clock timings, which vary run to run — and compares a
+    current run against a checked-in baseline within a relative
+    tolerance.  [bin/ci.sh] runs the comparison as a hard gate.
+
+    It also builds the provenance header every document carries: schema
+    version, the git commit the run was built from, and the world/fault
+    seed sets that make the tracked series reproducible. *)
+
+type series = {
+  sx_experiment : string;
+  sx_series : string;
+  sx_param : int option;
+  sx_value : float;
+  sx_unit : string;
+}
+
+val git_commit : unit -> string
+(** The current [HEAD] commit hash, or ["unknown"] when git is
+    unavailable (no repository, no binary). *)
+
+val provenance : world_seeds:int list -> fault_seeds:int list -> Obs_json.t
+(** [{"schema_version": 1, "git_commit": .., "world_seeds": [..],
+    "fault_seeds": [..]}]. *)
+
+val series_of_doc : Obs_json.t -> (series list, string) result
+(** Flatten a [shs-bench/1] document back into rows, in document order.
+    [Error] names what is malformed (wrong schema, missing fields). *)
+
+val tracked : series -> bool
+(** Whether a series participates in the regression gate: every unit
+    except ["ns"] (wall-clock noise is excluded; everything else the
+    harness emits is deterministic under its fixed seeds). *)
+
+type violation = {
+  v_baseline : series;
+  v_current : float;
+  v_rel_delta : float;  (** [infinity] when the baseline value is 0 *)
+}
+
+type comparison = {
+  compared : int;  (** tracked baseline rows matched and checked *)
+  violations : violation list;  (** rows outside the tolerance *)
+  missing : series list;
+      (** tracked baseline rows absent from the current run, counted
+          only for experiments the current run actually includes (so a
+          [--only] subset compares cleanly) *)
+}
+
+val compare_docs :
+  tolerance:float ->
+  baseline:Obs_json.t ->
+  current:Obs_json.t ->
+  (comparison, string) result
+(** Match every tracked baseline row against the current document by
+    (experiment, series, param) and flag relative deviations beyond
+    [tolerance].  A zero baseline matches only a zero current value.
+    Series present only in the current run are ignored (regenerate the
+    baseline to start tracking them). *)
+
+val render : tolerance:float -> comparison -> string
+(** Human-readable verdict: one line per violation/missing row plus a
+    summary line starting with ["bench compare: PASS"] or ["bench
+    compare: FAIL"]. *)
+
+val passed : comparison -> bool
