@@ -12,6 +12,11 @@ let max_members = 8
 let world_seeds = [ 1000; 2000 ]
 let fault_seeds = [ 11; 23; 47 ]
 
+(* attack-plan seeds the Byzantine fuzz experiment (E12) sweeps over;
+   reproduce any E12 row with
+   [s1_fuzz ~m:4 ~sessions ~attack_seed ()] at the same seed *)
+let attack_seeds = [ 101; 202; 303 ]
+
 let scheme1_world =
   lazy
     (let ga = Scheme1.default_authority ~rng:(rng_of 1000) () in
@@ -80,6 +85,20 @@ let s1_chaos_handshake ?(duplicate = 0.05) ?(jitter = 0.3) ~m ~seed ~drop () =
   in
   let faults = Faults.create ~drop ~duplicate ~jitter ~seed () in
   Scheme1.run_session ~faults ~watchdog:Gcd_types.default_watchdog ~fmt parts
+
+(* Many handshakes through the seeded message-mutation adversary
+   (alternating unrestricted and Byzantine-seat plans, see {!Fuzz});
+   deterministic in [attack_seed]. *)
+let s1_fuzz ~m ~sessions ~attack_seed ?(drop = 0.15) () =
+  let ga, members = Lazy.force scheme1_world in
+  let fmt = Scheme1.default_format ga in
+  let parts =
+    Array.init m (fun i -> Scheme1.participant_of_member members.(i))
+  in
+  Fuzz.run ~m ~sessions ~attack_seed ~drop ~fault_seed:11
+    ~run_session:(fun ~adversary ~faults ~watchdog ->
+      Scheme1.run_session ?faults ~watchdog ~adversary ~fmt parts)
+    ()
 
 let assert_accepted (r : Gcd_types.session_result) =
   Array.iter

@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI entry point: full build, test suite, the bench regression gate
 # against the checked-in baseline (plus a perturbation check proving the
-# gate can fail), a deterministic trace-export smoke, and the demo's
-# --metrics report.  Run from the repository root.
+# gate can fail), a bounded protocol-fuzz smoke, a deterministic
+# trace-export smoke, and the demo's --metrics report.  Run from the
+# repository root.
 set -eu
 
 echo "== build =="
@@ -16,7 +17,9 @@ out=$(mktemp /tmp/shs_bench_XXXXXX.json)
 perturbed=$(mktemp /tmp/shs_perturb_XXXXXX.json)
 trace1=$(mktemp /tmp/shs_trace1_XXXXXX.json)
 trace2=$(mktemp /tmp/shs_trace2_XXXXXX.json)
-trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2"' EXIT
+fuzz1=$(mktemp /tmp/shs_fuzz1_XXXXXX.txt)
+fuzz2=$(mktemp /tmp/shs_fuzz2_XXXXXX.txt)
+trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2"' EXIT
 dune exec bench/main.exe -- --only e2,e10,e11 --quota 0.05 \
   --json "$out" --compare BENCH_3.json
 grep -q '"schema": "shs-bench/1"' "$out"
@@ -43,6 +46,17 @@ if dune exec bench/main.exe -- --compare BENCH_3.json --against "$perturbed"; th
   echo "ci: compare gate failed to flag a perturbed series" >&2
   exit 1
 fi
+
+echo "== fuzz smoke: 501 adversarial sessions, hard failure on violation =="
+# 167 sessions under each of the three fixed attack seeds; shs_demo fuzz
+# exits nonzero if any session raises, leaves a party non-terminal, or
+# breaks an honest same-group subset
+dune exec bin/shs_demo.exe -- fuzz --sessions 167 --attack-seeds 101,202,303
+# determinism: identical seeds must emit byte-identical summaries
+dune exec bin/shs_demo.exe -- fuzz --sessions 5 > "$fuzz1"
+dune exec bin/shs_demo.exe -- fuzz --sessions 5 > "$fuzz2"
+cmp "$fuzz1" "$fuzz2"
+grep -q 'all invariants held' "$fuzz1"
 
 echo "== trace smoke: deterministic Chrome trace export =="
 dune exec bin/shs_demo.exe -- trace --drop 0.2 --net-seed 7 -o "$trace1" > /dev/null

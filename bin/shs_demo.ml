@@ -60,7 +60,7 @@ let build ~seed ~n =
 (* ------------------------------------------------------------------ *)
 
 let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
-    drop duplicate jitter crash net_seed =
+    drop duplicate jitter crash net_seed flip forge replay attack_seed =
   if metrics then begin
     Obs.set_sink Obs.Memory;
     (* the event log feeds the retransmission/timeout instant counts in
@@ -108,14 +108,31 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
            ~seed:net_seed ()))
     else None
   in
-  let watchdog = if faulty then Some Gcd_types.default_watchdog else None in
+  (* an active adversary on top: seeded message mutation through the
+     engine tap, with replay-pool capture and wholesale forgery *)
+  let adversarial = flip > 0.0 || forge > 0.0 || replay > 0.0 in
+  let adv_plan =
+    if adversarial then begin
+      Printf.printf
+        "Adversary plan: flip=%.2f forge=%.2f replay=%.2f attack-seed=%d \
+         (watchdog armed)\n%!"
+        flip forge replay attack_seed;
+      Some (Adversary.create ~flip ~forge ~replay ~seed:attack_seed ())
+    end
+    else None
+  in
+  let watchdog =
+    if faulty || adversarial then Some Gcd_types.byzantine_watchdog else None
+  in
   (* group construction also ticks the registry; reset so the report
      covers the handshake session alone *)
   if metrics then Obs.reset ();
   let t0 = Unix.gettimeofday () in
+  let adversary = Option.map Adversary.tap adv_plan in
   let r =
-    if scheme = 2 then Scheme2.run_session_sd ?faults ?watchdog ~gpub ~fmt parts
-    else Scheme2.run_session ?faults ?watchdog ~fmt parts
+    if scheme = 2 then
+      Scheme2.run_session_sd ?faults ?watchdog ?adversary ~gpub ~fmt parts
+    else Scheme2.run_session ?faults ?watchdog ?adversary ~fmt parts
   in
   let dt = Unix.gettimeofday () -. t0 in
   Array.iteri
@@ -141,6 +158,21 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
   if faulty then
     Printf.printf "Channel: %d dropped, %d duplicated; session sim-time %.2f\n"
       st.Engine.dropped st.Engine.duplicated r.Gcd_types.duration;
+  (match adv_plan with
+   | None -> ()
+   | Some adv ->
+     Printf.printf "Adversary: %s\n" (Adversary.describe adv);
+     Printf.printf "  examined %d messages, mutated %d [%s]\n"
+       (Adversary.examined adv) (Adversary.mutated adv)
+       (String.concat "; "
+          (List.filter_map
+             (fun (k, v) -> if v > 0 then Some (Printf.sprintf "%s %d" k v) else None)
+             (Adversary.stats adv)));
+     (match Shs_error.snapshot () with
+      | [] -> Printf.printf "Per-layer rejections: none\n"
+      | rej ->
+        Printf.printf "Per-layer rejections:\n";
+        List.iter (fun (k, v) -> Printf.printf "  %-36s %6d\n" k v) rej));
   Printf.printf "Wall clock: %.2fs\n" dt;
   if metrics then print_string (Obs.report ());
   0
@@ -256,6 +288,55 @@ let run_params () =
   show_rsa "rsa_1024    " Params.rsa_1024;
   0
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic protocol fuzzer from the CLI: every print below is
+   a pure function of (--seed, --attack-seeds, --m, --sessions, --drop),
+   so two identical invocations emit byte-identical output. *)
+let run_fuzz m sessions attack_seeds seed drop =
+  Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
+  let tb = build ~seed ~n:m in
+  let fmt = Scheme2.default_format tb.ga2 in
+  let parts = Array.map Scheme2.participant_of_member tb.members in
+  let run_session ~adversary ~faults ~watchdog =
+    Scheme2.run_session ?faults ~watchdog ~adversary ~fmt parts
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun attack_seed ->
+      let s = Fuzz.run ~m ~sessions ~attack_seed ~drop ~fault_seed:seed ~run_session () in
+      Printf.printf
+        "attack seed %d: %d sessions, %d messages mutated; parties %d \
+         complete / %d partial / %d aborted%s\n"
+        attack_seed s.Fuzz.sessions s.Fuzz.mutated s.Fuzz.complete
+        s.Fuzz.partial s.Fuzz.aborted
+        (if Fuzz.ok s then "" else "  INVARIANT VIOLATED");
+      if not (Fuzz.ok s) then begin
+        incr violations;
+        if s.Fuzz.missing > 0 then
+          Printf.printf "  %d parties without a terminal outcome\n" s.Fuzz.missing;
+        List.iter
+          (fun (i, e) -> Printf.printf "  session %d: uncaught exception %s\n" i e)
+          s.Fuzz.exceptions;
+        List.iter
+          (fun (i, p) -> Printf.printf "  session %d: honest subset broken: %s\n" i p)
+          s.Fuzz.honest_violations
+      end)
+    attack_seeds;
+  (match Shs_error.snapshot () with
+   | [] -> ()
+   | rej ->
+     Printf.printf "per-layer rejections across all sessions:\n";
+     List.iter (fun (k, v) -> Printf.printf "  %-36s %6d\n" k v) rej);
+  if !violations = 0 then begin
+    Printf.printf
+      "all invariants held: no uncaught exception, every party terminal, \
+       honest subsets completed\n";
+    0
+  end
+  else 1
 
 (* ------------------------------------------------------------------ *)
 (* Persistent group management (--dir): init / add / revoke / members / run *)
@@ -288,31 +369,38 @@ module Store = struct
       match read_file (meta_path dir) with
       | Some s ->
         (match String.split_on_char ':' (String.trim s) with
-         | [ b; c ] -> (int_of_string b, int_of_string c)
+         | [ b; c ] ->
+           (match (int_of_string_opt b, int_of_string_opt c) with
+            | Some b, Some c -> (b, c)
+            | _ -> failwith "corrupt meta file")
          | _ -> failwith "corrupt meta file")
       | None -> failwith "state directory not initialized (run: init)"
     in
     write_file (meta_path dir) (Printf.sprintf "%d:%d" base (count + 1));
     rng_of ((base * 1_000_003) + count)
 
+  (* loads go through the typed Persist loaders: a missing file and a
+     corrupt one are distinct, named failures *)
   let load_authority dir =
-    match read_file (ga_path dir) with
-    | None -> failwith "no authority in state directory (run: init)"
-    | Some bytes ->
-      (match Persist.Scheme1_store.import_authority ~rng:(next_rng dir) bytes with
-       | Some ga -> ga
-       | None -> failwith "corrupt authority state")
+    let path = ga_path dir in
+    match Persist.Scheme1_store.load_authority ~rng:(next_rng dir) path with
+    | Ok ga -> ga
+    | Error (Persist.Io_error _) when not (Sys.file_exists path) ->
+      failwith "no authority in state directory (run: init)"
+    | Error e -> failwith ("authority state: " ^ Persist.load_error_to_string e)
 
   let save_authority dir ga =
     write_file (ga_path dir) (Persist.Scheme1_store.export_authority ga)
 
   let load_member dir uid =
-    match read_file (member_path dir uid) with
-    | None -> failwith (Printf.sprintf "no such member: %s" uid)
-    | Some bytes ->
-      (match Persist.Scheme1_store.import_member ~rng:(next_rng dir) bytes with
-       | Some m -> m
-       | None -> failwith (Printf.sprintf "corrupt member state: %s" uid))
+    let path = member_path dir uid in
+    match Persist.Scheme1_store.load_member ~rng:(next_rng dir) path with
+    | Ok m -> m
+    | Error (Persist.Io_error _) when not (Sys.file_exists path) ->
+      failwith (Printf.sprintf "no such member: %s" uid)
+    | Error e ->
+      failwith
+        (Printf.sprintf "member %s: %s" uid (Persist.load_error_to_string e))
 
   let save_member dir m =
     write_file (member_path dir (Scheme1.member_uid m))
@@ -494,21 +582,42 @@ let handshake_term =
   let net_seed_t =
     Arg.(value & opt int 7 & info [ "net-seed" ] ~doc:"Seed for the fault plan's DRBG.")
   in
+  let flip_t =
+    Arg.(value & opt float 0.0
+         & info [ "flip" ]
+             ~doc:"Adversary: per-message bit-flip probability in [0,1].")
+  in
+  let forge_t =
+    Arg.(value & opt float 0.0
+         & info [ "forge" ]
+             ~doc:"Adversary: per-message wholesale-forgery probability in [0,1].")
+  in
+  let replay_t =
+    Arg.(value & opt float 0.0
+         & info [ "replay" ]
+             ~doc:
+               "Adversary: per-message probability of substituting a replayed \
+                capture in [0,1].")
+  in
+  let attack_seed_t =
+    Arg.(value & opt int 99
+         & info [ "attack-seed" ] ~doc:"Seed for the adversary plan's DRBG.")
+  in
   let run debug scheme m outsiders clone revoke seed verbose metrics drop
-      duplicate jitter crash net_seed =
+      duplicate jitter crash net_seed flip forge replay attack_seed =
     setup_logging debug;
     if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
     else if m < 2 then (prerr_endline "need at least 2 members"; 1)
     else
       try
         run_handshake scheme m outsiders clone revoke seed verbose metrics drop
-          duplicate jitter crash net_seed
+          duplicate jitter crash net_seed flip forge replay attack_seed
       with Invalid_argument msg -> prerr_endline msg; 1
   in
   Term.(
     const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
     $ seed_t $ verbose_t $ metrics_flag $ drop_t $ duplicate_t $ jitter_t
-    $ crash_t $ net_seed_t)
+    $ crash_t $ net_seed_t $ flip_t $ forge_t $ replay_t $ attack_seed_t)
 
 let handshake_cmd =
   Cmd.v
@@ -563,6 +672,42 @@ let params_cmd =
     (Cmd.info "params" ~doc:"Show the embedded cryptographic parameter sets.")
     Term.(const run_params $ const ())
 
+let fuzz_cmd =
+  let m_t = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Seats per session (minimum 3).") in
+  let sessions_t =
+    Arg.(value & opt int 20
+         & info [ "sessions" ] ~doc:"Handshake sessions per attack seed.")
+  in
+  let attack_seeds_t =
+    Arg.(value & opt (list int) [ 101; 202; 303 ]
+         & info [ "attack-seeds" ] ~docv:"SEEDS"
+             ~doc:"Comma-separated adversary DRBG seeds, one sweep each.")
+  in
+  let drop_t =
+    Arg.(value & opt float 0.15
+         & info [ "drop" ]
+             ~doc:"Drop probability stacked under unrestricted sessions.")
+  in
+  let run debug m sessions attack_seeds seed drop =
+    setup_logging debug;
+    if m < 3 then (prerr_endline "need at least 3 seats (the honest-subset invariant is vacuous below 3)"; 1)
+    else if sessions < 1 then (prerr_endline "need at least one session"; 1)
+    else if attack_seeds = [] then (prerr_endline "need at least one attack seed"; 1)
+    else
+      try run_fuzz m sessions attack_seeds seed drop
+      with Invalid_argument msg -> prerr_endline msg; 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Drive many handshake sessions through the active message-mutation \
+          adversary and check the Byzantine-hardening invariants: no uncaught \
+          exception, every party terminal, honest subsets complete.  Output \
+          is a pure function of the seeds; exits 1 on any violation.")
+    Term.(
+      const run $ verbose_flag $ m_t $ sessions_t $ attack_seeds_t $ seed_t
+      $ drop_t)
+
 let dir_t =
   Arg.(
     required
@@ -615,7 +760,7 @@ let main =
   Cmd.group ~default:handshake_term
     (Cmd.info "shs_demo" ~version:"1.0.0"
        ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
-    [ handshake_cmd; lifecycle_cmd; trace_cmd; params_cmd; init_cmd; add_cmd;
-      revoke_cmd; members_cmd; run_cmd ]
+    [ handshake_cmd; lifecycle_cmd; trace_cmd; params_cmd; fuzz_cmd; init_cmd;
+      add_cmd; revoke_cmd; members_cmd; run_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -125,12 +125,16 @@ let leave gc ~uid =
     gc.c_epoch <- gc.c_epoch + 1;
     Some (gc, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
 
+let malformed () =
+  Shs_error.reject ~layer:"cgkd" Shs_error.Malformed ~args:[ ("proto", name) ];
+  None
+
 let rekey m msg =
   Obs.incr rekey_counter;
   match Wire.expect ~tag:"lkh-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with
-     | None -> None
+     | None -> malformed ()
      | Some ep ->
        (* work on a copy so failure leaves the member untouched *)
        let keys = Hashtbl.copy m.path_keys in
@@ -149,11 +153,13 @@ let rekey m msg =
               | _ -> ())
            | _ -> ())
          entries;
+       (* a failed confirmation is the normal outcome for a revoked
+          member, so it is not counted as a malformed frame *)
        match Hashtbl.find_opt keys 1 with
        | Some root when Hmac.equal_ct confirm (confirmation ~epoch:ep root) ->
          Some { m with path_keys = keys; m_epoch = ep }
        | _ -> None)
-  | _ -> None
+  | _ -> malformed ()
 
 let rekey_entry_count msg =
   match Wire.expect ~tag:"lkh-rekey" msg with
@@ -188,7 +194,10 @@ let import_controller ~rng s =
          Wire.expect ~tag:"leaves" leaves_s )
      with
      | Some cap, Some epoch, Some keys, Some free, Some leaves
-       when is_pow2 cap && List.length keys = 2 * cap ->
+       when is_pow2 cap && epoch >= 0 && List.length keys = 2 * cap ->
+       (* every stored index must be a real leaf slot, or later joins and
+          leaves would index outside the key array *)
+       let leaf_ok leaf = leaf >= cap && leaf < 2 * cap in
        let leaf_of = Hashtbl.create 16 in
        let ok =
          List.for_all
@@ -196,13 +205,18 @@ let import_controller ~rng s =
              match Wire.expect ~tag:"lf" lf with
              | Some [ uid; leaf_s ] ->
                (match int_of_string_opt leaf_s with
-                | Some leaf ->
+                | Some leaf when leaf_ok leaf ->
                   Hashtbl.replace leaf_of uid leaf;
                   true
-                | None -> false)
+                | _ -> false)
              | _ -> false)
            leaves
-         && List.for_all (fun f -> int_of_string_opt f <> None) free
+         && List.for_all
+              (fun f ->
+                match int_of_string_opt f with
+                | Some v -> leaf_ok v
+                | None -> false)
+              free
        in
        if ok then
          Some
@@ -233,7 +247,9 @@ let import_member s =
     (match
        (int_of_string_opt leaf_s, int_of_string_opt cap_s, int_of_string_opt epoch_s)
      with
-     | Some leaf, Some cap_m, Some m_epoch ->
+     | Some leaf, Some cap_m, Some m_epoch
+       when is_pow2 cap_m && leaf >= cap_m && leaf < 2 * cap_m && m_epoch >= 0
+       ->
        let path_keys = Hashtbl.create 16 in
        let ok =
          List.for_all

@@ -161,12 +161,16 @@ let leave gc ~uid =
     refresh_cache gc leaf;
     Some (gc, broadcast_path gc leaf)
 
+let malformed () =
+  Shs_error.reject ~layer:"cgkd" Shs_error.Malformed ~args:[ ("proto", name) ];
+  None
+
 let rekey m msg =
   Obs.incr rekey_counter;
   match Wire.expect ~tag:"oft-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with
-     | None -> None
+     | None -> malformed ()
      | Some ep ->
        (* ancestor keys are derivable on demand; decryption keys live in
           sibling subtrees, untouched by this event, so entry order is
@@ -213,7 +217,7 @@ let rekey m msg =
          Some m
        | _ -> None
        | exception Failure _ -> None)
-  | _ -> None
+  | _ -> malformed ()
 
 let rekey_entry_count msg =
   match Wire.expect ~tag:"oft-rekey" msg with
@@ -251,7 +255,10 @@ let import_controller ~rng s =
          Wire.expect ~tag:"leaves" leaves_s )
      with
      | Some cap, Some epoch, Some keys, Some free, Some burnt, Some leaves
-       when is_pow2 cap && List.length keys = 2 * cap ->
+       when is_pow2 cap && epoch >= 0 && List.length keys = 2 * cap ->
+       (* every stored index must be a real leaf slot, or later joins and
+          leaves would index outside the key arrays *)
+       let leaf_ok leaf = leaf >= cap && leaf < 2 * cap in
        let leaf_of = Hashtbl.create 16 in
        let ok =
          List.for_all
@@ -259,13 +266,18 @@ let import_controller ~rng s =
              match Wire.expect ~tag:"lf" lf with
              | Some [ uid; leaf_s ] ->
                (match int_of_string_opt leaf_s with
-                | Some leaf ->
+                | Some leaf when leaf_ok leaf ->
                   Hashtbl.replace leaf_of uid leaf;
                   true
-                | None -> false)
+                | _ -> false)
              | _ -> false)
            leaves
-         && List.for_all (fun f -> int_of_string_opt f <> None) (free @ burnt)
+         && List.for_all
+              (fun f ->
+                match int_of_string_opt f with
+                | Some v -> leaf_ok v
+                | None -> false)
+              (free @ burnt)
        in
        if ok then begin
          let gc =
@@ -302,7 +314,11 @@ let import_member s =
   match Wire.expect ~tag:"oft-mem" s with
   | Some (uid :: leaf_s :: epoch_s :: leaf_key :: blinds) ->
     (match (int_of_string_opt leaf_s, int_of_string_opt epoch_s) with
-     | Some leaf, Some m_epoch ->
+     (* leaf >= 1 keeps every root walk ([recompute_root], [ancestor_key])
+        terminating: v/2 strictly decreases towards 1, whereas a leaf of
+        0 (or negative) with an attacker-supplied blind for node 1 would
+        loop forever *)
+     | Some leaf, Some m_epoch when leaf >= 1 && m_epoch >= 0 ->
        let tbl = Hashtbl.create 16 in
        let ok =
          List.for_all

@@ -236,7 +236,11 @@ module Make (P : POLICY) = struct
   (* ---------------- member-side rekey --------------------------------- *)
 
   let member_subset_key m ~v ~w =
-    if not (is_ancestor ~anc:v ~node:m.leaf) then None
+    (* v, w >= 1 keeps [depth] (and so [is_ancestor]) terminating: the
+       v/2 walk only reaches 1 from a positive start.  Node ids in rekey
+       entries are attacker-controlled. *)
+    if v < 1 || w < 1 then None
+    else if not (is_ancestor ~anc:v ~node:m.leaf) then None
     else if is_ancestor ~anc:w ~node:m.leaf then None
     else begin
       let d = depth w - depth v in
@@ -255,12 +259,16 @@ module Make (P : POLICY) = struct
          | Some lab -> Some (prg_middle (walk_label lab ~v:c ~w)))
     end
 
+  let malformed () =
+    Shs_error.reject ~layer:"cgkd" Shs_error.Malformed ~args:[ ("proto", name) ];
+    None
+
   let rekey m msg =
     Obs.incr rekey_counter;
     match Wire.expect ~tag:(P.name ^ "-rekey") msg with
     | Some (epoch_s :: confirm :: entries) ->
       (match int_of_string_opt epoch_s with
-       | None -> None
+       | None -> malformed ()
        | Some ep ->
          let found = ref None in
          List.iter
@@ -284,8 +292,8 @@ module Make (P : POLICY) = struct
            m.current_m <- k;
            m.m_epoch <- ep;
            Some m
-         | _ -> None)
-    | _ -> None
+         | _ -> None (* revoked members land here: not a malformed frame *))
+    | _ -> malformed ()
 
   (* ---------------- instrumentation ----------------------------------- *)
 
@@ -328,13 +336,17 @@ module Make (P : POLICY) = struct
            Wire.expect ~tag:"leaves" leaves_s )
        with
        | Some cap, Some epoch, Some labels, Some free, Some leaves
-         when is_pow2 cap && cap >= 4
+         when is_pow2 cap && cap >= 4 && epoch >= 0
               && List.length labels = 2 * cap
-              && String.length revoked_s = 2 * cap ->
+              && String.length revoked_s = 2 * cap
+              (* the dummy leaf must stay revoked or the cover
+                 computation's nonempty-revoked-set invariant breaks *)
+              && revoked_s.[cap] = '1' ->
          let height =
            let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
            lg cap
          in
+         let leaf_ok leaf = leaf > cap && leaf < 2 * cap in
          let leaf_of = Hashtbl.create 16 in
          let ok =
            List.for_all
@@ -342,13 +354,18 @@ module Make (P : POLICY) = struct
                match Wire.expect ~tag:"lf" lf with
                | Some [ uid; leaf_s ] ->
                  (match int_of_string_opt leaf_s with
-                  | Some leaf ->
+                  | Some leaf when leaf_ok leaf ->
                     Hashtbl.replace leaf_of uid leaf;
                     true
-                  | None -> false)
+                  | _ -> false)
                | _ -> false)
              leaves
-           && List.for_all (fun f -> int_of_string_opt f <> None) free
+           && List.for_all
+                (fun f ->
+                  match int_of_string_opt f with
+                  | Some v -> leaf_ok v
+                  | None -> false)
+                free
          in
          if ok then
            Some
@@ -386,7 +403,11 @@ module Make (P : POLICY) = struct
            int_of_string_opt height_s,
            int_of_string_opt epoch_s )
        with
-       | Some leaf, Some height_m, Some m_epoch ->
+       | Some leaf, Some height_m, Some m_epoch
+         when height_m >= 2 && height_m <= 30
+              && leaf >= 1 lsl height_m
+              && leaf < 2 lsl height_m
+              && m_epoch >= 0 ->
          let tbl = Hashtbl.create 64 in
          let ok =
            List.for_all

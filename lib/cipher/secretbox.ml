@@ -34,13 +34,16 @@ let frame ?pad_to msg =
 let unframe framed =
   if String.length framed < len_field then None
   else begin
-    let n =
-      (Char.code framed.[0] lsl 24)
-      lor (Char.code framed.[1] lsl 16)
-      lor (Char.code framed.[2] lsl 8)
-      lor Char.code framed.[3]
-    in
-    if n > String.length framed - len_field then None
+    (* Stepwise accumulation: a shift by 24 wraps negative on 32-bit
+       ints, turning a garbage length field into a [String.sub] crash
+       instead of a clean [None]. *)
+    let n = ref 0 and overflow = ref false in
+    for i = 0 to len_field - 1 do
+      if !n > (max_int - 255) / 256 then overflow := true
+      else n := (!n * 256) + Char.code framed.[i]
+    done;
+    let n = !n in
+    if !overflow || n > String.length framed - len_field then None
     else Some (String.sub framed len_field n)
   end
 

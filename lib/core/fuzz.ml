@@ -1,0 +1,184 @@
+(** Deterministic protocol fuzzer: drive many handshake sessions through
+    an active message-mutation adversary and check the two invariants
+    that define Byzantine-input hardening:
+
+    + {b totality} — no uncaught exception anywhere in the stack, and
+      every party reaches a terminal Complete/Partial/Aborted outcome,
+      no matter what bytes arrive;
+    + {b partial success} (paper §7) — when the adversary controls only
+      one Byzantine seat's outgoing Phase II/III traffic, the honest
+      same-group majority still completes with a partner set covering
+      every honest seat.
+
+    Sessions alternate between two adversary plans:
+    - {e unrestricted} (even indices): every mutation class on every
+      link, optionally stacked on a lossy fault plan — only the totality
+      invariant applies;
+    - {e Byzantine} (odd indices): all mutations scoped to the last
+      seat's outgoing ["hs2"]/["hs3"] frames on a reliable channel — both
+      invariants apply.  The caller must run same-group members in every
+      seat and [m >= 3] (with [m = 2] the lone honest seat has no honest
+      partner, so §7 partial success is vacuous).
+
+    Everything is a pure function of
+    [(world seed, fault seed, attack seed)]: the world fixes the group
+    material, the fault plan the channel, the attack seed the mutation
+    stream.  Two runs with equal seeds produce equal summaries. *)
+
+type mode = Unrestricted | Byzantine
+
+let mode_to_string = function
+  | Unrestricted -> "unrestricted"
+  | Byzantine -> "byzantine"
+
+type session_report = {
+  sr_index : int;
+  sr_mode : mode;
+  sr_mutated : int;  (** messages the adversary altered in this session *)
+  sr_terminations : string list;
+      (** per-party termination, ["?"] for a missing outcome *)
+  sr_error : string option;  (** an escaped exception, if any *)
+}
+
+type summary = {
+  sessions : int;
+  mutated : int;
+  complete : int;  (** party outcomes across all sessions *)
+  partial : int;
+  aborted : int;
+  missing : int;  (** parties left without a terminal outcome *)
+  exceptions : (int * string) list;  (** (session index, exception) *)
+  honest_violations : (int * string) list;
+      (** Byzantine sessions where the honest subset did not complete *)
+  reports : session_report list;  (** per-session detail, oldest first *)
+}
+
+let ok summary =
+  summary.missing = 0 && summary.exceptions = [] && summary.honest_violations = []
+
+(* Per-message mutation probabilities.  Unrestricted keeps roughly a
+   third of the traffic clean so sessions exercise mixed-health paths;
+   the Byzantine plan mauls almost everything the bad seat sends. *)
+let unrestricted_adversary ~seed =
+  Adversary.create ~flip:0.06 ~truncate:0.04 ~extend:0.04 ~confuse:0.04
+    ~corrupt:0.06 ~replay:0.04 ~forge:0.04 ~seed ()
+
+let byzantine_adversary ~byz ~seed =
+  Adversary.create ~scope:(From [ byz ])
+    ~tags:[ "hs2"; "hs3" ]
+    ~flip:0.25 ~truncate:0.10 ~extend:0.10 ~corrupt:0.25 ~replay:0.10
+    ~forge:0.10 ~seed ()
+
+let mode_of_index i = if i mod 2 = 0 then Unrestricted else Byzantine
+
+let check_honest ~m outcomes =
+  (* every seat but the last is honest; all must terminate usefully and
+     recognize the whole honest subset *)
+  let honest = List.init (m - 1) (fun i -> i) in
+  let problems = ref [] in
+  List.iter
+    (fun i ->
+      match outcomes.(i) with
+      | None -> problems := Printf.sprintf "party %d: no outcome" i :: !problems
+      | Some (o : Gcd_types.outcome) ->
+        if o.termination = Gcd_types.Aborted then
+          problems := Printf.sprintf "party %d: aborted" i :: !problems
+        else begin
+          let missing =
+            List.filter (fun j -> not (List.mem j o.partners)) honest
+          in
+          if missing <> [] then
+            problems :=
+              Printf.sprintf "party %d: partners miss honest %s" i
+                (String.concat "," (List.map string_of_int missing))
+              :: !problems
+        end)
+    honest;
+  List.rev !problems
+
+let run ~m ~sessions ~attack_seed ?(drop = 0.0) ?(fault_seed = 0)
+    ~(run_session :
+        adversary:Engine.adversary ->
+        faults:Faults.t option ->
+        watchdog:Gcd_types.watchdog ->
+        Gcd_types.session_result) () =
+  if m < 3 then invalid_arg "Fuzz.run: need m >= 3 (see the §7 invariant)";
+  if sessions < 1 then invalid_arg "Fuzz.run: need at least one session";
+  let mutated = ref 0 in
+  let complete = ref 0 and partial = ref 0 and aborted = ref 0 in
+  let missing = ref 0 in
+  let exceptions = ref [] and honest_violations = ref [] in
+  let reports = ref [] in
+  for i = 0 to sessions - 1 do
+    let mode = mode_of_index i in
+    let adv =
+      match mode with
+      | Unrestricted -> unrestricted_adversary ~seed:((attack_seed * 10_000) + i)
+      | Byzantine ->
+        byzantine_adversary ~byz:(m - 1) ~seed:((attack_seed * 10_000) + i)
+    in
+    let faults =
+      (* the Byzantine invariant presumes the honest channel works *)
+      if drop > 0.0 && mode = Unrestricted then
+        Some (Faults.create ~drop ~seed:((fault_seed * 10_000) + i) ())
+      else None
+    in
+    let result =
+      match
+        (* graced watchdog: deadline staggering defeats the Byzantine
+           timeout-desynchronization race (see Gcd_types.watchdog) *)
+        run_session ~adversary:(Adversary.tap adv) ~faults
+          ~watchdog:Gcd_types.byzantine_watchdog
+      with
+      | r -> Ok r
+      | exception e -> Error (Printexc.to_string e)
+    in
+    mutated := !mutated + Adversary.mutated adv;
+    let terminations, error =
+      match result with
+      | Error msg ->
+        exceptions := (i, msg) :: !exceptions;
+        ([], Some msg)
+      | Ok r ->
+        let terms =
+          Array.to_list
+            (Array.map
+               (function
+                 | None ->
+                   incr missing;
+                   "?"
+                 | Some (o : Gcd_types.outcome) ->
+                   (match o.termination with
+                    | Gcd_types.Complete -> incr complete
+                    | Gcd_types.Partial -> incr partial
+                    | Gcd_types.Aborted -> incr aborted);
+                   Gcd_types.string_of_termination o.termination)
+               r.Gcd_types.outcomes)
+        in
+        if mode = Byzantine then
+          List.iter
+            (fun p ->
+              honest_violations :=
+                (i, p) :: !honest_violations)
+            (check_honest ~m r.Gcd_types.outcomes);
+        (terms, None)
+    in
+    reports :=
+      { sr_index = i;
+        sr_mode = mode;
+        sr_mutated = Adversary.mutated adv;
+        sr_terminations = terminations;
+        sr_error = error;
+      }
+      :: !reports
+  done;
+  { sessions;
+    mutated = !mutated;
+    complete = !complete;
+    partial = !partial;
+    aborted = !aborted;
+    missing = !missing;
+    exceptions = List.rev !exceptions;
+    honest_violations = List.rev !honest_violations;
+    reports = List.rev !reports;
+  }

@@ -437,27 +437,75 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     msgs @ after_dgka_progress p
 
   let receive p ~src payload =
-    if p.outcome <> None then []
+    if p.outcome <> None then begin
+      (* terminal: whatever straggles in now — watchdog retransmissions
+         that crossed the finish line, duplicates, adversarial replays —
+         is stale.  Counted, never acted on; the wire behavior (silence)
+         is identical to the pre-hardening code. *)
+      Shs_error.reject ~layer:"gcd" Shs_error.Stale
+        ~args:[ ("party", string_of_int p.self); ("src", string_of_int src) ];
+      []
+    end
     else
-      match Wire.decode payload with
-      | Some ("hs2", [ mac ]) ->
-        if src >= 0 && src < p.n && src <> p.self && p.macs.(src) = None then begin
-          p.macs.(src) <- Some mac;
-          if all_present p.macs && p.kprime <> None && not p.sent_p3 then begin
-            if p.two_phase then (finalize_two_phase p; [])
-            else emit_phase3 p
-          end
-          else []
-        end
-        else []
-      | Some ("hs3", [ theta; delta ]) ->
-        if src >= 0 && src < p.n && src <> p.self && p.p3.(src) = None then begin
-          p.p3.(src) <- Some (theta, delta);
-          if all_present p.p3 && p.sent_p3 then finalize p;
+      match Wire.decode_strict payload with
+      | Error e ->
+        (* Never forward undecodable bytes to the DGKA: one flipped bit
+           would permanently poison Phase I even though a watchdog
+           retransmission could still repair it.  Dropping is
+           indistinguishable from channel loss. *)
+        Shs_error.decode_error ~layer:"gcd" e;
+        []
+      | Ok ("hs2", [ mac ]) ->
+        if src < 0 || src >= p.n || src = p.self then begin
+          Shs_error.reject ~layer:"gcd" Shs_error.Forged
+            ~args:[ ("src", string_of_int src) ];
           []
         end
-        else []
-      | _ ->
+        else begin
+          match p.macs.(src) with
+          | Some old when not (String.equal old mac) ->
+            (* equivocation: a second, different tag for a filled seat;
+               first value wins, as for any unordered broadcast *)
+            Shs_error.reject ~layer:"gcd" Shs_error.Replayed
+              ~args:[ ("src", string_of_int src) ];
+            []
+          | Some _ -> [] (* exact duplicate: channel noise, not an attack *)
+          | None ->
+            p.macs.(src) <- Some mac;
+            if all_present p.macs && p.kprime <> None && not p.sent_p3 then begin
+              if p.two_phase then (finalize_two_phase p; [])
+              else emit_phase3 p
+            end
+            else []
+        end
+      | Ok ("hs2", _) ->
+        Shs_error.reject ~layer:"gcd" Shs_error.Malformed
+          ~args:[ ("tag", "hs2") ];
+        []
+      | Ok ("hs3", [ theta; delta ]) ->
+        if src < 0 || src >= p.n || src = p.self then begin
+          Shs_error.reject ~layer:"gcd" Shs_error.Forged
+            ~args:[ ("src", string_of_int src) ];
+          []
+        end
+        else begin
+          match p.p3.(src) with
+          | Some (t0, d0)
+            when not (String.equal t0 theta && String.equal d0 delta) ->
+            Shs_error.reject ~layer:"gcd" Shs_error.Replayed
+              ~args:[ ("src", string_of_int src) ];
+            []
+          | Some _ -> []
+          | None ->
+            p.p3.(src) <- Some (theta, delta);
+            if all_present p.p3 && p.sent_p3 then finalize p;
+            []
+        end
+      | Ok ("hs3", _) ->
+        Shs_error.reject ~layer:"gcd" Shs_error.Malformed
+          ~args:[ ("tag", "hs3") ];
+        []
+      | Ok _ ->
         (* everything else belongs to the DGKA sub-protocol *)
         let out = Obs.span "gcd.handshake.dgka" (fun () -> D.receive p.dgka ~src payload) in
         let extra = after_dgka_progress p in
@@ -572,7 +620,11 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     (match watchdog with
      | None -> ()
      | Some wd ->
-       if not (wd.Gcd_types.retransmit_after > 0.0 && wd.Gcd_types.backoff >= 1.0)
+       if
+         not
+           (wd.Gcd_types.retransmit_after > 0.0
+           && wd.Gcd_types.backoff >= 1.0
+           && wd.Gcd_types.phase_grace >= 0)
        then invalid_arg "Gcd.run_session: bad watchdog policy";
        let sim = Engine.sim net in
        let resend self =
@@ -601,7 +653,11 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
                     phase *)
                  arm self ~phase:now_phase ~attempt:0
                    ~delay:wd.Gcd_types.retransmit_after
-               else if attempt < wd.Gcd_types.max_retransmits then begin
+               else if
+                 attempt
+                 < wd.Gcd_types.max_retransmits
+                   + (wd.Gcd_types.phase_grace * phase)
+               then begin
                  resend self;
                  arm self ~phase ~attempt:(attempt + 1)
                    ~delay:(delay *. wd.Gcd_types.backoff)

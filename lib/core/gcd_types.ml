@@ -43,14 +43,33 @@ type outcome = {
     again after [retransmit_after *. backoff], and so on
     [max_retransmits] times; the next expiry forces the party into the
     following phase (Phase I times out into the §7 random-values
-    continuation), so every party terminates. *)
+    continuation), so every party terminates.
+
+    [phase_grace] staggers the deadlines by pipeline depth: a party in
+    phase [p] gets [max_retransmits + phase_grace * p] retransmission
+    attempts before being forced.  With grace 0 (the default) every
+    phase has the same budget, which admits a Byzantine
+    timeout-desynchronization race: a bad seat can feed one honest party
+    garbage until its Phase II deadline while the rest advance, and the
+    victim's forced Phase III message then lands exactly on the others'
+    (equal) finalize deadline — whoever's timer fires first misses an
+    honest partner.  Grace [>= 1] makes each phase out-wait an honest
+    peer stuck one phase behind (the extra attempt adds
+    [retransmit_after * backoff^max_retransmits] of slack, far above any
+    delivery latency), restoring the §7 honest-subset guarantee under an
+    active adversary.  The fuzzer runs with grace 1; the default stays 0
+    so honest/lossy timing baselines are unchanged. *)
 type watchdog = {
   retransmit_after : float;
   backoff : float;
   max_retransmits : int;
+  phase_grace : int;
 }
 
-let default_watchdog = { retransmit_after = 8.0; backoff = 2.0; max_retransmits = 3 }
+let default_watchdog =
+  { retransmit_after = 8.0; backoff = 2.0; max_retransmits = 3; phase_grace = 0 }
+
+let byzantine_watchdog = { default_watchdog with phase_grace = 1 }
 
 type session_result = {
   outcomes : outcome option array;

@@ -16,6 +16,39 @@ module B = Bigint
 let dl_group_name = "schnorr_512"
 let dl_group () = Lazy.force Params.schnorr_512
 
+(** Loading state from disk never raises: OS-level failures and corrupt
+    bytes both come back as a typed error naming what went wrong. *)
+type load_error =
+  | Io_error of string  (** the OS message: missing file, permissions, ... *)
+  | Corrupt of string  (** bytes were read but do not decode as [what] *)
+
+let load_error_to_string = function
+  | Io_error msg -> "io error: " ^ msg
+  | Corrupt what -> "corrupt state: not a valid " ^ what
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | ic ->
+    let r =
+      match really_input_string ic (in_channel_length ic) with
+      | s -> Ok s
+      | exception End_of_file -> Error (Io_error (path ^ ": truncated read"))
+    in
+    close_in_noerr ic;
+    r
+
+let load ~what import path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok s ->
+    (match import s with
+     | Some v -> Ok v
+     | None ->
+       Shs_error.reject ~layer:"persist" Shs_error.Malformed
+         ~args:[ ("what", what) ];
+       Error (Corrupt what))
+
 module type STORE = sig
   type authority
   type member
@@ -24,6 +57,12 @@ module type STORE = sig
   val import_authority : rng:(int -> string) -> string -> authority option
   val export_member : member -> string
   val import_member : rng:(int -> string) -> string -> member option
+
+  val load_authority :
+    rng:(int -> string) -> string -> (authority, load_error) result
+
+  val load_member : rng:(int -> string) -> string -> (member, load_error) result
+  (** File-based variants of the importers; the string is a path. *)
 end
 
 module Scheme1_store = struct
@@ -89,6 +128,12 @@ module Scheme1_store = struct
            }
        | _ -> None)
     | _ -> None
+
+  let load_authority ~rng path =
+    load ~what:"scheme1 authority state" (import_authority ~rng) path
+
+  let load_member ~rng path =
+    load ~what:"scheme1 member state" (import_member ~rng) path
 end
 
 module Scheme2_store = struct
@@ -154,4 +199,10 @@ module Scheme2_store = struct
            }
        | _ -> None)
     | _ -> None
+
+  let load_authority ~rng path =
+    load ~what:"scheme2 authority state" (import_authority ~rng) path
+
+  let load_member ~rng path =
+    load ~what:"scheme2 member state" (import_member ~rng) path
 end

@@ -84,11 +84,20 @@ let finish t =
 let in_subgroup_or_one t v =
   B.equal v B.one || Groupgen.in_subgroup t.grp v
 
+(* A slot violation kills the instance (the BD key needs every honest
+   contribution, so there is nothing useful to salvage); the rejection
+   is counted so an attack shows up in the metrics even though the
+   observable behavior — an aborted Phase I — matches an honest abort. *)
+let poison t reason =
+  Shs_error.reject ~layer:"dgka" reason ~args:[ ("proto", name) ];
+  t.dead <- true;
+  false
+
 let store t arr ~allow_one ~src v =
-  if src < 0 || src >= t.n || src = t.self then (t.dead <- true; false)
+  if src < 0 || src >= t.n || src = t.self then poison t Shs_error.Forged
   else
     match arr.(src) with
-    | Some old when not (B.equal old v) -> (t.dead <- true; false)
+    | Some old when not (B.equal old v) -> poison t Shs_error.Replayed
     | Some _ -> false (* duplicate: ignore *)
     | None ->
       let ok =
@@ -97,10 +106,8 @@ let store t arr ~allow_one ~src v =
       if ok then begin
         arr.(src) <- Some v;
         true
-      end else begin
-        t.dead <- true;
-        false
       end
+      else poison t Shs_error.Malformed
 
 let receive t ~src payload =
   Obs.incr msg_counter;
@@ -120,7 +127,10 @@ let receive t ~src payload =
       let fresh = store t t.x ~allow_one:true ~src (B.of_bytes_be bytes) in
       if fresh && t.sent_x && all_present t.x then finish t;
       []
-    | Some _ -> []
-    | None ->
-      t.dead <- true;
+    | Some _ ->
+      (* unknown tag or wrong arity for this protocol: ignore (the frame
+         may belong to a different layer), but count it *)
+      Shs_error.reject ~layer:"dgka" Shs_error.Malformed
+        ~args:[ ("proto", name) ];
       []
+    | None -> ignore (poison t Shs_error.Malformed); []

@@ -56,6 +56,11 @@ let start t =
 
 let valid_elem t v = Groupgen.in_subgroup t.grp v
 
+let poison t reason =
+  Shs_error.reject ~layer:"dgka" reason ~args:[ ("proto", name) ];
+  t.dead <- true;
+  []
+
 let receive t ~src payload =
   Obs.incr msg_counter;
   if t.dead || t.out <> None then []
@@ -66,17 +71,15 @@ let receive t ~src payload =
          processed is channel noise, not an attack: ignore it *)
       if t.done_up && t.last_up = Some (src, payload) then []
       (* otherwise expected only from our predecessor, carrying self+1 values *)
-      else if src <> t.self - 1 || t.done_up || List.length fields <> t.self + 1
-      then begin
-        t.dead <- true;
-        []
-      end
+      else if src <> t.self - 1 then poison t Shs_error.Forged
+      else if t.done_up then
+        (* a second, different upflow for a slot already consumed *)
+        poison t Shs_error.Replayed
+      else if List.length fields <> t.self + 1 then poison t Shs_error.Malformed
       else begin
         let vals = List.map B.of_bytes_be fields in
-        if not (List.for_all (valid_elem t) vals) then begin
-          t.dead <- true;
-          []
-        end
+        if not (List.for_all (valid_elem t) vals) then
+          poison t Shs_error.Malformed
         else begin
           t.done_up <- true;
           t.last_up <- Some (src, payload);
@@ -99,23 +102,19 @@ let receive t ~src payload =
         end
       end
     | Some ("gdh-down", fields) ->
-      if src <> t.n - 1 || List.length fields <> t.n - 1 || t.self = t.n - 1 then begin
-        t.dead <- true;
-        []
-      end
+      if src <> t.n - 1 || t.self = t.n - 1 then poison t Shs_error.Forged
+      else if List.length fields <> t.n - 1 then poison t Shs_error.Malformed
       else begin
         let mine = B.of_bytes_be (List.nth fields t.self) in
-        if not (valid_elem t mine) then begin
-          t.dead <- true;
-          []
-        end
+        if not (valid_elem t mine) then poison t Shs_error.Malformed
         else begin
           let k = B.pow_mod mine t.r t.grp.Groupgen.p in
           finish t ~k ~downflow_bytes:fields;
           []
         end
       end
-    | Some _ -> []
-    | None ->
-      t.dead <- true;
+    | Some _ ->
+      Shs_error.reject ~layer:"dgka" Shs_error.Malformed
+        ~args:[ ("proto", name) ];
       []
+    | None -> poison t Shs_error.Malformed

@@ -41,6 +41,11 @@ let aborted t = t.dead
 
 let all_present arr = Array.for_all Option.is_some arr
 
+let poison t reason =
+  Shs_error.reject ~layer:"dgka" reason ~args:[ ("proto", name) ];
+  t.dead <- true;
+  []
+
 let finish t ~k ~sid_material =
   let sid = Sha256.digest_list ("str-sid" :: sid_material) in
   let key = Hkdf.derive ~salt:sid ~ikm:(enc t k) ~info:"str-session-key" ~len:32 () in
@@ -69,7 +74,8 @@ let sponsor_round t =
 (* Non-sponsor: recover K_self from g^{K_{self-1}}, fold the rest. *)
 let process_downflow t bgks =
   let vals = List.map B.of_bytes_be bgks in
-  if not (List.for_all (Groupgen.in_subgroup t.grp) vals) then t.dead <- true
+  if not (List.for_all (Groupgen.in_subgroup t.grp) vals) then
+    ignore (poison t Shs_error.Malformed)
   else begin
     let p = t.grp.Groupgen.p in
     let bk i = Option.get t.bk.(i) in
@@ -91,14 +97,14 @@ let receive t ~src payload =
   else
     match Wire.decode payload with
     | Some ("str1", [ bytes ]) ->
-      if src < 0 || src >= t.n || src = t.self then (t.dead <- true; [])
+      if src < 0 || src >= t.n || src = t.self then poison t Shs_error.Forged
       else begin
         let v = B.of_bytes_be bytes in
         match t.bk.(src) with
-        | Some old when not (B.equal old v) -> t.dead <- true; []
+        | Some old when not (B.equal old v) -> poison t Shs_error.Replayed
         | Some _ -> []
         | None ->
-          if not (Groupgen.in_subgroup t.grp v) then (t.dead <- true; [])
+          if not (Groupgen.in_subgroup t.grp v) then poison t Shs_error.Malformed
           else begin
             t.bk.(src) <- Some v;
             if all_present t.bk then begin
@@ -114,10 +120,8 @@ let receive t ~src payload =
           end
       end
     | Some ("str2", bgks) ->
-      if src <> 0 || t.self = 0 || List.length bgks <> t.n - 1 then begin
-        t.dead <- true;
-        []
-      end
+      if src <> 0 || t.self = 0 then poison t Shs_error.Forged
+      else if List.length bgks <> t.n - 1 then poison t Shs_error.Malformed
       else if not (all_present t.bk) then begin
         (* adversarial reordering can deliver the downflow before the last
            round-1 broadcast: stash it *)
@@ -128,7 +132,8 @@ let receive t ~src payload =
         process_downflow t bgks;
         []
       end
-    | Some _ -> []
-    | None ->
-      t.dead <- true;
+    | Some _ ->
+      Shs_error.reject ~layer:"dgka" Shs_error.Malformed
+        ~args:[ ("proto", name) ];
       []
+    | None -> poison t Shs_error.Malformed

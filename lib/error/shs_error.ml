@@ -1,0 +1,58 @@
+type reason = Malformed | Replayed | Forged | Stale | Internal
+
+let reason_to_string = function
+  | Malformed -> "malformed"
+  | Replayed -> "replayed"
+  | Forged -> "forged"
+  | Stale -> "stale"
+  | Internal -> "internal"
+
+let all_reasons = [ Malformed; Replayed; Forged; Stale; Internal ]
+
+(* Obs interns counters by name; the table here only avoids rebuilding
+   the name strings on the reject path. *)
+let table : (string * reason, Obs.counter * Obs.counter) Hashtbl.t =
+  Hashtbl.create 16
+
+let counters ~layer reason =
+  match Hashtbl.find_opt table (layer, reason) with
+  | Some pair -> pair
+  | None ->
+    let total =
+      Obs.counter
+        ~help:(layer ^ " messages rejected by input validation")
+        (layer ^ ".rejected_msgs")
+    in
+    let by = Obs.counter (layer ^ ".rejected." ^ reason_to_string reason) in
+    Hashtbl.add table (layer, reason) (total, by);
+    (total, by)
+
+let reject ?(args = []) ~layer reason =
+  let total, by = counters ~layer reason in
+  Obs.incr total;
+  Obs.incr by;
+  Obs.instant (layer ^ ".reject")
+    ~args:(("reason", reason_to_string reason) :: args)
+
+let wire_decode_errors =
+  Obs.counter ~help:"wire frames refused by strict decode" "wire.decode_error"
+
+let decode_error ~layer err =
+  Obs.incr wire_decode_errors;
+  Obs.incr (Obs.counter ("wire.decode_error." ^ Wire.error_to_string err));
+  reject ~layer Malformed ~args:[ ("wire", Wire.error_to_string err) ]
+
+let rejected ~layer = Obs.value (fst (counters ~layer Malformed))
+
+let has_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let snapshot () =
+  Obs.snapshot_counters ()
+  |> List.filter (fun (name, v) ->
+         v > 0
+         && (has_sub ~sub:".rejected" name
+            || has_sub ~sub:"wire.decode_error" name))
+  |> List.sort compare

@@ -1,0 +1,43 @@
+(** Shared rejection taxonomy for every decode / verify path.
+
+    Byzantine-input hardening gives each layer the same contract: bad
+    bytes never raise, they are {e rejected} — counted under a small
+    fixed vocabulary of reasons, visible as an instant event when
+    tracing is on, and otherwise indistinguishable from the layer simply
+    not progressing (the §7 requirement that an abort under attack look
+    like an ordinary abort).
+
+    Counter scheme, per layer (e.g. ["gcd"], ["dgka"], ["cgkd"]):
+    - [<layer>.rejected_msgs] — total rejections in the layer
+    - [<layer>.rejected.<reason>] — split by reason
+    - [wire.decode_error] (+ [wire.decode_error.<kind>]) — strict-decode
+      failures, bumped by {!decode_error} on behalf of callers so the
+      wire codec itself stays dependency-free. *)
+
+type reason =
+  | Malformed  (** bytes that do not parse, or parse to nonsense *)
+  | Replayed
+      (** a second, {e conflicting} value for a slot already filled
+          (exact duplicates are channel noise, not rejections) *)
+  | Forged  (** claims an impossible or unauthorized origin *)
+  | Stale  (** arrived after the session reached a terminal outcome *)
+  | Internal  (** reserved: local invariant violation, not peer input *)
+
+val reason_to_string : reason -> string
+val all_reasons : reason list
+
+val reject : ?args:(string * string) list -> layer:string -> reason -> unit
+(** Count one rejection in [layer] and, when events are enabled, record
+    a [<layer>.reject] instant carrying the reason plus [args]. *)
+
+val decode_error : layer:string -> Wire.error -> unit
+(** A strict wire decode failed in [layer]: bumps [wire.decode_error]
+    and its per-kind split, then counts a {!Malformed} rejection in
+    [layer]. *)
+
+val rejected : layer:string -> int
+(** Current value of [<layer>.rejected_msgs]. *)
+
+val snapshot : unit -> (string * int) list
+(** All non-zero rejection-related counters ([*.rejected*],
+    [wire.decode_error*]), sorted by name — for CLI reports. *)

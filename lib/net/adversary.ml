@@ -1,0 +1,282 @@
+(* Seeded, deterministic active adversary for the network engine.
+
+   Where Faults models a lossy but honest channel, this models the
+   paper's §4 adversary: it observes every in-flight payload and may
+   rewrite it before delivery.  All randomness comes from one HMAC-DRBG
+   consumed in delivery order — which the Sim makes deterministic — so a
+   (world seed, fault seed, attack seed) triple replays byte-identically.
+   Like a fault plan, an adversary is stateful: reusing one instance
+   across sessions carries its capture pool forward (enabling
+   cross-session replay); creating a fresh instance with the same seed
+   replays a run from the start. *)
+
+type scope = All | From of int list
+
+type kind = Flip | Truncate | Extend | Confuse | Corrupt | Replay | Forge
+
+let kind_to_string = function
+  | Flip -> "flip"
+  | Truncate -> "truncate"
+  | Extend -> "extend"
+  | Confuse -> "confuse"
+  | Corrupt -> "corrupt"
+  | Replay -> "replay"
+  | Forge -> "forge"
+
+let all_kinds = [ Flip; Truncate; Extend; Confuse; Corrupt; Replay; Forge ]
+
+let kind_index = function
+  | Flip -> 0
+  | Truncate -> 1
+  | Extend -> 2
+  | Confuse -> 3
+  | Corrupt -> 4
+  | Replay -> 5
+  | Forge -> 6
+
+(* Bounded capture ring for replays; oldest entries are overwritten. *)
+let pool_cap = 256
+
+type t = {
+  scope : scope;
+  tags : string list option;
+  probs : (kind * float) list;
+  drbg : Drbg.t;
+  pool : (string option * string) array; (* (decoded tag, payload) *)
+  mutable pool_n : int; (* total captures; ring slot = pool_n mod pool_cap *)
+  mutable seen_tags : string list; (* first-appearance order *)
+  mutable examined : int;
+  hits : int array;
+}
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Adversary.create: %s probability %g not in [0,1]" what p)
+
+let create ?(scope = All) ?tags ?(flip = 0.0) ?(truncate = 0.0)
+    ?(extend = 0.0) ?(confuse = 0.0) ?(corrupt = 0.0) ?(replay = 0.0)
+    ?(forge = 0.0) ~seed () =
+  let probs =
+    [ (Flip, flip); (Truncate, truncate); (Extend, extend);
+      (Confuse, confuse); (Corrupt, corrupt); (Replay, replay);
+      (Forge, forge) ]
+  in
+  List.iter (fun (k, p) -> check_prob (kind_to_string k) p) probs;
+  let total = List.fold_left (fun a (_, p) -> a +. p) 0.0 probs in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Adversary.create: mutation probabilities sum to %g > 1"
+         total);
+  { scope;
+    tags;
+    probs;
+    drbg =
+      Drbg.create ~personalization:"shs-attack-plan"
+        ~seed:(string_of_int seed) ();
+    pool = Array.make pool_cap (None, "");
+    pool_n = 0;
+    seen_tags = [];
+    examined = 0;
+    hits = Array.make (List.length all_kinds) 0;
+  }
+
+(* Uniform draw in [0,1) from 53 fresh DRBG bits (same scheme as Faults). *)
+let uniform t =
+  let b = Drbg.generate t.drbg 7 in
+  let bits = ref 0 in
+  for i = 0 to 6 do
+    bits := (!bits lsl 8) lor Char.code b.[i]
+  done;
+  float_of_int (!bits lsr 3) /. 9007199254740992.0 (* 2^53 *)
+
+let rand_below t n =
+  if n <= 0 then 0
+  else
+    let i = int_of_float (uniform t *. float_of_int n) in
+    if i >= n then n - 1 else i
+
+let rand_bytes t n = Drbg.generate t.drbg n
+
+let in_scope t ~src =
+  match t.scope with All -> true | From l -> List.mem src l
+
+(* With a tag filter installed the adversary only touches frames it can
+   positively identify; without one, garbage is fair game too. *)
+let tag_allowed t tag =
+  match (t.tags, tag) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some ts, Some tag -> List.mem tag ts
+
+let note_tag t tag =
+  if not (List.mem tag t.seen_tags) then t.seen_tags <- t.seen_tags @ [ tag ]
+
+(* Seen tags the plan is allowed to emit (forgery, confusion targets). *)
+let candidate_tags t =
+  match t.tags with
+  | None -> t.seen_tags
+  | Some ts -> List.filter (fun x -> List.mem x ts) t.seen_tags
+
+let pick t u =
+  let rec go acc = function
+    | [] -> None
+    | (k, p) :: rest -> if u < acc +. p then Some k else go (acc +. p) rest
+  in
+  go 0.0 t.probs
+
+(* Mutations.  Each returns [None] when not applicable to this payload
+   (empty input, no capture pool yet, ...), in which case the message is
+   delivered unchanged. *)
+
+let flip_bit t payload =
+  let n = String.length payload in
+  if n = 0 then None
+  else begin
+    let i = rand_below t n and bit = rand_below t 8 in
+    let b = Bytes.of_string payload in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Some (Bytes.to_string b)
+  end
+
+let truncate_payload t payload =
+  let n = String.length payload in
+  if n = 0 then None else Some (String.sub payload 0 (rand_below t n))
+
+let extend_payload t payload =
+  Some (payload ^ rand_bytes t (1 + rand_below t 16))
+
+let confuse_tag t payload =
+  match Wire.decode payload with
+  | None -> None
+  | Some (tag, fields) ->
+    (match
+       List.filter (fun x -> not (String.equal x tag)) (candidate_tags t)
+     with
+     | [] -> None
+     | cands ->
+       let tag' = List.nth cands (rand_below t (List.length cands)) in
+       Some (Wire.encode ~tag:tag' fields))
+
+let corrupt_field t payload =
+  match Wire.decode payload with
+  | None | Some (_, []) -> None
+  | Some (tag, fields) ->
+    let idx = rand_below t (List.length fields) in
+    let fields' =
+      List.mapi
+        (fun i f ->
+          if i <> idx then f
+          else if String.length f = 0 then rand_bytes t 8
+          else begin
+            let b = Bytes.of_string f in
+            let k = 1 + rand_below t 4 in
+            for _ = 1 to k do
+              let j = rand_below t (Bytes.length b) in
+              Bytes.set b j
+                (Char.chr
+                   (Char.code (Bytes.get b j) lxor (1 + rand_below t 255)))
+            done;
+            Bytes.to_string b
+          end)
+        fields
+    in
+    Some (Wire.encode ~tag fields')
+
+let replay_capture t =
+  let n = min t.pool_n pool_cap in
+  let cands = ref [] in
+  for i = n - 1 downto 0 do
+    let tag, p = t.pool.(i) in
+    if tag_allowed t tag then cands := p :: !cands
+  done;
+  match !cands with
+  | [] -> None
+  | l -> Some (List.nth l (rand_below t (List.length l)))
+
+let forge_frame t =
+  let tag =
+    match candidate_tags t with
+    | [] -> "hs2"
+    | l -> List.nth l (rand_below t (List.length l))
+  in
+  let nf = 1 + rand_below t 3 in
+  let fields = ref [] in
+  for _ = 1 to nf do
+    fields := rand_bytes t (1 + rand_below t 64) :: !fields
+  done;
+  Some (Wire.encode ~tag !fields)
+
+let apply t kind ~payload =
+  match kind with
+  | Flip -> flip_bit t payload
+  | Truncate -> truncate_payload t payload
+  | Extend -> extend_payload t payload
+  | Confuse -> confuse_tag t payload
+  | Corrupt -> corrupt_field t payload
+  | Replay -> replay_capture t
+  | Forge -> forge_frame t
+
+let mutations_total =
+  Obs.counter ~help:"messages altered by the active adversary" "adv.mutations"
+
+let kind_counters =
+  Array.of_list
+    (List.map
+       (fun k -> Obs.counter ("adv.mutations." ^ kind_to_string k))
+       all_kinds)
+
+let tap t : Engine.adversary =
+ fun ~src ~dst ~payload ->
+  t.examined <- t.examined + 1;
+  let decoded_tag =
+    match Wire.decode payload with Some (tag, _) -> Some tag | None -> None
+  in
+  (match decoded_tag with Some tag -> note_tag t tag | None -> ());
+  t.pool.(t.pool_n mod pool_cap) <- (decoded_tag, payload);
+  t.pool_n <- t.pool_n + 1;
+  if not (in_scope t ~src && tag_allowed t decoded_tag) then Engine.Deliver
+  else
+    match pick t (uniform t) with
+    | None -> Engine.Deliver
+    | Some kind ->
+      (match apply t kind ~payload with
+       | None -> Engine.Deliver
+       | Some p when String.equal p payload ->
+         Engine.Deliver (* e.g. a replay that picked the live payload *)
+       | Some p ->
+         let i = kind_index kind in
+         t.hits.(i) <- t.hits.(i) + 1;
+         Obs.incr mutations_total;
+         Obs.incr kind_counters.(i);
+         Obs.instant "adv.mutate"
+           ~args:
+             [ ("kind", kind_to_string kind);
+               ("src", string_of_int src);
+               ("dst", string_of_int dst) ];
+         Engine.Replace p)
+
+let compose first second : Engine.adversary =
+ fun ~src ~dst ~payload ->
+  match first ~src ~dst ~payload with
+  | Engine.Drop -> Engine.Drop
+  | Engine.Deliver -> second ~src ~dst ~payload
+  | Engine.Replace p ->
+    (match second ~src ~dst ~payload:p with
+     | Engine.Deliver -> Engine.Replace p
+     | decision -> decision)
+
+let examined t = t.examined
+let mutated t = Array.fold_left ( + ) 0 t.hits
+
+let stats t =
+  List.map (fun k -> (kind_to_string k, t.hits.(kind_index k))) all_kinds
+
+let describe t =
+  let parts =
+    List.filter_map
+      (fun (k, v) -> if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+      (stats t)
+  in
+  Printf.sprintf "adversary: examined=%d mutated=%d%s" t.examined (mutated t)
+    (if parts = [] then "" else " (" ^ String.concat " " parts ^ ")")

@@ -1,0 +1,71 @@
+(** Seeded, deterministic {e active} adversary (paper §4).
+
+    A plan mutates in-flight messages through the engine's adversary
+    tap: bit flips, truncation/extension, tag confusion (rewriting a
+    frame under another seen [Wire] tag), field-level corruption,
+    replay from a bounded capture pool (cross-session when one instance
+    is reused across sessions), and wholesale forgery.  All randomness
+    comes from one HMAC-DRBG consumed in delivery order, so a
+    [(world seed, fault seed, attack seed)] triple replays
+    byte-identically.
+
+    Composes with the passive fault plan: the engine runs the adversary
+    tap first, then the fault plan, so a mutated message can still be
+    dropped, duplicated or jittered afterwards. *)
+
+type t
+
+type scope =
+  | All  (** every link *)
+  | From of int list
+      (** only messages {e sent by} these parties — models a Byzantine
+          seat whose outgoing channel the adversary owns, while honest
+          parties' links stay clean *)
+
+type kind = Flip | Truncate | Extend | Confuse | Corrupt | Replay | Forge
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+val create :
+  ?scope:scope ->
+  ?tags:string list ->
+  ?flip:float ->
+  ?truncate:float ->
+  ?extend:float ->
+  ?confuse:float ->
+  ?corrupt:float ->
+  ?replay:float ->
+  ?forge:float ->
+  seed:int ->
+  unit ->
+  t
+(** Each optional float is the per-message probability of that mutation
+    class (default 0); at most one mutation is applied per message, so
+    the probabilities must sum to at most 1 ([Invalid_argument]
+    otherwise).  [tags] restricts the plan to frames bearing one of the
+    given tags — mutation targets, replayed captures and forged/confused
+    tags are all confined to that set, so e.g.
+    [~tags:["hs2"; "hs3"]] yields an adversary that attacks Phase II/III
+    only and can never synthesize DGKA traffic. *)
+
+val tap : t -> Engine.adversary
+(** The engine hook.  Counts [adv.mutations] (and a per-kind split) and
+    records an [adv.mutate] instant per altered message when events are
+    enabled. *)
+
+val compose : Engine.adversary -> Engine.adversary -> Engine.adversary
+(** [compose first second]: [first] sees the original payload; [second]
+    sees [first]'s rewrite.  A [Drop] by either side wins. *)
+
+val examined : t -> int
+(** Messages observed (in or out of scope). *)
+
+val mutated : t -> int
+(** Messages actually altered ([Replace] decisions issued). *)
+
+val stats : t -> (string * int) list
+(** Per-kind mutation counts, in {!all_kinds} order. *)
+
+val describe : t -> string
+(** One-line summary for logs. *)

@@ -9,8 +9,23 @@
 val encode : tag:string -> string list -> string
 (** [tag] is a short ASCII discriminator ("bd1", "hs2", ...). *)
 
+type error =
+  | Truncated  (** input shorter than a header or declared field length *)
+  | Trailing_garbage  (** bytes remain after the last declared field *)
+  | Length_overflow
+      (** a u32 length prefix does not fit in a native [int] (32-bit
+          platforms); on 64-bit every u32 fits and this never fires *)
+
+val error_to_string : error -> string
+
+val decode_strict : string -> (string * string list, error) result
+(** Total, strict decode: exactly the injective image of [encode] is
+    accepted, and every rejection names its cause.  Never raises. *)
+
 val decode : string -> (string * string list) option
-(** Returns [(tag, fields)]. *)
+(** Returns [(tag, fields)].  [decode s = Result.to_option
+    (decode_strict s)] — the option shim kept for call sites that do not
+    care about the reject reason. *)
 
 val expect : tag:string -> string -> string list option
 (** Decode and check the tag in one step. *)

@@ -1,0 +1,145 @@
+(* The active adversary in isolation: deterministic replay from one
+   DRBG, scope and tag filtering, decision composition, and plan
+   validation.  End-to-end behavior under real handshakes lives in
+   test_fuzz.ml. *)
+
+let script =
+  (* a fixed message sequence: (src, dst, payload) *)
+  let frame tag fields = Wire.encode ~tag fields in
+  List.concat_map
+    (fun round ->
+      [ (0, 1, frame "bd1" [ "z0-" ^ string_of_int round ]);
+        (1, 0, frame "bd1" [ "z1-" ^ string_of_int round ]);
+        (0, 1, frame "hs2" [ "mac0-" ^ string_of_int round ]);
+        (1, 0, frame "hs2" [ "mac1-" ^ string_of_int round ]);
+        (1, 0, frame "hs3" [ "theta"; "delta" ]);
+        (0, 1, "not-a-frame-" ^ string_of_int round);
+      ])
+    (List.init 30 (fun i -> i))
+
+let decisions adv =
+  let tap = Adversary.tap adv in
+  List.map
+    (fun (src, dst, payload) ->
+      match tap ~src ~dst ~payload with
+      | Engine.Deliver -> "d"
+      | Engine.Drop -> "x"
+      | Engine.Replace p -> "r:" ^ Digest.to_hex (Digest.string p))
+    script
+
+let mixed_plan ~seed () =
+  Adversary.create ~flip:0.1 ~truncate:0.05 ~extend:0.05 ~confuse:0.05
+    ~corrupt:0.1 ~replay:0.05 ~forge:0.05 ~seed ()
+
+let test_determinism () =
+  let a = decisions (mixed_plan ~seed:42 ()) in
+  let b = decisions (mixed_plan ~seed:42 ()) in
+  Alcotest.(check (list string)) "same seed, same decisions" a b;
+  let c = decisions (mixed_plan ~seed:43 ()) in
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+let test_mutation_happens () =
+  let adv = mixed_plan ~seed:42 () in
+  let ds = decisions adv in
+  Alcotest.(check bool) "some messages altered" true (Adversary.mutated adv > 0);
+  Alcotest.(check bool) "some messages untouched" true
+    (List.exists (( = ) "d") ds);
+  Alcotest.(check int) "stats sum to mutated" (Adversary.mutated adv)
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 (Adversary.stats adv));
+  Alcotest.(check int) "examined the whole script" (List.length script)
+    (Adversary.examined adv)
+
+let test_scope () =
+  (* everything from party 1 is flipped; party 0's traffic is untouched *)
+  let adv = Adversary.create ~scope:(Adversary.From [ 1 ]) ~flip:1.0 ~seed:7 () in
+  let tap = Adversary.tap adv in
+  List.iter
+    (fun (src, dst, payload) ->
+      match (src, tap ~src ~dst ~payload) with
+      | 0, Engine.Deliver -> ()
+      | 0, _ -> Alcotest.fail "scope violated: touched party 0's message"
+      | _, Engine.Replace p ->
+        Alcotest.(check bool) "actually different" true (p <> payload)
+      | _, _ -> Alcotest.fail "in-scope message not flipped")
+    script
+
+let test_tag_filter () =
+  (* only hs2 frames may be touched; DGKA frames and garbage pass *)
+  let adv = Adversary.create ~tags:[ "hs2" ] ~flip:1.0 ~seed:9 () in
+  let tap = Adversary.tap adv in
+  List.iter
+    (fun (src, dst, payload) ->
+      let is_hs2 =
+        match Wire.decode payload with Some ("hs2", _) -> true | _ -> false
+      in
+      match tap ~src ~dst ~payload with
+      | Engine.Replace _ when is_hs2 -> ()
+      | Engine.Deliver when not is_hs2 -> ()
+      | Engine.Replace _ -> Alcotest.fail "touched a non-hs2 frame"
+      | Engine.Deliver -> Alcotest.fail "missed an hs2 frame"
+      | Engine.Drop -> Alcotest.fail "unexpected drop")
+    script
+
+let test_forge_and_confuse_respect_tags () =
+  (* a Byzantine plan limited to hs2/hs3 must never emit another tag,
+     even when forging or replaying wholesale *)
+  let adv =
+    Adversary.create ~tags:[ "hs2"; "hs3" ] ~confuse:0.3 ~replay:0.3
+      ~forge:0.4 ~seed:11 ()
+  in
+  let tap = Adversary.tap adv in
+  List.iter
+    (fun (src, dst, payload) ->
+      match tap ~src ~dst ~payload with
+      | Engine.Replace p ->
+        (match Wire.decode p with
+         | Some (("hs2" | "hs3"), _) -> ()
+         | Some (tag, _) -> Alcotest.fail ("emitted foreign tag " ^ tag)
+         | None -> Alcotest.fail "emitted garbage under a tag filter")
+      | _ -> ())
+    script;
+  Alcotest.(check bool) "plan engaged" true (Adversary.mutated adv > 0)
+
+let test_compose () =
+  let replace_all : Engine.adversary =
+   fun ~src:_ ~dst:_ ~payload -> Engine.Replace (payload ^ "!")
+  in
+  let drop_all : Engine.adversary = fun ~src:_ ~dst:_ ~payload:_ -> Engine.Drop in
+  let deliver : Engine.adversary = fun ~src:_ ~dst:_ ~payload:_ -> Engine.Deliver in
+  let run a = a ~src:0 ~dst:1 ~payload:"p" in
+  (match run (Adversary.compose replace_all deliver) with
+   | Engine.Replace "p!" -> ()
+   | _ -> Alcotest.fail "first's rewrite lost");
+  (match run (Adversary.compose replace_all replace_all) with
+   | Engine.Replace "p!!" -> ()
+   | _ -> Alcotest.fail "rewrites must chain");
+  (match run (Adversary.compose drop_all replace_all) with
+   | Engine.Drop -> ()
+   | _ -> Alcotest.fail "first drop must win");
+  (match run (Adversary.compose replace_all drop_all) with
+   | Engine.Drop -> ()
+   | _ -> Alcotest.fail "second drop must win")
+
+let test_plan_validation () =
+  Alcotest.check_raises "probabilities must sum <= 1"
+    (Invalid_argument "Adversary.create: mutation probabilities sum to 1.2 > 1")
+    (fun () -> ignore (Adversary.create ~flip:0.6 ~forge:0.6 ~seed:1 ()));
+  Alcotest.check_raises "probability range checked"
+    (Invalid_argument "Adversary.create: flip probability -0.1 not in [0,1]")
+    (fun () -> ignore (Adversary.create ~flip:(-0.1) ~seed:1 ()))
+
+let () =
+  Alcotest.run "adversary"
+    [ ( "plan",
+        [ Alcotest.test_case "deterministic replay" `Quick test_determinism;
+          Alcotest.test_case "mutations happen" `Quick test_mutation_happens;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+        ] );
+      ( "filters",
+        [ Alcotest.test_case "byzantine scope" `Quick test_scope;
+          Alcotest.test_case "tag filter" `Quick test_tag_filter;
+          Alcotest.test_case "forge/confuse respect tags" `Quick
+            test_forge_and_confuse_respect_tags;
+        ] );
+      ( "composition", [ Alcotest.test_case "decisions" `Quick test_compose ] );
+    ]

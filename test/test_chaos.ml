@@ -143,7 +143,10 @@ let test_duplication_only_still_completes () =
 
 let test_bad_watchdog_policy () =
   let w = Lazy.force world in
-  let wd = { Gcd_types.retransmit_after = 0.0; backoff = 2.0; max_retransmits = 1 } in
+  let wd =
+    { Gcd_types.retransmit_after = 0.0; backoff = 2.0; max_retransmits = 1;
+      phase_grace = 0 }
+  in
   Alcotest.check_raises "zero period rejected"
     (Invalid_argument "Gcd.run_session: bad watchdog policy")
     (fun () -> ignore (W.handshake ~watchdog:wd w [ "m0"; "m1" ]))

@@ -1,0 +1,108 @@
+(* Protocol-fuzzer suite: the two Byzantine-hardening invariants, at
+   test scale.  (1) Totality: mutated sessions never raise and every
+   party terminates.  (2) §7 partial success: with the adversary scoped
+   to one Byzantine seat's Phase II/III traffic, the honest subset still
+   completes.  Plus determinism: equal (world, fault, attack) seeds give
+   equal summaries. *)
+
+module W = World.Make (Scheme_sig.Scheme1)
+
+let uids = List.init 4 (Printf.sprintf "m%d")
+
+let make_runner () =
+  let w = W.create 777 in
+  let _ = W.populate w uids in
+  fun ~adversary ~faults ~watchdog ->
+    W.handshake ?faults ~watchdog ~adversary w uids
+
+let run_fuzz ~sessions ~attack_seed ~drop =
+  Fuzz.run ~m:4 ~sessions ~attack_seed ~drop ~fault_seed:11
+    ~run_session:(make_runner ()) ()
+
+let test_invariants () =
+  let s = run_fuzz ~sessions:12 ~attack_seed:101 ~drop:0.15 in
+  Alcotest.(check int) "no hung parties" 0 s.Fuzz.missing;
+  Alcotest.(check (list (pair int string))) "no exceptions" [] s.Fuzz.exceptions;
+  Alcotest.(check (list (pair int string)))
+    "honest subsets complete" [] s.Fuzz.honest_violations;
+  Alcotest.(check bool) "summary ok" true (Fuzz.ok s);
+  (* the adversary must actually be doing something, or the suite is
+     vacuous *)
+  Alcotest.(check bool) "messages were mutated" true (s.Fuzz.mutated > 0);
+  Alcotest.(check int) "all parties accounted"
+    (12 * 4)
+    (s.Fuzz.complete + s.Fuzz.partial + s.Fuzz.aborted)
+
+let test_determinism () =
+  (* fresh worlds per run: member DRBGs are stateful *)
+  let once () = run_fuzz ~sessions:6 ~attack_seed:202 ~drop:0.1 in
+  let a = once () and b = once () in
+  Alcotest.(check bool) "identical summaries" true (a = b);
+  let c = run_fuzz ~sessions:6 ~attack_seed:203 ~drop:0.1 in
+  Alcotest.(check bool) "attack seed matters"
+    true
+    (a.Fuzz.mutated <> c.Fuzz.mutated || a.Fuzz.reports <> c.Fuzz.reports)
+
+let test_byzantine_detail () =
+  (* one Byzantine session by hand: seat 2 of 3 is mauled at 90%+ rates;
+     seats 0 and 1 must still find each other *)
+  let w = W.create 901 in
+  let uids3 = [ "a"; "b"; "c" ] in
+  let _ = W.populate w uids3 in
+  let adv =
+    Adversary.create ~scope:(Adversary.From [ 2 ])
+      ~tags:[ "hs2"; "hs3" ]
+      ~flip:0.4 ~truncate:0.2 ~corrupt:0.3 ~forge:0.1 ~seed:55 ()
+  in
+  let r =
+    W.handshake ~watchdog:Gcd_types.byzantine_watchdog
+      ~adversary:(Adversary.tap adv) w uids3
+  in
+  Alcotest.(check bool) "adversary engaged" true (Adversary.mutated adv > 0);
+  List.iter
+    (fun i ->
+      match r.Gcd_types.outcomes.(i) with
+      | None -> Alcotest.fail (Printf.sprintf "party %d hung" i)
+      | Some o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "party %d terminates usefully" i)
+          true
+          (o.Gcd_types.termination <> Gcd_types.Aborted);
+        List.iter
+          (fun j ->
+            Alcotest.(check bool)
+              (Printf.sprintf "party %d sees honest %d" i j)
+              true
+              (List.mem j o.Gcd_types.partners))
+          [ 0; 1 ])
+    [ 0; 1 ]
+
+let test_rejections_counted () =
+  (* hardened layers must make rejections observable: a heavily-mutated
+     sweep leaves nonzero reject counters behind *)
+  Obs.reset_all ();
+  let s = run_fuzz ~sessions:8 ~attack_seed:303 ~drop:0.0 in
+  Alcotest.(check bool) "fuzz ok" true (Fuzz.ok s);
+  let rejected = Shs_error.snapshot () in
+  Alcotest.(check bool)
+    (Printf.sprintf "reject counters nonzero (got %d entries)"
+       (List.length rejected))
+    true (rejected <> []);
+  Alcotest.(check bool) "gcd layer saw rejects" true
+    (Shs_error.rejected ~layer:"gcd" > 0);
+  Obs.reset_all ()
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "invariants",
+        [ Alcotest.test_case "totality + honest subsets" `Quick test_invariants;
+          Alcotest.test_case "byzantine seat, by hand" `Quick
+            test_byzantine_detail;
+          Alcotest.test_case "rejections are counted" `Quick
+            test_rejections_counted;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "equal seeds, equal summaries" `Quick
+            test_determinism;
+        ] );
+    ]

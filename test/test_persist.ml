@@ -258,6 +258,100 @@ let test_scheme2_store () =
       o.Gcd_types.accepted
   | None -> Alcotest.fail "no outcome"
 
+(* ------------------------------------------------------------------ *)
+(* Corruption totality and typed load errors                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Corrupting a saved world must never raise: for every byte position we
+   flip bits and re-import, and also try every truncation length.  A
+   flip may still import (e.g. inside an opaque key string) — the
+   invariant is totality, not detection; detection belongs to the
+   layers that consume the restored state. *)
+let check_corruption_totality label import bytes =
+  let n = String.length bytes in
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xa5));
+    match import (Bytes.to_string b) with
+    | Some _ | None -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "%s: flip at byte %d/%d raised %s" label i n
+           (Printexc.to_string e))
+  done;
+  for len = 0 to min n 512 do
+    match import (String.sub bytes 0 len) with
+    | Some _ | None -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "%s: truncation to %d raised %s" label len
+           (Printexc.to_string e))
+  done;
+  match import bytes with
+  | Some _ -> ()
+  | None | (exception _) -> Alcotest.fail (label ^ ": pristine bytes rejected")
+
+let test_corrupt_saved_world () =
+  let ga = Scheme1.default_authority ~rng:(rng_of 620) () in
+  let alice, _ = Option.get (Scheme1.admit ga ~uid:"alice" ~member_rng:(rng_of 6201)) in
+  check_corruption_totality "scheme1 authority"
+    (Persist.Scheme1_store.import_authority ~rng:(rng_of 6202))
+    (Persist.Scheme1_store.export_authority ga);
+  check_corruption_totality "scheme1 member"
+    (Persist.Scheme1_store.import_member ~rng:(rng_of 6203))
+    (Persist.Scheme1_store.export_member alice)
+
+let test_corrupt_saved_world_scheme2 () =
+  let ga = Scheme2.default_authority ~rng:(rng_of 621) () in
+  let alice, _ = Option.get (Scheme2.admit ga ~uid:"alice" ~member_rng:(rng_of 6211)) in
+  check_corruption_totality "scheme2 member"
+    (Persist.Scheme2_store.import_member ~rng:(rng_of 6212))
+    (Persist.Scheme2_store.export_member alice)
+
+let load_err =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Persist.load_error_to_string e))
+    ( = )
+
+let test_typed_load_errors () =
+  let cleanup = ref [] in
+  let write bytes =
+    let path = Filename.temp_file "shs-persist" ".state" in
+    cleanup := path :: !cleanup;
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    path
+  in
+  let ga = Scheme1.default_authority ~rng:(rng_of 622) () in
+  let alice, _ = Option.get (Scheme1.admit ga ~uid:"alice" ~member_rng:(rng_of 6221)) in
+  (* a missing file is an IO error, not a decode error *)
+  (match
+     Persist.Scheme1_store.load_authority ~rng:(rng_of 1)
+       (Filename.concat (Filename.get_temp_dir_name ()) "shs-persist-absent")
+   with
+   | Error (Persist.Io_error _) -> ()
+   | Error (Persist.Corrupt _) -> Alcotest.fail "missing file reported as corrupt"
+   | Ok _ -> Alcotest.fail "loaded a missing file");
+  (* corrupt bytes are a typed Corrupt naming what failed to decode *)
+  let junk = write "not an authority" in
+  Alcotest.(check (result reject load_err))
+    "corrupt authority" (Error (Persist.Corrupt "scheme1 authority state"))
+    (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_authority ~rng:(rng_of 1) junk));
+  Alcotest.(check (result reject load_err))
+    "corrupt member" (Error (Persist.Corrupt "scheme1 member state"))
+    (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_member ~rng:(rng_of 1) junk));
+  (* and the happy path round-trips through disk *)
+  let ga_path = write (Persist.Scheme1_store.export_authority ga) in
+  let m_path = write (Persist.Scheme1_store.export_member alice) in
+  (match Persist.Scheme1_store.load_authority ~rng:(rng_of 6222) ga_path with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail ("authority load: " ^ Persist.load_error_to_string e));
+  (match Persist.Scheme1_store.load_member ~rng:(rng_of 6223) m_path with
+   | Ok m -> Alcotest.(check string) "uid survives disk" "alice" (Scheme1.member_uid m)
+   | Error e -> Alcotest.fail ("member load: " ^ Persist.load_error_to_string e));
+  List.iter Sys.remove !cleanup
+
 (* cross-scheme confusion must be rejected *)
 let test_store_type_confusion () =
   let ga1 = Scheme1.default_authority ~rng:(rng_of 609) () in
@@ -284,5 +378,12 @@ let () =
         [ Alcotest.test_case "scheme1 world" `Slow test_scheme1_store;
           Alcotest.test_case "scheme2 world" `Slow test_scheme2_store;
           Alcotest.test_case "type confusion" `Slow test_store_type_confusion;
+        ] );
+      ( "corruption",
+        [ Alcotest.test_case "scheme1 saved world, byte by byte" `Slow
+            test_corrupt_saved_world;
+          Alcotest.test_case "scheme2 saved member, byte by byte" `Slow
+            test_corrupt_saved_world_scheme2;
+          Alcotest.test_case "typed load errors" `Quick test_typed_load_errors;
         ] );
     ]

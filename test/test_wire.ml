@@ -1,0 +1,117 @@
+(* Strict wire decoding: named rejection errors, overflow-safe length
+   parsing, and the QCheck property that the decoder accepts exactly the
+   injective image of the encoder. *)
+
+let err =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Wire.error_to_string e))
+    ( = )
+
+let decoded = Alcotest.(pair string (list string))
+
+let test_strict_roundtrip () =
+  let frames =
+    [ ("hs2", [ "mac-bytes" ]);
+      ("hs3", [ "theta"; "delta" ]);
+      ("", []);
+      ("bd1", [ ""; "\x00\xff"; String.make 300 'x' ]);
+    ]
+  in
+  List.iter
+    (fun (tag, fields) ->
+      Alcotest.(check (result decoded err))
+        (tag ^ " round-trips")
+        (Ok (tag, fields))
+        (Wire.decode_strict (Wire.encode ~tag fields)))
+    frames
+
+let test_named_errors () =
+  let enc = Wire.encode ~tag:"t" [ "field" ] in
+  Alcotest.(check (result decoded err))
+    "trailing byte" (Error Wire.Trailing_garbage)
+    (Wire.decode_strict (enc ^ "x"));
+  Alcotest.(check (result decoded err))
+    "chopped field" (Error Wire.Truncated)
+    (Wire.decode_strict (String.sub enc 0 (String.length enc - 1)));
+  Alcotest.(check (result decoded err))
+    "empty input" (Error Wire.Truncated)
+    (Wire.decode_strict "");
+  Alcotest.(check (result decoded err))
+    "bare header" (Error Wire.Truncated)
+    (Wire.decode_strict "\x00");
+  (* count says one field, but no length prefix follows *)
+  Alcotest.(check (result decoded err))
+    "missing field" (Error Wire.Truncated)
+    (Wire.decode_strict "\x00\x01t\x00\x01")
+
+let test_huge_length_prefix () =
+  (* u16 taglen=1 | 't' | u16 count=1 | u32 len=0xFFFFFFFF | nothing.
+     On 64-bit this is an impossible (truncated) length; on 32-bit the
+     accumulator guard reports overflow.  Either way: an error, never an
+     exception. *)
+  let s = "\x00\x01t\x00\x01\xff\xff\xff\xff" in
+  (match Wire.decode_strict s with
+   | Error (Wire.Truncated | Wire.Length_overflow) -> ()
+   | Error Wire.Trailing_garbage -> Alcotest.fail "wrong error"
+   | Ok _ -> Alcotest.fail "accepted a 4 GiB length");
+  Alcotest.(check (option decoded)) "option shim agrees" None (Wire.decode s)
+
+let test_option_shim () =
+  let enc = Wire.encode ~tag:"abc" [ "1"; "22" ] in
+  Alcotest.(check (option decoded))
+    "ok case" (Some ("abc", [ "1"; "22" ])) (Wire.decode enc);
+  Alcotest.(check (option decoded)) "error case" None (Wire.decode (enc ^ "!"))
+
+(* ---------------- QCheck: decode accepts exactly encode's image ----- *)
+
+let qtest name ?(count = 200) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let gen_frame =
+  QCheck2.Gen.(
+    pair (string_size (int_range 0 12)) (list_size (int_range 0 5) string))
+
+let prop_roundtrip (tag, fields) =
+  Wire.decode_strict (Wire.encode ~tag fields) = Ok (tag, fields)
+
+(* a mutation of a valid encoding either fails with a named error or —
+   when it happens to decode — is itself a canonical encoding, so
+   re-encoding reproduces the mutated bytes exactly *)
+let gen_mutated =
+  QCheck2.Gen.(
+    let* frame = gen_frame in
+    let* choice = int_range 0 3 in
+    let* a = int_range 0 1000 and* b = int_range 0 255 in
+    return (frame, choice, a, b))
+
+let prop_mutation ((tag, fields), choice, a, b) =
+  let s = Wire.encode ~tag fields in
+  let mutated =
+    match choice with
+    | 0 when String.length s > 0 ->
+      let i = a mod String.length s in
+      let bytes = Bytes.of_string s in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 + (b mod 255))));
+      Bytes.to_string bytes
+    | 1 -> String.sub s 0 (a mod (String.length s + 1))
+    | 2 -> s ^ String.make (1 + (a mod 8)) (Char.chr b)
+    | _ -> String.make (a mod 40) (Char.chr b)
+  in
+  match Wire.decode_strict mutated with
+  | Error _ -> true
+  | Ok (tag', fields') -> Wire.encode ~tag:tag' fields' = mutated
+
+let () =
+  Alcotest.run "wire"
+    [ ( "strict",
+        [ Alcotest.test_case "round-trip" `Quick test_strict_roundtrip;
+          Alcotest.test_case "named errors" `Quick test_named_errors;
+          Alcotest.test_case "huge length prefix" `Quick test_huge_length_prefix;
+          Alcotest.test_case "option shim" `Quick test_option_shim;
+        ] );
+      ( "properties",
+        [ qtest "encode/decode_strict round-trip" gen_frame prop_roundtrip;
+          qtest "mutations never raise; Ok iff canonical" ~count:500
+            gen_mutated prop_mutation;
+        ] );
+    ]
