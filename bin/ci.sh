@@ -1,5 +1,7 @@
 #!/bin/sh
-# CI entry point: full build, test suite, the bench regression gate
+# CI entry point: full build, test suite, the shs_lint static-analysis
+# gate (plus an injected-violation check proving the gate can fail, and
+# a JSON-determinism check), the bench regression gate
 # against the checked-in baseline (plus a perturbation check proving the
 # gate can fail), a bounded protocol-fuzz smoke, a deterministic
 # trace-export smoke, and the demo's --metrics report.  Run from the
@@ -12,14 +14,38 @@ dune build @all
 echo "== tests =="
 dune runtest
 
-echo "== bench regression gate: compare vs BENCH_3.json =="
 out=$(mktemp /tmp/shs_bench_XXXXXX.json)
 perturbed=$(mktemp /tmp/shs_perturb_XXXXXX.json)
 trace1=$(mktemp /tmp/shs_trace1_XXXXXX.json)
 trace2=$(mktemp /tmp/shs_trace2_XXXXXX.json)
 fuzz1=$(mktemp /tmp/shs_fuzz1_XXXXXX.txt)
 fuzz2=$(mktemp /tmp/shs_fuzz2_XXXXXX.txt)
-trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2"' EXIT
+lint1=$(mktemp /tmp/shs_lint1_XXXXXX.json)
+lint2=$(mktemp /tmp/shs_lint2_XXXXXX.json)
+lintbad=$(mktemp -d /tmp/shs_lintbad_XXXXXX)
+trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2"; rm -rf "$lintbad"' EXIT
+
+echo "== lint gate: zero non-baselined findings =="
+dune build @lint
+
+echo "== lint gate: injected CT-EQ violation must fail =="
+mkdir -p "$lintbad/lib/core"
+cat > "$lintbad/lib/core/evil.ml" <<'EOF'
+let check ~mac ~expected = String.equal mac expected
+EOF
+if dune exec bin/shs_lint.exe -- --root "$lintbad" --no-baseline > /dev/null; then
+  echo "ci: lint gate failed to flag an injected CT-EQ violation" >&2
+  exit 1
+fi
+
+echo "== lint determinism: identical JSON across runs =="
+dune exec bin/shs_lint.exe -- --json > "$lint1"
+dune exec bin/shs_lint.exe -- --json > "$lint2"
+cmp "$lint1" "$lint2"
+grep -q '"schema": "shs-lint/1"' "$lint1"
+grep -q '"actionable": 0' "$lint1"
+
+echo "== bench regression gate: compare vs BENCH_3.json =="
 dune exec bench/main.exe -- --only e2,e10,e11 --quota 0.05 \
   --json "$out" --compare BENCH_3.json
 grep -q '"schema": "shs-bench/1"' "$out"

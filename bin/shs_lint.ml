@@ -1,0 +1,175 @@
+(* shs_lint: driver for the repo's domain-specific static analysis
+   (lib/lint, DESIGN.md §9).
+
+   Scans every .ml under --root, runs the crypto-hygiene and determinism
+   rule catalogue, subtracts inline [@shs.lint_ignore] suppressions and
+   the checked-in baseline, and exits
+
+     0  no actionable findings
+     1  at least one actionable finding (the CI gate)
+     2  usage error, malformed baseline, or a file that failed to parse
+
+   Typical invocations:
+
+     dune exec bin/shs_lint.exe                      # human report
+     dune exec bin/shs_lint.exe -- --json            # machine-readable
+     dune exec bin/shs_lint.exe -- --update-baseline # re-bless legacy findings *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let resolve_rules = function
+  | None -> Ok Lint_rules.all
+  | Some csv ->
+    let ids =
+      List.filter_map
+        (fun s ->
+          let s = String.trim s in
+          if String.equal s "" then None else Some s)
+        (String.split_on_char ',' csv)
+    in
+    let missing = List.filter (fun id -> Lint_rules.find id = None) ids in
+    if missing <> [] then
+      Error (Printf.sprintf "unknown rule(s): %s" (String.concat ", " missing))
+    else Ok (List.filter_map Lint_rules.find ids)
+
+let print_rule_catalogue () =
+  List.iter
+    (fun (r : Lint_types.rule) ->
+      Printf.printf "%-20s %-7s %s\n" r.id
+        (Lint_types.severity_to_string r.severity)
+        r.doc)
+    Lint_rules.all
+
+let run root json baseline_path no_baseline update_baseline rules_csv
+    list_rules quiet =
+  if list_rules then begin
+    print_rule_catalogue ();
+    0
+  end
+  else
+    match resolve_rules rules_csv with
+    | Error msg ->
+      prerr_endline ("shs_lint: " ^ msg);
+      2
+    | Ok rules ->
+      let sources =
+        List.map (Lint_engine.read_source root) (Lint_engine.discover root)
+      in
+      let bpath =
+        match baseline_path with
+        | Some p -> p
+        | None -> Filename.concat root "LINT_BASELINE.json"
+      in
+      if update_baseline then begin
+        let o = Lint_engine.lint ~rules sources in
+        match o.parse_failures with
+        | _ :: _ ->
+          List.iter
+            (fun (Lint_types.Parse_failure p) ->
+              prerr_endline
+                (Printf.sprintf "shs_lint: %s: parse failure: %s" p.pf_file
+                   p.pf_msg))
+            o.parse_failures;
+          2
+        | [] ->
+          let entries = Lint_engine.baseline_of_findings o.actionable in
+          write_file bpath (Lint_engine.baseline_to_string entries);
+          Printf.printf "shs_lint: wrote %d baseline entr%s to %s\n"
+            (List.length entries)
+            (if List.length entries = 1 then "y" else "ies")
+            bpath;
+          0
+      end
+      else begin
+        let baseline =
+          if no_baseline || not (Sys.file_exists bpath) then Ok []
+          else
+            match Lint_engine.baseline_of_string (read_file bpath) with
+            | Some b -> Ok b
+            | None ->
+              Error
+                (Printf.sprintf "malformed baseline %s (expected schema %s)"
+                   bpath Lint_engine.baseline_schema)
+        in
+        match baseline with
+        | Error msg ->
+          prerr_endline ("shs_lint: " ^ msg);
+          2
+        | Ok baseline ->
+          let o = Lint_engine.lint ~rules ~baseline sources in
+          if json then
+            print_string
+              (Obs_json.to_string ~pretty:true (Lint_engine.report_json ~rules o)
+              ^ "\n")
+          else print_string (Lint_engine.render_human ~quiet o);
+          if o.parse_failures <> [] then 2
+          else if o.actionable <> [] then 1
+          else 0
+      end
+
+open Cmdliner
+
+let root_t =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to lint (default: .).")
+
+let json_t =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the shs-lint/1 JSON report.")
+
+let baseline_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Baseline file (default: \\$(b,ROOT)/LINT_BASELINE.json).")
+
+let no_baseline_t =
+  Arg.(
+    value & flag
+    & info [ "no-baseline" ] ~doc:"Ignore the baseline: report every finding.")
+
+let update_baseline_t =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:
+          "Rewrite the baseline to bless every current non-suppressed \
+           finding, then exit 0.")
+
+let rules_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"ID,ID"
+        ~doc:"Comma-separated rule ids to run (default: all).")
+
+let list_rules_t =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalogue.")
+
+let quiet_t =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ]
+        ~doc:"Omit baselined and suppressed findings from the human report.")
+
+let main =
+  Cmd.v
+    (Cmd.info "shs_lint" ~version:"1.0.0"
+       ~doc:"Crypto-hygiene and determinism linter for the shs codebase")
+    Term.(
+      const run $ root_t $ json_t $ baseline_t $ no_baseline_t
+      $ update_baseline_t $ rules_t $ list_rules_t $ quiet_t)
+
+let () = exit (Cmd.eval' main)

@@ -224,7 +224,8 @@ let import_controller ~rng s =
              cap;
              keys = Array.of_list keys;
              leaf_of;
-             free = List.map int_of_string free;
+             (* [ok] proved every element parses, so nothing is dropped *)
+             free = List.filter_map int_of_string_opt free;
              c_epoch = epoch;
            }
        else None

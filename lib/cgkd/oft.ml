@@ -99,21 +99,20 @@ let broadcast_path gc leaf =
 
 (* A member's view: recompute the root from its leaf key and the stored
    sibling blinds. *)
+(* Total: [None] when a sibling blind is missing, i.e. the stored view
+   is corrupt — callers reject instead of catching an exception. *)
 let recompute_root m =
   let rec up v key =
-    if v = 1 then key
-    else begin
-      let sib = v lxor 1 in
-      let sib_blind =
-        match Hashtbl.find_opt m.sibling_blinds sib with
-        | Some b -> b
-        | None -> failwith "oft: missing sibling blind"
-      in
-      let parent_key =
-        if v land 1 = 0 then mix (blind key) sib_blind else mix sib_blind (blind key)
-      in
-      up (v / 2) parent_key
-    end
+    if v = 1 then Some key
+    else
+      match Hashtbl.find_opt m.sibling_blinds (v lxor 1) with
+      | None -> None
+      | Some sib_blind ->
+        let parent_key =
+          if v land 1 = 0 then mix (blind key) sib_blind
+          else mix sib_blind (blind key)
+        in
+        up (v / 2) parent_key
   in
   up m.leaf m.leaf_key
 
@@ -131,7 +130,8 @@ let member_state gc ~uid leaf =
     { uid; leaf; leaf_key = gc.leaf_keys.(leaf); sibling_blinds;
       m_epoch = gc.c_epoch; root_key = "" }
   in
-  m.root_key <- recompute_root m;
+  (* the blinds were just built for every level, so the walk cannot miss *)
+  Option.iter (fun root -> m.root_key <- root) (recompute_root m);
   m
 
 let join gc ~uid =
@@ -209,14 +209,13 @@ let rekey m msg =
            | _ -> ())
          entries;
        match recompute_root probe with
-       | root when Hmac.equal_ct confirm (confirmation ~epoch:ep root) ->
+       | Some root when Hmac.equal_ct confirm (confirmation ~epoch:ep root) ->
          Hashtbl.reset m.sibling_blinds;
          Hashtbl.iter (fun k v -> Hashtbl.replace m.sibling_blinds k v) blinds;
          m.root_key <- root;
          m.m_epoch <- ep;
          Some m
-       | _ -> None
-       | exception Failure _ -> None)
+       | _ -> None)
   | _ -> malformed ()
 
 let rekey_entry_count msg =
@@ -286,8 +285,9 @@ let import_controller ~rng s =
              leaf_keys = Array.of_list keys;
              node_cache = Array.make (2 * cap) "";
              leaf_of;
-             free = List.map int_of_string free;
-             burnt = List.map int_of_string burnt;
+             (* [ok] proved every element parses, so nothing is dropped *)
+             free = List.filter_map int_of_string_opt free;
+             burnt = List.filter_map int_of_string_opt burnt;
              c_epoch = epoch;
            }
          in
@@ -339,10 +339,10 @@ let import_member s =
            { uid; leaf; leaf_key; sibling_blinds = tbl; m_epoch; root_key = "" }
          in
          match recompute_root m with
-         | root ->
+         | Some root ->
            m.root_key <- root;
            Some m
-         | exception Failure _ -> None
+         | None -> None
        end
      | _ -> None)
   | _ -> None

@@ -375,7 +375,8 @@ module Make (P : POLICY) = struct
                node_labels = Array.of_list labels;
                leaf_of;
                revoked = Array.init (2 * cap) (fun i -> revoked_s.[i] = '1');
-               free = List.map int_of_string free;
+               (* [ok] proved every element parses, so nothing is dropped *)
+               free = List.filter_map int_of_string_opt free;
                c_epoch = epoch;
                current;
              }

@@ -41,6 +41,13 @@ let aborted t = t.dead
 
 let all_present arr = Array.for_all Option.is_some arr
 
+(* Total view of a slot array: [None] until every slot is filled.  The
+   callers below only fire once [all_present] holds, but the decode path
+   stays total either way (the [B.one] default is unreachable). *)
+let filled arr =
+  if all_present arr then Some (Array.map (Option.value ~default:B.one) arr)
+  else None
+
 let start t =
   Obs.incr start_counter;
   let z_self = B.pow_mod t.grp.Groupgen.g t.r t.grp.Groupgen.p in
@@ -49,35 +56,41 @@ let start t =
 
 (* Once every z is known: X_i = (z_{i+1} · z_{i-1}^{-1})^{r_i}. *)
 let emit_x t =
-  let p = t.grp.Groupgen.p in
-  let get arr i = Option.get arr.((i + t.n) mod t.n) in
-  let z_next = get t.z (t.self + 1) and z_prev = get t.z (t.self - 1) in
-  let ratio = B.mul_mod z_next (B.invert z_prev p) p in
-  let x_self = B.pow_mod ratio t.r p in
-  t.x.(t.self) <- Some x_self;
-  t.sent_x <- true;
-  [ (None, Wire.encode ~tag:"bd2" [ enc t x_self ]) ]
+  match filled t.z with
+  | None -> []
+  | Some z ->
+    let p = t.grp.Groupgen.p in
+    let get arr i = arr.((i + t.n) mod t.n) in
+    let z_next = get z (t.self + 1) and z_prev = get z (t.self - 1) in
+    let ratio = B.mul_mod z_next (B.invert z_prev p) p in
+    let x_self = B.pow_mod ratio t.r p in
+    t.x.(t.self) <- Some x_self;
+    t.sent_x <- true;
+    [ (None, Wire.encode ~tag:"bd2" [ enc t x_self ]) ]
 
 (* K = z_{i-1}^{n·r_i} · Π_{j=0}^{n-2} X_{i+j}^{n-1-j} *)
 let finish t =
-  let p = t.grp.Groupgen.p in
-  let get arr i = Option.get arr.((i + t.n) mod t.n) in
-  let base = B.pow_mod (get t.z (t.self - 1)) (B.mul (B.of_int t.n) t.r) p in
-  let k = ref base in
-  for j = 0 to t.n - 2 do
-    k := B.mul_mod !k (B.pow_mod (get t.x (t.self + j)) (B.of_int (t.n - 1 - j)) p) p
-  done;
-  let transcript =
-    let buf = Buffer.create 256 in
-    Array.iter (fun z -> Buffer.add_string buf (enc t (Option.get z))) t.z;
-    Array.iter (fun x -> Buffer.add_string buf (enc t (Option.get x))) t.x;
-    Buffer.contents buf
-  in
-  let sid = Sha256.digest_list [ "bd-sid"; transcript ] in
-  let key =
-    Hkdf.derive ~salt:sid ~ikm:(enc t !k) ~info:"bd-session-key" ~len:32 ()
-  in
-  t.out <- Some { key; sid }
+  match (filled t.z, filled t.x) with
+  | Some z, Some x ->
+    let p = t.grp.Groupgen.p in
+    let get arr i = arr.((i + t.n) mod t.n) in
+    let base = B.pow_mod (get z (t.self - 1)) (B.mul (B.of_int t.n) t.r) p in
+    let k = ref base in
+    for j = 0 to t.n - 2 do
+      k := B.mul_mod !k (B.pow_mod (get x (t.self + j)) (B.of_int (t.n - 1 - j)) p) p
+    done;
+    let transcript =
+      let buf = Buffer.create 256 in
+      Array.iter (fun zv -> Buffer.add_string buf (enc t zv)) z;
+      Array.iter (fun xv -> Buffer.add_string buf (enc t xv)) x;
+      Buffer.contents buf
+    in
+    let sid = Sha256.digest_list [ "bd-sid"; transcript ] in
+    let key =
+      Hkdf.derive ~salt:sid ~ikm:(enc t !k) ~info:"bd-session-key" ~len:32 ()
+    in
+    t.out <- Some { key; sid }
+  | _ -> ()
 
 (* X values may legitimately equal 1 (always, when n = 2), so bd2 uses a
    membership check that admits the identity; z values must not be 1. *)

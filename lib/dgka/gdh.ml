@@ -85,33 +85,39 @@ let receive t ~src payload =
           t.last_up <- Some (src, payload);
           let p = t.grp.Groupgen.p in
           let raised = List.map (fun v -> B.pow_mod v t.r p) vals in
-          let full = List.nth vals (t.self) in
-          (* values missing r_j for j < self, raised; then [full] missing
-             r_self; then the new running product *)
-          let missing = List.filteri (fun i _ -> i < t.self) raised in
-          let new_full = List.nth raised t.self in
-          if t.self = t.n - 1 then begin
-            (* last party: broadcast the downflow and finish *)
-            let down = List.map (enc t) missing in
-            finish t ~k:new_full ~downflow_bytes:down;
-            [ (None, Wire.encode ~tag:"gdh-down" down) ]
-          end
-          else
-            [ (Some (t.self + 1),
-               Wire.encode ~tag:"gdh-up" (List.map (enc t) (missing @ [ full; new_full ]))) ]
+          (* the arity check above pins both lists at self+1 elements, so
+             index self exists; stay total anyway *)
+          match (List.nth_opt vals t.self, List.nth_opt raised t.self) with
+          | Some full, Some new_full ->
+            (* values missing r_j for j < self, raised; then [full] missing
+               r_self; then the new running product *)
+            let missing = List.filteri (fun i _ -> i < t.self) raised in
+            if t.self = t.n - 1 then begin
+              (* last party: broadcast the downflow and finish *)
+              let down = List.map (enc t) missing in
+              finish t ~k:new_full ~downflow_bytes:down;
+              [ (None, Wire.encode ~tag:"gdh-down" down) ]
+            end
+            else
+              [ (Some (t.self + 1),
+                 Wire.encode ~tag:"gdh-up" (List.map (enc t) (missing @ [ full; new_full ]))) ]
+          | _ -> poison t Shs_error.Malformed
         end
       end
     | Some ("gdh-down", fields) ->
       if src <> t.n - 1 || t.self = t.n - 1 then poison t Shs_error.Forged
       else if List.length fields <> t.n - 1 then poison t Shs_error.Malformed
       else begin
-        let mine = B.of_bytes_be (List.nth fields t.self) in
-        if not (valid_elem t mine) then poison t Shs_error.Malformed
-        else begin
-          let k = B.pow_mod mine t.r t.grp.Groupgen.p in
-          finish t ~k ~downflow_bytes:fields;
-          []
-        end
+        match List.nth_opt fields t.self with
+        | None -> poison t Shs_error.Malformed
+        | Some mine_bytes ->
+          let mine = B.of_bytes_be mine_bytes in
+          if not (valid_elem t mine) then poison t Shs_error.Malformed
+          else begin
+            let k = B.pow_mod mine t.r t.grp.Groupgen.p in
+            finish t ~k ~downflow_bytes:fields;
+            []
+          end
       end
     | Some _ ->
       Shs_error.reject ~layer:"dgka" Shs_error.Malformed

@@ -41,6 +41,12 @@ let aborted t = t.dead
 
 let all_present arr = Array.for_all Option.is_some arr
 
+(* Total view of the round-1 slots: [None] until every blinded exponent
+   arrived (the [B.one] default is unreachable past that check). *)
+let filled arr =
+  if all_present arr then Some (Array.map (Option.value ~default:B.one) arr)
+  else None
+
 let poison t reason =
   Shs_error.reject ~layer:"dgka" reason ~args:[ ("proto", name) ];
   t.dead <- true;
@@ -51,39 +57,45 @@ let finish t ~k ~sid_material =
   let key = Hkdf.derive ~salt:sid ~ikm:(enc t k) ~info:"str-session-key" ~len:32 () in
   t.out <- Some { key; sid }
 
-let sid_material t bgks =
-  Array.to_list (Array.map (fun v -> enc t (Option.get v)) t.bk) @ bgks
+let sid_material t bk bgks = Array.to_list (Array.map (enc t) bk) @ bgks
 
 (* Sponsor: fold the whole chain — K_0 = r_0, K_i = BK_i^{K_{i-1}} — and
    broadcast the blinded intermediates g^{K_{i-1}} that party i needs. *)
 let sponsor_round t =
-  t.sponsored <- true;
-  let p = t.grp.Groupgen.p in
-  let bk i = Option.get t.bk.(i) in
-  let rec chain i k acc =
-    if i = t.n then (k, List.rev acc)
-    else begin
-      let bgk = B.pow_mod t.grp.Groupgen.g k p in
-      chain (i + 1) (B.pow_mod (bk i) k p) (enc t bgk :: acc)
-    end
-  in
-  let k_final, bgks = chain 1 t.r [] in
-  finish t ~k:k_final ~sid_material:(sid_material t bgks);
-  [ (None, Wire.encode ~tag:"str2" bgks) ]
+  match filled t.bk with
+  | None -> []
+  | Some bk ->
+    t.sponsored <- true;
+    let p = t.grp.Groupgen.p in
+    let rec chain i k acc =
+      if i = t.n then (k, List.rev acc)
+      else begin
+        let bgk = B.pow_mod t.grp.Groupgen.g k p in
+        chain (i + 1) (B.pow_mod bk.(i) k p) (enc t bgk :: acc)
+      end
+    in
+    let k_final, bgks = chain 1 t.r [] in
+    finish t ~k:k_final ~sid_material:(sid_material t bk bgks);
+    [ (None, Wire.encode ~tag:"str2" bgks) ]
 
 (* Non-sponsor: recover K_self from g^{K_{self-1}}, fold the rest. *)
 let process_downflow t bgks =
   let vals = List.map B.of_bytes_be bgks in
   if not (List.for_all (Groupgen.in_subgroup t.grp) vals) then
     ignore (poison t Shs_error.Malformed)
-  else begin
-    let p = t.grp.Groupgen.p in
-    let bk i = Option.get t.bk.(i) in
-    let k_self = B.pow_mod (List.nth vals (t.self - 1)) t.r p in
-    let rec fold i k = if i = t.n then k else fold (i + 1) (B.pow_mod (bk i) k p) in
-    let k_final = fold (t.self + 1) k_self in
-    finish t ~k:k_final ~sid_material:(sid_material t bgks)
-  end
+  else
+    match (filled t.bk, List.nth_opt vals (t.self - 1)) with
+    | Some bk, Some mine ->
+      let p = t.grp.Groupgen.p in
+      let k_self = B.pow_mod mine t.r p in
+      let rec fold i k =
+        if i = t.n then k else fold (i + 1) (B.pow_mod bk.(i) k p)
+      in
+      let k_final = fold (t.self + 1) k_self in
+      finish t ~k:k_final ~sid_material:(sid_material t bk bgks)
+    | _ ->
+      (* the callers established both, but reject rather than trust that *)
+      ignore (poison t Shs_error.Malformed)
 
 let start t =
   Obs.incr start_counter;

@@ -1,0 +1,168 @@
+(** compiler-libs plumbing for the lint rules: parsing, a traversal that
+    tracks the enclosing top-level binding and the active
+    [[@shs.lint_ignore]] suppressions, and small [Parsetree] queries the
+    rules share.  No typing — everything works on the untyped AST, which
+    keeps the linter total over any file the compiler itself accepts. *)
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+    Error (Lint_types.Parse_failure { pf_file = file; pf_msg = Printexc.to_string exn })
+
+let ident_path lid = String.concat "." (Longident.flatten lid)
+let ident_last lid = Longident.last lid
+
+(* The head of an application, as a dotted path: [Some "String.equal"]
+   for [String.equal a b], [None] when the callee is not an identifier. *)
+let head_path (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (ident_path txt) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Suppression attributes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ignore_attr = "shs.lint_ignore"
+
+(* [[@shs.lint_ignore "CT-EQ"]] or [[@shs.lint_ignore "CT-EQ,TAXONOMY"]];
+   a payload of ["all"] silences every rule for the subtree. *)
+let suppressions (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if not (String.equal a.attr_name.txt ignore_attr) then []
+      else
+        match a.attr_payload with
+        | PStr
+            [ { pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              }
+            ] ->
+          List.filter_map
+            (fun r ->
+              let r = String.trim r in
+              if String.equal r "" then None else Some r)
+            (String.split_on_char ',' s)
+        | _ -> [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Top-level bindings (module and functor nesting flattened)            *)
+(* ------------------------------------------------------------------ *)
+
+let binding_name (vb : Parsetree.value_binding) =
+  let rec of_pat (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> of_pat p
+    | _ -> None
+  in
+  match of_pat vb.pvb_pat with Some n -> n | None -> "<pattern>"
+
+(* Every definition-level expression in the file: [(name, attrs, expr)],
+   in source order.  Definitions inside [module], [module rec], functor
+   bodies and [include struct .. end] count as top-level — the repo's
+   protocol code lives inside functors ([Gcd.Make]). *)
+let top_exprs (str : Parsetree.structure) =
+  let rec of_structure str =
+    List.concat_map
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.map (fun vb -> (binding_name vb, vb.Parsetree.pvb_attributes, vb.Parsetree.pvb_expr)) vbs
+        | Pstr_eval (e, attrs) -> [ ("<toplevel>", attrs, e) ]
+        | Pstr_module mb -> of_module mb.pmb_expr
+        | Pstr_recmodule mbs -> List.concat_map (fun mb -> of_module mb.Parsetree.pmb_expr) mbs
+        | Pstr_include incl -> of_module incl.pincl_mod
+        | _ -> [])
+      str
+  and of_module (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure str -> of_structure str
+    | Pmod_functor (_, body) -> of_module body
+    | Pmod_constraint (me, _) -> of_module me
+    | _ -> []
+  in
+  of_structure str
+
+(* ------------------------------------------------------------------ *)
+(* Expression traversal with context                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Visit every expression under [expr0], calling [f] with the rule
+   suppressions active at that node ([suppressed] answers for a rule
+   id).  Attributes on nested [let] bindings scope over the binding's
+   own expression, as the compiler scopes its own attributes. *)
+let iter_expr ~init ~f expr0 =
+  let stack = ref [ init ] in
+  let suppressed rule =
+    List.exists (fun l -> List.mem rule l || List.mem "all" l) !stack
+  in
+  let iter =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          stack := suppressions e.pexp_attributes :: !stack;
+          f ~suppressed e;
+          Ast_iterator.default_iterator.expr self e;
+          stack := List.tl !stack);
+      value_binding =
+        (fun self vb ->
+          stack := suppressions vb.pvb_attributes :: !stack;
+          Ast_iterator.default_iterator.value_binding self vb;
+          stack := List.tl !stack);
+    }
+  in
+  iter.expr iter expr0
+
+(* Whole-file traversal: [f] additionally learns the enclosing top-level
+   binding name. *)
+let iter_with_context str ~f =
+  List.iter
+    (fun (binding, attrs, expr) ->
+      iter_expr ~init:(suppressions attrs) expr ~f:(fun ~suppressed e ->
+          f ~binding ~suppressed e))
+    (top_exprs str)
+
+(* ------------------------------------------------------------------ *)
+(* Same-module references (for intra-file reachability)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Unqualified identifiers referenced anywhere under [expr] — the
+   candidate same-module callees of a binding. *)
+let local_refs expr =
+  let acc = ref [] in
+  iter_expr ~init:[] expr ~f:(fun ~suppressed:_ e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident name; _ } -> acc := name :: !acc
+      | _ -> ());
+  !acc
+
+(* All variable names bound by patterns in the file (function parameters
+   included) plus record-field labels from type declarations — the raw
+   material of the "does this module hold key material?" test. *)
+let declared_names (str : Parsetree.structure) =
+  let acc = ref [] in
+  let iter =
+    { Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+           | Ppat_var { txt; _ } -> acc := txt :: !acc
+           | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+      label_declaration =
+        (fun self ld ->
+          acc := ld.pld_name.txt :: !acc;
+          Ast_iterator.default_iterator.label_declaration self ld);
+    }
+  in
+  iter.structure iter str;
+  !acc
+
+let loc_of (e : Parsetree.expression) =
+  let p = e.pexp_loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)

@@ -1,0 +1,274 @@
+(** Driving loop of [shs_lint]: file discovery, per-file rule dispatch,
+    the suppression/baseline ledger, and both renderings of the result
+    (human lines and the ["shs-lint/1"] JSON document).
+
+    The engine is deliberately pure over [source] values — the driver
+    reads files, tests feed fixture strings — so every code path here is
+    exercised by the unit suite without touching the filesystem. *)
+
+open Lint_types
+
+type source = { path : string; code : string }
+(** [path] is relative to the lint root, '/'-separated: it is the name
+    rules scope on and the name findings report. *)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Baseline entries are line-number independent on purpose: an unrelated
+   edit that shifts a legacy finding must not wake the gate.  A finding
+   is accounted for by (rule, file, binding, construct), with [b_count]
+   allowing that many occurrences in that binding. *)
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  b_binding : string;
+  b_construct : string;
+  b_count : int;
+}
+
+type baseline = baseline_entry list
+
+let baseline_schema = "shs-lint-baseline/1"
+
+let bucket_of_finding f = (f.rule, f.file, f.binding, f.construct)
+
+let baseline_of_findings findings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let b = bucket_of_finding f in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    findings;
+  Hashtbl.fold
+    (fun (b_rule, b_file, b_binding, b_construct) b_count acc ->
+      { b_rule; b_file; b_binding; b_construct; b_count } :: acc)
+    tbl []
+  |> List.sort compare
+
+let baseline_to_string entries =
+  Obs_json.to_string ~pretty:true
+    (Obs_json.Obj
+       [ ("schema", Obs_json.Str baseline_schema);
+         ( "entries",
+           Obs_json.List
+             (List.map
+                (fun e ->
+                  Obs_json.Obj
+                    [ ("rule", Obs_json.Str e.b_rule);
+                      ("file", Obs_json.Str e.b_file);
+                      ("binding", Obs_json.Str e.b_binding);
+                      ("construct", Obs_json.Str e.b_construct);
+                      ("count", Obs_json.Int e.b_count);
+                    ])
+                entries) );
+       ])
+  ^ "\n"
+
+(* Total: [None] on anything that is not a well-formed baseline
+   document, including a wrong schema tag. *)
+let baseline_of_string s =
+  let str = function Some (Obs_json.Str v) -> Some v | _ -> None in
+  let int = function Some (Obs_json.Int v) -> Some v | _ -> None in
+  match Obs_json.of_string s with
+  | None -> None
+  | Some doc ->
+    if not (String.equal (Option.value ~default:"" (str (Obs_json.member "schema" doc))) baseline_schema)
+    then None
+    else (
+      match Obs_json.member "entries" doc with
+      | Some (Obs_json.List items) ->
+        let entry item =
+          match
+            ( str (Obs_json.member "rule" item),
+              str (Obs_json.member "file" item),
+              str (Obs_json.member "binding" item),
+              str (Obs_json.member "construct" item),
+              int (Obs_json.member "count" item) )
+          with
+          | Some b_rule, Some b_file, Some b_binding, Some b_construct, Some b_count
+            when b_count > 0 ->
+            Some { b_rule; b_file; b_binding; b_construct; b_count }
+          | _ -> None
+        in
+        let entries = List.map entry items in
+        if List.for_all Option.is_some entries then
+          Some (List.filter_map Fun.id entries)
+        else None
+      | _ -> None)
+
+let apply_baseline entries findings =
+  let allow = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let b = (e.b_rule, e.b_file, e.b_binding, e.b_construct) in
+      Hashtbl.replace allow b
+        (e.b_count + Option.value ~default:0 (Hashtbl.find_opt allow b)))
+    entries;
+  (* findings arrive sorted, so the allowance is consumed in source
+     order and the split is deterministic *)
+  List.partition_map
+    (fun f ->
+      let b = bucket_of_finding f in
+      match Hashtbl.find_opt allow b with
+      | Some n when n > 0 ->
+        Hashtbl.replace allow b (n - 1);
+        Either.Right f
+      | _ -> Either.Left f)
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* Linting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  files_scanned : int;  (** files at least one rule applied to *)
+  actionable : finding list;  (** neither suppressed nor baselined; gates *)
+  baselined : finding list;
+  suppressed : finding list;
+  parse_failures : parse_failure list;
+}
+
+let lint ?(rules = Lint_rules.all) ?(baseline = []) sources =
+  let parse_failures = ref [] in
+  let raw = ref [] in
+  let supp = ref [] in
+  let scanned = ref 0 in
+  List.iter
+    (fun s ->
+      match List.filter (fun r -> r.applies s.path) rules with
+      | [] -> ()
+      | applicable ->
+        incr scanned;
+        (match Lint_ast.parse ~file:s.path s.code with
+         | Error pf -> parse_failures := pf :: !parse_failures
+         | Ok ast ->
+           List.iter
+             (fun r ->
+               List.iter
+                 (fun (f, is_suppressed) ->
+                   if is_suppressed then supp := f :: !supp else raw := f :: !raw)
+                 (r.check ~file:s.path ast))
+             applicable))
+    sources;
+  let sorted l = List.sort compare_finding l in
+  let actionable, baselined = apply_baseline baseline (sorted !raw) in
+  { files_scanned = !scanned;
+    actionable;
+    baselined;
+    suppressed = sorted !supp;
+    parse_failures = List.rev !parse_failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every .ml under [root], as sorted root-relative paths.  Directories
+   whose name starts with '.' or '_' (.git, _build, _opam) are skipped;
+   which files actually get parsed is then the rules' [applies] call. *)
+let discover root =
+  let hidden name =
+    String.equal name "" || name.[0] = '.' || name.[0] = '_'
+  in
+  let rec walk rel acc =
+    let abs = if String.equal rel "" then root else Filename.concat root rel in
+    Array.fold_left
+      (fun acc name ->
+        if hidden name then acc
+        else
+          let rel' = if String.equal rel "" then name else rel ^ "/" ^ name in
+          if Sys.is_directory (Filename.concat root rel') then walk rel' acc
+          else if Filename.check_suffix name ".ml" then rel' :: acc
+          else acc)
+      acc
+      (let names = Sys.readdir abs in
+       Array.sort compare names;
+       names)
+  in
+  List.sort compare (walk "" [])
+
+let read_source root rel =
+  let ic = open_in_bin (Filename.concat root rel) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> { path = rel; code = In_channel.input_all ic })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let finding_json f =
+  Obs_json.Obj
+    [ ("rule", Obs_json.Str f.rule);
+      ("severity", Obs_json.Str (severity_to_string f.severity));
+      ("file", Obs_json.Str f.file);
+      ("line", Obs_json.Int f.line);
+      ("col", Obs_json.Int f.col);
+      ("binding", Obs_json.Str f.binding);
+      ("construct", Obs_json.Str f.construct);
+      ("message", Obs_json.Str f.message);
+    ]
+
+let report_json ?(rules = Lint_rules.all) o =
+  Obs_json.Obj
+    [ ("schema", Obs_json.Str "shs-lint/1");
+      ("files_scanned", Obs_json.Int o.files_scanned);
+      ( "rules",
+        Obs_json.List
+          (List.map
+             (fun r ->
+               Obs_json.Obj
+                 [ ("id", Obs_json.Str r.id);
+                   ("severity", Obs_json.Str (severity_to_string r.severity));
+                   ("doc", Obs_json.Str r.doc);
+                 ])
+             rules) );
+      ("findings", Obs_json.List (List.map finding_json o.actionable));
+      ("baselined", Obs_json.List (List.map finding_json o.baselined));
+      ("suppressed", Obs_json.List (List.map finding_json o.suppressed));
+      ( "parse_failures",
+        Obs_json.List
+          (List.map
+             (fun (Parse_failure p) ->
+               Obs_json.Obj
+                 [ ("file", Obs_json.Str p.pf_file);
+                   ("error", Obs_json.Str p.pf_msg);
+                 ])
+             o.parse_failures) );
+      ( "summary",
+        Obs_json.Obj
+          [ ("actionable", Obs_json.Int (List.length o.actionable));
+            ("baselined", Obs_json.Int (List.length o.baselined));
+            ("suppressed", Obs_json.Int (List.length o.suppressed));
+            ("parse_failures", Obs_json.Int (List.length o.parse_failures));
+          ] );
+    ]
+
+let finding_line f =
+  Printf.sprintf "%s:%d:%d: [%s] (%s) %s — %s" f.file f.line f.col f.rule
+    f.binding f.construct f.message
+
+(* Human report, as one string the driver prints; gate status last, so a
+   scrolled terminal still shows the verdict. *)
+let render_human ?(quiet = false) o =
+  let b = Buffer.create 256 in
+  let line s = Buffer.add_string b s; Buffer.add_char b '\n' in
+  List.iter (fun f -> line (finding_line f)) o.actionable;
+  if not quiet then begin
+    List.iter (fun f -> line ("baselined: " ^ finding_line f)) o.baselined;
+    List.iter (fun f -> line ("suppressed: " ^ finding_line f)) o.suppressed
+  end;
+  List.iter
+    (fun (Parse_failure p) -> line (p.pf_file ^ ": parse failure: " ^ p.pf_msg))
+    o.parse_failures;
+  line
+    (Printf.sprintf
+       "shs_lint: %d file(s) scanned, %d actionable, %d baselined, %d suppressed%s"
+       o.files_scanned
+       (List.length o.actionable)
+       (List.length o.baselined)
+       (List.length o.suppressed)
+       (match o.parse_failures with [] -> "" | l -> Printf.sprintf ", %d parse failure(s)" (List.length l)));
+  Buffer.contents b

@@ -1,0 +1,78 @@
+(** Driving loop of [shs_lint]: file discovery, per-file rule dispatch,
+    the suppression/baseline ledger, and rendering.  Pure over [source]
+    values — only {!discover} and {!read_source} touch the
+    filesystem. *)
+
+type source = { path : string; code : string }
+(** [path] is relative to the lint root, '/'-separated: it is the name
+    rules scope on and the name findings report. *)
+
+(** {1 Baseline} *)
+
+(** Line-number-independent allowance: up to [b_count] findings of
+    [b_rule] on [b_construct] inside [b_binding] of [b_file] are
+    "baselined" rather than actionable, so unrelated edits that shift
+    line numbers cannot wake the CI gate. *)
+type baseline_entry = {
+  b_rule : string;
+  b_file : string;
+  b_binding : string;
+  b_construct : string;
+  b_count : int;
+}
+
+type baseline = baseline_entry list
+
+val baseline_schema : string
+(** ["shs-lint-baseline/1"]. *)
+
+val baseline_of_findings : Lint_types.finding list -> baseline
+(** Bless the given findings: group and count them, sorted. *)
+
+val baseline_to_string : baseline -> string
+(** Serialize to the checked-in JSON document (trailing newline). *)
+
+val baseline_of_string : string -> baseline option
+(** Total parser; [None] on malformed documents, wrong schema, or
+    non-positive counts. *)
+
+(** {1 Linting} *)
+
+type outcome = {
+  files_scanned : int;  (** files at least one rule applied to *)
+  actionable : Lint_types.finding list;
+      (** neither suppressed nor baselined — these gate CI *)
+  baselined : Lint_types.finding list;
+  suppressed : Lint_types.finding list;
+  parse_failures : Lint_types.parse_failure list;
+}
+
+val lint :
+  ?rules:Lint_types.rule list ->
+  ?baseline:baseline ->
+  source list ->
+  outcome
+(** Run [rules] (default {!Lint_rules.all}) over every source a rule
+    applies to.  Finding lists come back sorted by
+    [Lint_types.compare_finding], and the baseline allowance is consumed
+    in that order, so equal inputs yield byte-equal reports. *)
+
+val discover : string -> string list
+(** Every [.ml] under the root as sorted root-relative paths, skipping
+    directories whose name starts with ['.'] or ['_'] ([.git], [_build],
+    [_opam]). *)
+
+val read_source : string -> string -> source
+(** [read_source root rel] loads [root/rel] as the source named [rel]. *)
+
+(** {1 Rendering} *)
+
+val report_json : ?rules:Lint_types.rule list -> outcome -> Obs_json.t
+(** The deterministic ["shs-lint/1"] document. *)
+
+val finding_line : Lint_types.finding -> string
+(** ["file:line:col: [RULE] (binding) construct — message"]. *)
+
+val render_human : ?quiet:bool -> outcome -> string
+(** Human report; [quiet] omits baselined/suppressed lines.  Ends with a
+    one-line summary. *)

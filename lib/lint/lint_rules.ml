@@ -1,0 +1,364 @@
+(** The rule catalogue (DESIGN.md §9).  Every rule works purely on the
+    untyped AST, so "secret-bearing" is a {e naming} judgement: an
+    identifier whose snake_case components include a key-material word
+    ([key], [mac], [theta], ...) and no counting word ([len], [epoch],
+    ...).  That heuristic is deliberately conservative about counts —
+    [key_len = 32] is a length check, not a comparison over key bytes —
+    and anything it still gets wrong is what [[@shs.lint_ignore]] and
+    the baseline are for. *)
+
+open Lint_types
+
+let starts_with prefix s = String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let in_dirs dirs file = List.exists (fun d -> starts_with d file) dirs
+
+(* ------------------------------------------------------------------ *)
+(* Secret-name heuristic                                               *)
+(* ------------------------------------------------------------------ *)
+
+let secret_words =
+  [ "key"; "keys"; "kprime"; "mac"; "macs"; "secret"; "secrets"; "sk"; "theta";
+    "delta"; "seed"; "blind"; "blinds"; "nonce"; "confirm"; "confirmation";
+    "digest"; "ikm"; "okm"; "kdf"; "tag"; "tags" ]
+
+let count_words =
+  [ "len"; "length"; "size"; "count"; "num"; "idx"; "index"; "epoch";
+    "counter"; "depth"; "height"; "cap"; "bits"; "rel" ]
+
+let is_secret_name name =
+  let parts =
+    List.filter
+      (fun p -> not (String.equal p ""))
+      (String.split_on_char '_' (String.lowercase_ascii name))
+  in
+  List.exists (fun p -> List.mem p secret_words) parts
+  && not (List.exists (fun p -> List.mem p count_words) parts)
+
+(* Length queries neutralize secrecy: [String.length key] is a count. *)
+let length_fns = [ "String.length"; "Bytes.length"; "Array.length"; "List.length" ]
+
+let mentions_secret expr =
+  let found = ref false in
+  let iter =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.pexp_desc with
+          | Pexp_apply (f, _)
+            when (match Lint_ast.head_path f with
+                 | Some p -> List.mem p length_fns
+                 | None -> false) ->
+            ()  (* do not descend: the argument is only measured *)
+          | _ ->
+            (match e.pexp_desc with
+             | Pexp_ident { txt; _ } ->
+               if is_secret_name (Lint_ast.ident_last txt) then found := true
+             | Pexp_field (_, { txt; _ }) ->
+               if is_secret_name (Lint_ast.ident_last txt) then found := true
+             | _ -> ());
+            Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter expr;
+  !found
+
+let positional args =
+  List.filter_map
+    (fun (lbl, a) -> match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let mk rule severity ~file ~binding ~construct ~message e =
+  let line, col = Lint_ast.loc_of e in
+  { rule; severity; file; line; col; binding; construct; message }
+
+(* ------------------------------------------------------------------ *)
+(* CT-EQ                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Comparing a constant constructor ([x = None]) or a small literal
+   inspects shape, not secret bytes. *)
+let is_shape_constant (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct (_, None) -> true
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_variant (_, None) -> true
+  | _ -> false
+
+let variable_time_eq =
+  [ "String.equal"; "Bytes.equal"; "String.compare"; "Bytes.compare"; "=";
+    "<>"; "=="; "!="; "compare"; "Stdlib.compare"; "Stdlib.="; "Stdlib.<>";
+    "Stdlib.==" ]
+
+let ct_eq =
+  { id = "CT-EQ";
+    severity = Error;
+    doc =
+      "no String.equal/Bytes.equal/polymorphic compare over secret-bearing \
+       values; use Hmac.equal_ct";
+    applies = in_dirs [ "lib/core/"; "lib/gsig/"; "lib/cipher/"; "lib/sigma/" ];
+    check =
+      (fun ~file str ->
+        let out = ref [] in
+        Lint_ast.iter_with_context str ~f:(fun ~binding ~suppressed e ->
+            match e.pexp_desc with
+            | Pexp_apply (f, args) ->
+              (match Lint_ast.head_path f with
+               | Some head when List.mem head variable_time_eq ->
+                 let ps = positional args in
+                 if
+                   List.length ps >= 2
+                   && List.exists mentions_secret ps
+                   && not (List.exists is_shape_constant ps)
+                 then
+                   out :=
+                     ( mk "CT-EQ" Error ~file ~binding ~construct:head
+                         ~message:
+                           "variable-time comparison over secret-bearing data \
+                            (timing distinguishes abort-on-forgery from a \
+                            normal abort); use Hmac.equal_ct"
+                         e,
+                       suppressed "CT-EQ" )
+                     :: !out
+               | _ -> ())
+            | _ -> ());
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* NO-AMBIENT-ENTROPY                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The simulation's replay guarantee (PR 2/PR 3) holds only if every
+   random or temporal input flows through the seeded DRBG or the
+   pluggable observability clock. *)
+let entropy_allowed_files = [ "lib/obs/obs.ml"; "lib/hashing/drbg.ml" ]
+let entropy_exact = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let no_ambient_entropy =
+  { id = "NO-AMBIENT-ENTROPY";
+    severity = Error;
+    doc =
+      "no Random.*, Sys.time or Unix.gettimeofday/Unix.time outside the \
+       designated clock (lib/obs/obs.ml) and DRBG (lib/hashing/drbg.ml) \
+       modules";
+    applies =
+      (fun file ->
+        starts_with "lib/" file && not (List.mem file entropy_allowed_files));
+    check =
+      (fun ~file str ->
+        let out = ref [] in
+        Lint_ast.iter_with_context str ~f:(fun ~binding ~suppressed e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+              let p = Lint_ast.ident_path txt in
+              if starts_with "Random." p || List.mem p entropy_exact then
+                out :=
+                  ( mk "NO-AMBIENT-ENTROPY" Error ~file ~binding ~construct:p
+                      ~message:
+                        "ambient entropy/time source; it breaks seeded \
+                         byte-identical replay — draw from the session DRBG \
+                         or the Obs clock"
+                      e,
+                    suppressed "NO-AMBIENT-ENTROPY" )
+                  :: !out
+            | _ -> ());
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TOTAL-DECODE                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Entry points are named like decode paths; the rule then follows
+   same-module calls (an intra-file reachability closure), so a helper
+   that only a decoder calls is held to the same standard. *)
+let decode_entry_markers =
+  [ "receive"; "decode"; "rekey"; "import"; "verify"; "update"; "unwrap";
+    "expect"; "parse"; "load"; "decrypt" ]
+
+let is_decode_entry name =
+  List.exists (fun m -> contains name m) decode_entry_markers
+
+let partial_constructs =
+  [ "failwith"; "invalid_arg"; "raise"; "raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg"; "Stdlib.raise"; "Option.get"; "List.hd"; "List.nth";
+    "List.tl"; "int_of_string" ]
+
+let total_decode =
+  { id = "TOTAL-DECODE";
+    severity = Error;
+    doc =
+      "no raise/failwith/invalid_arg/assert-false and no partial \
+       Option.get/List.hd-style accessors reachable from decode-and-verify \
+       entry points; reject via typed Shs_error results";
+    applies =
+      in_dirs [ "lib/wire/"; "lib/cgkd/"; "lib/dgka/"; "lib/pke/"; "lib/core/" ];
+    check =
+      (fun ~file str ->
+        let tops = Lint_ast.top_exprs str in
+        let names = List.map (fun (n, _, _) -> n) tops in
+        let refs =
+          List.map
+            (fun (n, _, e) ->
+              (n, List.filter (fun r -> List.mem r names) (Lint_ast.local_refs e)))
+            tops
+        in
+        (* reachability closure from the decode-named entries *)
+        let reachable = Hashtbl.create 16 in
+        let rec visit n =
+          if not (Hashtbl.mem reachable n) then begin
+            Hashtbl.add reachable n ();
+            match List.assoc_opt n refs with
+            | Some callees -> List.iter visit callees
+            | None -> ()
+          end
+        in
+        List.iter (fun n -> if is_decode_entry n then visit n) names;
+        let out = ref [] in
+        List.iter
+          (fun (binding, attrs, expr) ->
+            if Hashtbl.mem reachable binding then
+              Lint_ast.iter_expr ~init:(Lint_ast.suppressions attrs) expr
+                ~f:(fun ~suppressed e ->
+                  let flag construct =
+                    out :=
+                      ( mk "TOTAL-DECODE" Error ~file ~binding ~construct
+                          ~message:
+                            "partial or raising construct on a \
+                             decode-and-verify path; malformed input must \
+                             come back as a typed Shs_error rejection, not \
+                             an exception"
+                          e,
+                        suppressed "TOTAL-DECODE" )
+                      :: !out
+                  in
+                  match e.pexp_desc with
+                  | Pexp_ident { txt; _ } ->
+                    let p = Lint_ast.ident_path txt in
+                    if List.mem p partial_constructs then flag p
+                  | Pexp_assert
+                      { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None);
+                        _;
+                      } ->
+                    flag "assert false"
+                  | _ -> ()))
+          tops;
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TAXONOMY                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stringly_heads =
+  [ "Printf.sprintf"; "Format.sprintf"; "Format.asprintf"; "Printexc.to_string";
+    "String.concat"; "String.cat"; "^" ]
+
+let taxonomy =
+  { id = "TAXONOMY";
+    severity = Error;
+    doc =
+      "every Error _ constructed under lib/ carries a typed reason \
+       (Shs_error.reason or a module error variant), never a bare string";
+    applies = starts_with "lib/";
+    check =
+      (fun ~file str ->
+        let out = ref [] in
+        Lint_ast.iter_with_context str ~f:(fun ~binding ~suppressed e ->
+            match e.pexp_desc with
+            | Pexp_construct ({ txt = Lident "Error"; _ }, Some payload) ->
+              let stringly =
+                match payload.pexp_desc with
+                | Pexp_constant (Pconst_string _) -> true
+                | Pexp_apply (f, _) ->
+                  (match Lint_ast.head_path f with
+                   | Some p -> List.mem p stringly_heads
+                   | None -> false)
+                | _ -> false
+              in
+              if stringly then
+                out :=
+                  ( mk "TAXONOMY" Error ~file ~binding ~construct:"Error(string)"
+                      ~message:
+                        "stringly Error payload; rejections must carry a \
+                         typed reason so the Shs_error taxonomy stays total"
+                      payload,
+                    suppressed "TAXONOMY" )
+                  :: !out
+            | _ -> ());
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* NO-SECRET-PRINT                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let direct_emitters =
+  [ "Printf.printf"; "Printf.eprintf"; "print_endline"; "print_string";
+    "print_newline"; "print_char"; "print_int"; "print_float";
+    "prerr_endline"; "prerr_string"; "prerr_newline"; "Format.printf";
+    "Format.eprintf"; "output_string"; "output_bytes" ]
+
+let format_family =
+  direct_emitters
+  @ [ "Printf.sprintf"; "Printf.fprintf"; "Format.fprintf"; "Format.sprintf";
+      "Format.asprintf"; "Log.debug"; "Log.info"; "Log.warn"; "Log.err";
+      "Log.app"; "Logs.debug"; "Logs.info"; "Logs.warn"; "Logs.err"; "Logs.app" ]
+
+let no_secret_print =
+  { id = "NO-SECRET-PRINT";
+    severity = Error;
+    doc =
+      "modules holding key material emit nothing to channels, and no \
+       print/log call anywhere in lib/ may mention a secret-bearing value";
+    applies = starts_with "lib/";
+    check =
+      (fun ~file str ->
+        let holds_key_material =
+          List.exists is_secret_name (Lint_ast.declared_names str)
+        in
+        (* heads already reported at their application site, so the bare
+           ident pass below does not double-report them *)
+        let handled = Hashtbl.create 8 in
+        let out = ref [] in
+        Lint_ast.iter_with_context str ~f:(fun ~binding ~suppressed e ->
+            let flag construct message =
+              out :=
+                ( mk "NO-SECRET-PRINT" Error ~file ~binding ~construct ~message e,
+                  suppressed "NO-SECRET-PRINT" )
+                :: !out
+            in
+            match e.pexp_desc with
+            | Pexp_apply (f, args) ->
+              (match Lint_ast.head_path f with
+               | Some head when List.mem head format_family ->
+                 Hashtbl.replace handled f.pexp_loc ();
+                 if holds_key_material && List.mem head direct_emitters then
+                   flag head
+                     "channel emission from a module holding key material"
+                 else if List.exists mentions_secret (positional args) then
+                   flag head
+                     "print/log call mentions a secret-bearing value"
+               | _ -> ())
+            | Pexp_ident { txt; _ } ->
+              let p = Lint_ast.ident_path txt in
+              if
+                holds_key_material
+                && List.mem p direct_emitters
+                && not (Hashtbl.mem handled e.pexp_loc)
+              then
+                flag p "channel emission from a module holding key material"
+            | _ -> ());
+        List.rev !out);
+  }
+
+let all = [ ct_eq; no_ambient_entropy; total_decode; taxonomy; no_secret_print ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all

@@ -1,0 +1,36 @@
+(** The rule catalogue (DESIGN.md §9).
+
+    Each rule is a pure function over one parsed implementation file;
+    scoping ([Lint_types.rule.applies]) and the shared secret-name
+    heuristic are the only policy here — suppression and baselining live
+    in {!Lint_engine}. *)
+
+val is_secret_name : string -> bool
+(** Naming judgement for "secret-bearing": some snake_case component is
+    a key-material word and none is a counting/measure word, so
+    [session_key] is secret while [key_len] is not. *)
+
+val ct_eq : Lint_types.rule
+(** No variable-time comparison over secret-bearing values in the
+    secret-holding layers; use [Hmac.equal_ct]. *)
+
+val no_ambient_entropy : Lint_types.rule
+(** No [Random.*]/[Sys.time]/[Unix.gettimeofday]/[Unix.time] outside
+    the designated clock and DRBG modules. *)
+
+val total_decode : Lint_types.rule
+(** No raising or partial constructs reachable (same-module call graph)
+    from decode-and-verify entry points. *)
+
+val taxonomy : Lint_types.rule
+(** No stringly [Error _] payloads under [lib/]. *)
+
+val no_secret_print : Lint_types.rule
+(** No channel emission from modules holding key material, and no
+    print/log call mentioning a secret-bearing value. *)
+
+val all : Lint_types.rule list
+(** Every rule, in catalogue order. *)
+
+val find : string -> Lint_types.rule option
+(** Look a rule up by id. *)

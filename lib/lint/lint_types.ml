@@ -1,0 +1,56 @@
+(** Shared vocabulary of [shs_lint], the repo's domain-specific static
+    analysis (DESIGN.md §9).
+
+    A {e rule} inspects one parsed implementation file and yields
+    {e findings}; the engine ({!Lint_engine}) layers suppression
+    attributes and the checked-in baseline on top, so a finding is
+    "actionable" only when it is neither suppressed in the source nor
+    accounted for by the baseline. *)
+
+type severity =
+  | Error  (** gates CI: any non-baselined finding fails the run *)
+  | Warning  (** reported, but does not affect the exit status *)
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  rule : string;  (** rule id, e.g. ["CT-EQ"] *)
+  severity : severity;
+  file : string;  (** path relative to the lint root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column, as the compiler reports *)
+  binding : string;
+      (** enclosing top-level binding (module nesting flattened), or
+          ["<toplevel>"] for bare structure-level expressions *)
+  construct : string;  (** offending construct, e.g. ["String.equal"] *)
+  message : string;
+}
+
+(* Deterministic report order: by position, then rule, then construct —
+   two runs over the same tree must serialize byte-identically. *)
+let compare_finding a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = compare a.rule b.rule in
+        if c <> 0 then c else compare a.construct b.construct
+
+type rule = {
+  id : string;
+  severity : severity;
+  doc : string;  (** one-line rule catalogue entry *)
+  applies : string -> bool;  (** does this rule scan the given file? *)
+  check : file:string -> Parsetree.structure -> (finding * bool) list;
+      (** findings paired with [true] when an in-scope
+          [[@shs.lint_ignore "RULE"]] attribute suppresses them *)
+}
+
+(** A source file fails to parse: the linter cannot vouch for it, so the
+    driver treats this as a usage error (exit 2), not a finding. *)
+type parse_failure = Parse_failure of { pf_file : string; pf_msg : string }

@@ -1,0 +1,224 @@
+(* Tests for shs_lint (lib/lint): each rule fires on a minimal fixture
+   exactly once, a clean fixture yields nothing, suppression attributes
+   and the baseline each retire findings without hiding new ones, and
+   the JSON report is byte-deterministic. *)
+
+let src path code = { Lint_engine.path; code }
+
+let run ?rules ?baseline sources = Lint_engine.lint ?rules ?baseline sources
+
+let rules_of (o : Lint_engine.outcome) =
+  List.map (fun f -> f.Lint_types.rule) o.actionable
+
+let check_counts label (o : Lint_engine.outcome) ~actionable ~baselined
+    ~suppressed =
+  Alcotest.(check int) (label ^ ": actionable") actionable
+    (List.length o.actionable);
+  Alcotest.(check int) (label ^ ": baselined") baselined
+    (List.length o.baselined);
+  Alcotest.(check int) (label ^ ": suppressed") suppressed
+    (List.length o.suppressed);
+  Alcotest.(check int) (label ^ ": parse failures") 0
+    (List.length o.parse_failures)
+
+(* ------------------------------------------------------------------ *)
+(* One fixture per rule                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ct_eq_fixture =
+  src "lib/core/fixture.ml"
+    "let check ~mac ~expected = String.equal mac expected\n"
+
+let test_ct_eq () =
+  let o = run [ ct_eq_fixture ] in
+  check_counts "ct-eq" o ~actionable:1 ~baselined:0 ~suppressed:0;
+  Alcotest.(check (list string)) "rule id" [ "CT-EQ" ] (rules_of o);
+  let f = List.hd o.actionable in
+  Alcotest.(check string) "construct" "String.equal" f.Lint_types.construct;
+  Alcotest.(check string) "binding" "check" f.Lint_types.binding;
+  Alcotest.(check int) "line" 1 f.Lint_types.line
+
+let test_ct_eq_needs_secret_operand () =
+  (* the same comparison over non-secret names is not a finding, and
+     count-suffixed names ([key_len]) do not count as secrets *)
+  let o =
+    run
+      [ src "lib/core/fixture.ml"
+          "let same a b = String.equal a b\n\
+           let fits ~key_len = key_len = 32\n\
+           let missing ~kprime = kprime = None\n" ]
+  in
+  check_counts "non-secret operands" o ~actionable:0 ~baselined:0 ~suppressed:0
+
+let test_ct_eq_out_of_scope () =
+  (* CT-EQ only patrols the secret-bearing layers *)
+  let o = run [ src "lib/net/fixture.ml" ct_eq_fixture.Lint_engine.code ] in
+  check_counts "out of scope" o ~actionable:0 ~baselined:0 ~suppressed:0
+
+let test_entropy () =
+  let o =
+    run [ src "lib/net/fixture.ml" "let jitter () = Random.float 1.0\n" ]
+  in
+  check_counts "entropy" o ~actionable:1 ~baselined:0 ~suppressed:0;
+  Alcotest.(check (list string)) "rule id" [ "NO-AMBIENT-ENTROPY" ] (rules_of o);
+  (* the designated DRBG module is allowed to touch the ambient sources *)
+  let allowed =
+    run [ src "lib/hashing/drbg.ml" "let jitter () = Random.float 1.0\n" ]
+  in
+  check_counts "drbg allowlisted" allowed ~actionable:0 ~baselined:0
+    ~suppressed:0
+
+let test_total_decode () =
+  let o =
+    run
+      [ src "lib/wire/fixture.ml"
+          "let explode () = failwith \"boom\"\n\
+           let decode s = if String.length s = 0 then explode () else s\n\
+           let unrelated () = Option.get None\n" ]
+  in
+  (* [failwith] is flagged because [decode] reaches [explode] through the
+     same-module call graph; [unrelated] is not on any decode path *)
+  check_counts "total-decode" o ~actionable:1 ~baselined:0 ~suppressed:0;
+  let f = List.hd o.actionable in
+  Alcotest.(check string) "rule id" "TOTAL-DECODE" f.Lint_types.rule;
+  Alcotest.(check string) "construct" "failwith" f.Lint_types.construct;
+  Alcotest.(check string) "binding" "explode" f.Lint_types.binding
+
+let test_taxonomy () =
+  let o =
+    run
+      [ src "lib/error/fixture.ml"
+          "let reject () = Error \"empty frame\"\n\
+           let ok () = Error (`Malformed \"ctx\")\n" ]
+  in
+  (* only the bare-string payload is stringly; the tagged one is typed *)
+  check_counts "taxonomy" o ~actionable:1 ~baselined:0 ~suppressed:0;
+  Alcotest.(check (list string)) "rule id" [ "TAXONOMY" ] (rules_of o)
+
+let test_no_secret_print () =
+  let o =
+    run
+      [ src "lib/gsig/fixture.ml"
+          "let secret_key = \"k\"\nlet dump () = print_endline secret_key\n" ]
+  in
+  check_counts "no-secret-print" o ~actionable:1 ~baselined:0 ~suppressed:0;
+  Alcotest.(check (list string)) "rule id" [ "NO-SECRET-PRINT" ] (rules_of o);
+  (* printing in a module without key material is fine *)
+  let harmless =
+    run [ src "lib/obs/fixture.ml" "let hello () = print_endline \"hi\"\n" ]
+  in
+  check_counts "print without secrets" harmless ~actionable:0 ~baselined:0
+    ~suppressed:0
+
+let test_clean_fixture () =
+  let o =
+    run
+      [ src "lib/core/clean.ml"
+          "let add a b = a + b\n\
+           let tags_ok t = Hmac.equal_ct t \"expected\"\n" ]
+  in
+  check_counts "clean" o ~actionable:0 ~baselined:0 ~suppressed:0
+
+(* ------------------------------------------------------------------ *)
+(* Suppression and baseline                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_attribute () =
+  let o =
+    run
+      [ src "lib/core/fixture.ml"
+          "let check ~mac ~expected =\n\
+          \  (String.equal mac expected [@shs.lint_ignore \"CT-EQ\"])\n" ]
+  in
+  check_counts "suppressed" o ~actionable:0 ~baselined:0 ~suppressed:1;
+  (* naming a different rule does not silence this one *)
+  let wrong =
+    run
+      [ src "lib/core/fixture.ml"
+          "let check ~mac ~expected =\n\
+          \  (String.equal mac expected [@shs.lint_ignore \"TAXONOMY\"])\n" ]
+  in
+  check_counts "wrong rule named" wrong ~actionable:1 ~baselined:0 ~suppressed:0
+
+let test_baseline_roundtrip () =
+  let o = run [ ct_eq_fixture ] in
+  let entries = Lint_engine.baseline_of_findings o.actionable in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  let text = Lint_engine.baseline_to_string entries in
+  (match Lint_engine.baseline_of_string text with
+   | None -> Alcotest.fail "baseline did not round-trip"
+   | Some parsed ->
+     Alcotest.(check bool) "entries survive round-trip" true (parsed = entries);
+     let o' = run ~baseline:parsed [ ct_eq_fixture ] in
+     check_counts "baselined run" o' ~actionable:0 ~baselined:1 ~suppressed:0;
+     (* a second, new finding in the same file is NOT absorbed *)
+     let two =
+       src ct_eq_fixture.Lint_engine.path
+         (ct_eq_fixture.Lint_engine.code
+         ^ "let check2 ~mac ~expected = String.equal mac expected\n")
+     in
+     let o2 = run ~baseline:parsed [ two ] in
+     check_counts "baseline does not grow" o2 ~actionable:1 ~baselined:1
+       ~suppressed:0)
+
+let test_baseline_malformed () =
+  Alcotest.(check bool) "empty object rejected" true
+    (Lint_engine.baseline_of_string "{}" = None);
+  Alcotest.(check bool) "garbage rejected" true
+    (Lint_engine.baseline_of_string "not json" = None);
+  Alcotest.(check bool) "wrong schema rejected" true
+    (Lint_engine.baseline_of_string
+       "{\"schema\": \"shs-bench/1\", \"entries\": []}"
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_determinism () =
+  let sources =
+    [ ct_eq_fixture;
+      src "lib/net/fixture.ml" "let jitter () = Random.float 1.0\n";
+      src "lib/error/fixture.ml" "let reject () = Error \"empty\"\n";
+    ]
+  in
+  let render () =
+    Obs_json.to_string ~pretty:true (Lint_engine.report_json (run sources))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical reports" a b;
+  Alcotest.(check bool) "schema tagged" true
+    (match Obs_json.of_string a with
+     | Some doc -> Obs_json.member "schema" doc = Some (Obs_json.Str "shs-lint/1")
+     | None -> false)
+
+let test_parse_failure_exit_path () =
+  let o = run [ src "lib/core/broken.ml" "let let let\n" ] in
+  Alcotest.(check int) "one parse failure" 1 (List.length o.parse_failures);
+  Alcotest.(check int) "no findings" 0 (List.length o.actionable)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "CT-EQ fires once" `Quick test_ct_eq;
+          Alcotest.test_case "CT-EQ needs a secret operand" `Quick
+            test_ct_eq_needs_secret_operand;
+          Alcotest.test_case "CT-EQ scope" `Quick test_ct_eq_out_of_scope;
+          Alcotest.test_case "NO-AMBIENT-ENTROPY" `Quick test_entropy;
+          Alcotest.test_case "TOTAL-DECODE via call graph" `Quick
+            test_total_decode;
+          Alcotest.test_case "TAXONOMY" `Quick test_taxonomy;
+          Alcotest.test_case "NO-SECRET-PRINT" `Quick test_no_secret_print;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        ] );
+      ( "mechanisms",
+        [ Alcotest.test_case "suppression attribute" `Quick
+            test_suppression_attribute;
+          Alcotest.test_case "baseline round-trip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "malformed baseline" `Quick test_baseline_malformed;
+          Alcotest.test_case "deterministic JSON" `Quick test_json_determinism;
+          Alcotest.test_case "parse failure surfaces" `Quick
+            test_parse_failure_exit_path;
+        ] );
+    ]

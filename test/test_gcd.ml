@@ -257,6 +257,43 @@ module Generic (S : Scheme_sig.SCHEME) = struct
           (String.length delta'))
       t_ok
 
+  let test_forged_mac_rejected () =
+    (* regression companion to the CT-EQ lint fixes: with Hmac.equal_ct
+       in the hs2/hs3 checks, a clean handshake still completes and a
+       forged phase-II MAC is still rejected by everyone who saw it *)
+    let w = W.create 212 in
+    let _ = W.populate w [ "a"; "b"; "c" ] in
+    check_full_success "clean channel" (W.handshake w [ "a"; "b"; "c" ]) 3;
+    let forge ~src ~dst:_ ~payload =
+      if src <> 0 then Engine.Deliver
+      else
+        match Wire.decode payload with
+        | Some ("hs2", [ mac ]) ->
+          let mac' =
+            String.mapi
+              (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+              mac
+          in
+          Engine.Replace (Wire.encode ~tag:"hs2" [ mac' ])
+        | _ -> Engine.Deliver
+    in
+    let parts =
+      [| S.participant_of_member (W.member w "a");
+         S.participant_of_member (W.member w "b");
+         S.participant_of_member (W.member w "c") |]
+    in
+    let os = outcomes (S.run_session ~adversary:forge ~fmt:(W.fmt w) parts) in
+    (* a's own view is clean (it never sees its mutated broadcast), but
+       b and c hold a forged tag for seat 0 and must exclude it *)
+    List.iter
+      (fun i ->
+        Alcotest.(check bool) (Printf.sprintf "party %d rejects" i) false
+          os.(i).Gcd_types.accepted;
+        Alcotest.(check bool) (Printf.sprintf "party %d excludes forged seat" i)
+          false
+          (List.mem 0 os.(i).Gcd_types.partners))
+      [ 1; 2 ]
+
   let suite label =
     [ Alcotest.test_case (label ^ ": handshakes m=2,3,5") `Slow test_handshake_sizes;
       Alcotest.test_case (label ^ ": mixed groups partial success") `Slow
@@ -275,6 +312,8 @@ module Generic (S : Scheme_sig.SCHEME) = struct
       Alcotest.test_case (label ^ ": epochs") `Slow test_epoch_advances;
       Alcotest.test_case (label ^ ": transcript uniformity") `Slow
         test_transcript_format_uniform;
+      Alcotest.test_case (label ^ ": forged MAC rejected") `Slow
+        test_forged_mac_rejected;
     ]
 end
 
