@@ -126,7 +126,11 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
   in
   (* group construction also ticks the registry; reset so the report
      covers the handshake session alone *)
-  if metrics then Obs.reset ();
+  if metrics then begin
+    Obs.reset ();
+    Prof.reset ();
+    Prof.enable ()
+  end;
   let t0 = Unix.gettimeofday () in
   let adversary = Option.map Adversary.tap adv_plan in
   let r =
@@ -135,6 +139,7 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
     else Scheme2.run_session ?faults ?watchdog ?adversary ~fmt parts
   in
   let dt = Unix.gettimeofday () -. t0 in
+  if metrics then Prof.disable ();
   Array.iteri
     (fun i o ->
       match o with
@@ -174,7 +179,10 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
         Printf.printf "Per-layer rejections:\n";
         List.iter (fun (k, v) -> Printf.printf "  %-36s %6d\n" k v) rej));
   Printf.printf "Wall clock: %.2fs\n" dt;
-  if metrics then print_string (Obs.report ());
+  if metrics then begin
+    print_string (Obs.report ());
+    print_string (Prof.report (Prof.snapshot ()))
+  end;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -261,6 +269,64 @@ let run_trace m seed out drop duplicate jitter net_seed =
          Printf.printf "  position %d opened to: %s\n" i (Option.value ~default:"-" u))
        traced
    | _ -> print_endline "handshake failed; per the protocol the transcript is garbage");
+  0
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile scheme m seed net_seed drop duplicate jitter out weight =
+  Printf.printf "Building a group of %d members (512-bit parameters)...\n%!" m;
+  let tb = build ~seed ~n:m in
+  let fmt = Scheme2.default_format tb.ga2 in
+  let gpub = Scheme2.group_public tb.ga2 in
+  let parts = Array.map Scheme2.participant_of_member tb.members in
+  let faulty = drop > 0.0 || duplicate > 0.0 || jitter > 0.0 in
+  let faults =
+    if faulty then
+      Some (Faults.create ~drop ~duplicate ~jitter ~seed:net_seed ())
+    else None
+  in
+  let watchdog = if faulty then Some Gcd_types.default_watchdog else None in
+  (* the profiler goes on only now, after the group build, so the tree
+     covers the handshake session alone; nothing charged reads a wall
+     clock, so both output files are pure functions of (seed, net_seed,
+     fault rates) — running the same command twice yields byte-identical
+     bytes, which bin/ci.sh checks with cmp *)
+  Prof.reset ();
+  Prof.enable ();
+  let r =
+    if scheme = 2 then Scheme2.run_session_sd ?faults ?watchdog ~gpub ~fmt parts
+    else Scheme2.run_session ?faults ?watchdog ~fmt parts
+  in
+  Prof.disable ();
+  let t = Prof.snapshot () in
+  let accepted =
+    Array.fold_left
+      (fun n o ->
+        match o with Some o when o.Gcd_types.accepted -> n + 1 | _ -> n)
+      0 r.Gcd_types.outcomes
+  in
+  Printf.printf "session complete: %d/%d parties accepted\n" accepted m;
+  let collapsed_path = out ^ ".collapsed" in
+  let speedscope_path = out ^ ".speedscope.json" in
+  let write path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  write collapsed_path (Prof.to_collapsed ~weight t);
+  write speedscope_path
+    (Obs_json.to_string ~pretty:true
+       (Prof.to_speedscope
+          ~name:(Printf.sprintf "shs_demo m=%d scheme=%d seed=%d" m scheme seed)
+          t)
+    ^ "\n");
+  Printf.printf "collapsed stacks written to %s (feed to flamegraph.pl)\n"
+    collapsed_path;
+  Printf.printf "speedscope profile written to %s (open at speedscope.app)\n"
+    speedscope_path;
+  print_string (Prof.report t);
   0
 
 (* ------------------------------------------------------------------ *)
@@ -667,6 +733,66 @@ let trace_cmd =
       const run_trace $ m_t $ seed_t $ out_t $ drop_t $ duplicate_t $ jitter_t
       $ net_seed_t)
 
+let profile_cmd =
+  let m_t = Arg.(value & opt int 3 & info [ "m"; "members" ] ~doc:"Participants.") in
+  let scheme_t =
+    Arg.(value & opt int 1
+         & info [ "scheme" ] ~doc:"Instantiation: 1 (ACJT) or 2 (KTY).")
+  in
+  let out_t =
+    Arg.(value & opt string "shs_profile"
+         & info [ "o"; "out" ] ~docv:"PREFIX"
+             ~doc:
+               "Output prefix: writes $(docv).collapsed (collapsed-stack \
+                text) and $(docv).speedscope.json.")
+  in
+  let weight_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("calls", Prof.Calls); ("words", Prof.Words);
+               ("alloc", Prof.Alloc) ])
+          Prof.Words
+      & info [ "weight" ]
+          ~doc:
+            "Collapsed-stack weight: $(b,calls) (primitive calls), \
+             $(b,words) (limb-word work estimates, the default) or \
+             $(b,alloc) (minor-heap words).")
+  in
+  let drop_t =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~doc:"Per-link message drop probability in [0,1].")
+  in
+  let duplicate_t =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~doc:"Message duplication probability in [0,1].")
+  in
+  let jitter_t =
+    Arg.(value & opt float 0.0
+         & info [ "jitter" ] ~doc:"Extra random delivery latency bound.")
+  in
+  let net_seed_t =
+    Arg.(value & opt int 7 & info [ "net-seed" ] ~doc:"Seed for the fault plan's DRBG.")
+  in
+  let run debug scheme m seed net_seed drop duplicate jitter out weight =
+    setup_logging debug;
+    if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
+    else if m < 2 then (prerr_endline "need at least 2 members"; 1)
+    else
+      try run_profile scheme m seed net_seed drop duplicate jitter out weight
+      with Invalid_argument msg -> prerr_endline msg; 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a handshake under the cost-attribution profiler and export \
+          the per-phase/per-equation bigint work as collapsed stacks and \
+          speedscope JSON.  Deterministic: same seeds, same bytes.")
+    Term.(
+      const run $ verbose_flag $ scheme_t $ m_t $ seed_t $ net_seed_t $ drop_t
+      $ duplicate_t $ jitter_t $ out_t $ weight_t)
+
 let params_cmd =
   Cmd.v
     (Cmd.info "params" ~doc:"Show the embedded cryptographic parameter sets.")
@@ -760,7 +886,7 @@ let main =
   Cmd.group ~default:handshake_term
     (Cmd.info "shs_demo" ~version:"1.0.0"
        ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
-    [ handshake_cmd; lifecycle_cmd; trace_cmd; params_cmd; fuzz_cmd; init_cmd;
-      add_cmd; revoke_cmd; members_cmd; run_cmd ]
+    [ handshake_cmd; lifecycle_cmd; trace_cmd; profile_cmd; params_cmd;
+      fuzz_cmd; init_cmd; add_cmd; revoke_cmd; members_cmd; run_cmd ]
 
 let () = exit (Cmd.eval' main)

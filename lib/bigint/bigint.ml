@@ -141,6 +141,7 @@ module Nat = struct
 
   let mul a b =
     Obs.incr mul_counter;
+    if !Prof.active then Prof.charge Prof.Mul ~words:(norm_len a * norm_len b);
     mul_raw a b
 
   let num_bits a =
@@ -359,8 +360,23 @@ let mul a b =
   if a.sign = 0 || b.sign = 0 then zero
   else make (a.sign * b.sign) (Nat.mul a.mag b.mag)
 
+(* Identical arithmetic with no counter or profiler charge: the control
+   arm of the bench harness's observability-overhead check, nothing
+   else.  Protocol code must use the metered entry points. *)
+module Unmetered = struct
+  let mul a b =
+    if a.sign = 0 || b.sign = 0 then zero
+    else make (a.sign * b.sign) (Nat.mul_raw a.mag b.mag)
+end
+
 let div_rem a b =
   if b.sign = 0 then raise Division_by_zero;
+  (if !Prof.active then begin
+     (* Knuth algorithm-D work: one limb product per (quotient digit,
+        divisor limb) pair *)
+     let la = Array.length a.mag and lb = Array.length b.mag in
+     if la >= lb then Prof.charge Prof.Reduce ~words:((la - lb + 1) * lb)
+   end);
   let q, r = Nat.div_rem a.mag b.mag in
   (make (a.sign * b.sign) q, make a.sign r)
 
@@ -431,6 +447,7 @@ let ext_gcd a b =
   if g.sign < 0 then (neg g, neg u, neg v) else (g, u, v)
 
 let invert a m =
+  if !Prof.active then Prof.charge Prof.Inv ~words:(Array.length m.mag);
   let g, u, _ = ext_gcd (erem a m) m in
   if not (equal g one) then raise Not_found;
   erem u m
@@ -439,6 +456,7 @@ let pow_mod_naive b e m =
   if m.sign <= 0 then raise Division_by_zero;
   if e.sign < 0 then invalid_arg "Bigint.pow_mod_naive: negative exponent";
   Obs.incr pow_mod_counter;
+  if !Prof.active then Prof.charge Prof.Modexp ~words:(num_bits e);
   let b = erem b m in
   let nbits = num_bits e in
   let acc = ref one in
@@ -496,6 +514,7 @@ module Montgomery = struct
   (* t <- (a*b + m*n) / R, result < 2n *)
   let mont_mul ctx a b =
     Obs.incr mul_counter;
+    if !Prof.active then Prof.charge Prof.Mul ~words:(2 * ctx.k * ctx.k);
     let k = ctx.k in
     let a = pad_to k a and b = pad_to k b in
     let n = ctx.n_limbs in
@@ -612,6 +631,7 @@ let pow_mod_div b e m =
   if m.sign <= 0 then raise Division_by_zero;
   if e.sign < 0 then invalid_arg "Bigint.pow_mod_div: negative exponent";
   Obs.incr pow_mod_counter;
+  if !Prof.active then Prof.charge Prof.Modexp ~words:(num_bits e);
   windowed_div_pow (erem b m) e m (num_bits e)
 
 let pow_mod b e m =
@@ -623,6 +643,7 @@ let pow_mod b e m =
     pow_mod_naive inv (neg e) m |> fun r -> r
   else begin
     Obs.incr pow_mod_counter;
+    if !Prof.active then Prof.charge Prof.Modexp ~words:(num_bits e);
     let b = erem b m in
     let nbits = num_bits e in
     if nbits <= window_bits * 2 then begin

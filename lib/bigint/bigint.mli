@@ -164,3 +164,11 @@ val pow_mod_div : t -> t -> t -> t
 (** The windowed ladder with a trial division after every multiplication —
     the implementation [pow_mod] used before Montgomery reduction was
     added.  Non-negative exponents only; kept for the E8 ablation. *)
+
+(** Arithmetic identical to the metered entry points but with no counter
+    increment or profiler charge — the control arm of the bench
+    harness's observability-overhead sanity check.  Protocol code must
+    not use it. *)
+module Unmetered : sig
+  val mul : t -> t -> t
+end

@@ -97,6 +97,7 @@ let refresh_path gc ~leaf ~skip_leaf =
 
 let join gc ~uid =
   Obs.incr join_counter;
+  Prof.frame "cgkd.lkh.join" @@ fun () ->
   if Hashtbl.mem gc.leaf_of uid then None
   else
     match gc.free with
@@ -115,6 +116,7 @@ let join gc ~uid =
 
 let leave gc ~uid =
   Obs.incr leave_counter;
+  Prof.frame "cgkd.lkh.leave" @@ fun () ->
   match Hashtbl.find_opt gc.leaf_of uid with
   | None -> None
   | Some leaf ->
@@ -131,6 +133,7 @@ let malformed () =
 
 let rekey m msg =
   Obs.incr rekey_counter;
+  Prof.frame "cgkd.lkh.rekey" @@ fun () ->
   match Wire.expect ~tag:"lkh-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with

@@ -136,6 +136,7 @@ let member_state gc ~uid leaf =
 
 let join gc ~uid =
   Obs.incr join_counter;
+  Prof.frame "cgkd.oft.join" @@ fun () ->
   if Hashtbl.mem gc.leaf_of uid then None
   else
     match gc.free with
@@ -151,6 +152,7 @@ let join gc ~uid =
 
 let leave gc ~uid =
   Obs.incr leave_counter;
+  Prof.frame "cgkd.oft.leave" @@ fun () ->
   match Hashtbl.find_opt gc.leaf_of uid with
   | None -> None
   | Some leaf ->
@@ -167,6 +169,7 @@ let malformed () =
 
 let rekey m msg =
   Obs.incr rekey_counter;
+  Prof.frame "cgkd.oft.rekey" @@ fun () ->
   match Wire.expect ~tag:"oft-rekey" msg with
   | Some (epoch_s :: confirm :: entries) ->
     (match int_of_string_opt epoch_s with

@@ -207,8 +207,15 @@ module Make (P : POLICY) = struct
       anc;
     labels
 
+  (* frame names precomputed once per functor application so a
+     profiled rekey does not concatenate strings per call *)
+  let join_frame = "cgkd." ^ name ^ ".join"
+  let leave_frame = "cgkd." ^ name ^ ".leave"
+  let rekey_frame = "cgkd." ^ name ^ ".rekey"
+
   let join gc ~uid =
     Obs.incr join_counter;
+    Prof.frame join_frame @@ fun () ->
     if Hashtbl.mem gc.leaf_of uid then None
     else
       match gc.free with
@@ -226,6 +233,7 @@ module Make (P : POLICY) = struct
 
   let leave gc ~uid =
     Obs.incr leave_counter;
+    Prof.frame leave_frame @@ fun () ->
     match Hashtbl.find_opt gc.leaf_of uid with
     | None -> None
     | Some leaf ->
@@ -265,6 +273,7 @@ module Make (P : POLICY) = struct
 
   let rekey m msg =
     Obs.incr rekey_counter;
+    Prof.frame rekey_frame @@ fun () ->
     match Wire.expect ~tag:(P.name ^ "-rekey") msg with
     | Some (epoch_s :: confirm :: entries) ->
       (match int_of_string_opt epoch_s with

@@ -50,6 +50,7 @@ let filled arr =
 
 let start t =
   Obs.incr start_counter;
+  Prof.frame "dgka.bd.start" @@ fun () ->
   let z_self = B.pow_mod t.grp.Groupgen.g t.r t.grp.Groupgen.p in
   t.z.(t.self) <- Some z_self;
   [ (None, Wire.encode ~tag:"bd1" [ enc t z_self ]) ]
@@ -124,6 +125,7 @@ let store t arr ~allow_one ~src v =
 
 let receive t ~src payload =
   Obs.incr msg_counter;
+  Prof.frame "dgka.bd.msg" @@ fun () ->
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

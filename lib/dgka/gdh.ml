@@ -44,6 +44,7 @@ let finish t ~k ~downflow_bytes =
 
 let start t =
   Obs.incr start_counter;
+  Prof.frame "dgka.gdh.start" @@ fun () ->
   if t.self <> 0 then []
   else begin
     t.done_up <- true;
@@ -63,6 +64,7 @@ let poison t reason =
 
 let receive t ~src payload =
   Obs.incr msg_counter;
+  Prof.frame "dgka.gdh.msg" @@ fun () ->
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

@@ -99,12 +99,14 @@ let process_downflow t bgks =
 
 let start t =
   Obs.incr start_counter;
+  Prof.frame "dgka.str.start" @@ fun () ->
   let bk_self = B.pow_mod t.grp.Groupgen.g t.r t.grp.Groupgen.p in
   t.bk.(t.self) <- Some bk_self;
   [ (None, Wire.encode ~tag:"str1" [ enc t bk_self ]) ]
 
 let receive t ~src payload =
   Obs.incr msg_counter;
+  Prof.frame "dgka.str.msg" @@ fun () ->
   if t.dead || t.out <> None then []
   else
     match Wire.decode payload with

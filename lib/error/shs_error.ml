@@ -37,9 +37,22 @@ let reject ?(args = []) ~layer reason =
 let wire_decode_errors =
   Obs.counter ~help:"wire frames refused by strict decode" "wire.decode_error"
 
+(* per-kind counters interned once at module init: the decode-error path
+   sits behind every malformed frame a fuzzer or adversary sends, so it
+   must not rebuild a name string and take a Hashtbl lookup per hit *)
+let wire_decode_error_kind =
+  let by err = Obs.counter ("wire.decode_error." ^ Wire.error_to_string err) in
+  let truncated = by Wire.Truncated in
+  let trailing = by Wire.Trailing_garbage in
+  let overflow = by Wire.Length_overflow in
+  function
+  | Wire.Truncated -> truncated
+  | Wire.Trailing_garbage -> trailing
+  | Wire.Length_overflow -> overflow
+
 let decode_error ~layer err =
   Obs.incr wire_decode_errors;
-  Obs.incr (Obs.counter ("wire.decode_error." ^ Wire.error_to_string err));
+  Obs.incr (wire_decode_error_kind err);
   reject ~layer Malformed ~args:[ ("wire", Wire.error_to_string err) ]
 
 let rejected ~layer = Obs.value (fst (counters ~layer Malformed))

@@ -225,6 +225,7 @@ let signature_len pub = (5 * elem_len pub) + Spk.encoded_len (skeleton_statement
 let sign ~rng mem ~msg =
   if not mem.valid then invalid_arg "Acjt.sign: member revoked";
   Obs.incr sign_counter;
+  Prof.frame "gsig.acjt.sign" @@ fun () ->
   let pub = mem.mpub in
   let s = pub.sizes in
   let r = Interval.sample ~rng s.Gsig_sizes.free in
@@ -276,6 +277,7 @@ let verify_against pub ~acc_value ~msg sigma =
 
 let verify mem ~msg sigma =
   Obs.incr verify_counter;
+  Prof.frame "gsig.acjt.verify" @@ fun () ->
   verify_against mem.mpub ~acc_value:mem.acc_value ~msg sigma
 
 (* ------------------------------------------------------------------ *)
@@ -284,6 +286,7 @@ let verify mem ~msg sigma =
 
 let open_ mgr ~msg sigma =
   Obs.incr open_counter;
+  Prof.frame "gsig.acjt.open" @@ fun () ->
   let pub = mgr.pub in
   if not (verify_against pub ~acc_value:(Accumulator.value mgr.acc) ~msg sigma)
   then None

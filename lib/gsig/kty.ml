@@ -193,6 +193,7 @@ let base_of_bytes pub seed =
 let sign_internal ~rng mem ~msg ~t7_and_k' =
   if not mem.valid then invalid_arg "Kty.sign: member revoked";
   Obs.incr sign_counter;
+  Prof.frame "gsig.kty.sign" @@ fun () ->
   let pub = mem.mpub in
   let s = pub.sizes in
   let r = Interval.sample ~rng s.Gsig_sizes.free in
@@ -258,6 +259,7 @@ let revoked_by_crl pub crl { tags; _ } =
 
 let verify mem ~msg sigma =
   Obs.incr verify_counter;
+  Prof.frame "gsig.kty.verify" @@ fun () ->
   match decode_signature mem.mpub sigma with
   | None -> false
   | Some dec ->
@@ -269,6 +271,7 @@ let verify mem ~msg sigma =
 
 let open_ mgr ~msg sigma =
   Obs.incr open_counter;
+  Prof.frame "gsig.kty.open" @@ fun () ->
   let pub = mgr.pub in
   match decode_signature pub sigma with
   | None -> None

@@ -203,15 +203,21 @@ let events () = List.rev !event_log
 
 type sink = Noop | Memory
 
-(* aggregated trace node: children in reverse first-seen order *)
+(* aggregated trace node: children in reverse first-seen order.  Each
+   node caches its latency histogram handle so closing a span is a field
+   read, not a Hashtbl lookup on every call. *)
 type node = {
   n_name : string;
+  n_hist : histogram;
   mutable n_calls : int;
   mutable n_total : float;
   mutable n_children : node list;
 }
 
-let make_node name = { n_name = name; n_calls = 0; n_total = 0.0; n_children = [] }
+let make_node name =
+  { n_name = name;
+    n_hist = histogram ~help:"span latency (ns)" name;
+    n_calls = 0; n_total = 0.0; n_children = [] }
 
 let root = ref (make_node "")
 let current = ref !root
@@ -232,9 +238,18 @@ let child_of parent name =
     parent.n_children <- n :: parent.n_children;
     n
 
+(* span hooks: an external attribution stack (Shs_prof) mirrors span
+   open/close without Obs depending on it.  Captured once per span so an
+   install/remove inside an open span cannot desynchronize the pair —
+   the close a hook saw opened is the close it gets. *)
+let span_hooks : ((string -> unit) * (unit -> unit)) option ref = ref None
+let set_span_hooks ~on_open ~on_close = span_hooks := Some (on_open, on_close)
+let clear_span_hooks () = span_hooks := None
+
 let span name f =
-  let ev = !events_on and tr = !tracing in
-  if not (ev || tr) then f ()
+  let ev = !events_on and tr = !tracing and hooks = !span_hooks in
+  let hooked = match hooks with Some _ -> true | None -> false in
+  if not (ev || tr || hooked) then f ()
   else begin
     (* the end event reuses the begin-time track: a span opened on one
        timeline closes on it even if deliveries switch tracks inside *)
@@ -244,6 +259,7 @@ let span name f =
         { ev_kind = Span_begin; ev_name = name; ev_track = btrack;
           ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
         :: !event_log;
+    (match hooks with Some (on_open, _) -> on_open name | None -> ());
     let parent = !current in
     let node =
       if tr then begin
@@ -260,19 +276,20 @@ let span name f =
        | Some node ->
          let dt = !clock () -. t0 in
          node.n_total <- node.n_total +. dt;
-         observe (histogram ~help:"span latency (ns)" name) dt;
+         observe node.n_hist dt;
          current := parent
        | None -> ());
+      (match hooks with Some (_, on_close) -> on_close () | None -> ());
       if ev then
         event_log :=
           { ev_kind = Span_end; ev_name = name; ev_track = btrack;
             ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
           :: !event_log
     in
-    match f () with
-    | v -> close (); v
-    | exception e -> close (); raise e
+    Fun.protect ~finally:close f
   end
+
+let with_span = span
 
 type span_tree = {
   span_name : string;
@@ -320,7 +337,8 @@ let reset_all () =
   set_sink Noop;
   events_on := false;
   clock := default_clock;
-  event_clock := default_event_clock
+  event_clock := default_event_clock;
+  span_hooks := None
 
 let snapshot_counters () =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []

@@ -90,7 +90,23 @@ val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()]; under the [Memory] sink the call is timed
     and recorded as a child of the innermost enclosing span, and with
     events enabled it records individual begin/end events on the current
-    track.  Exceptions propagate; the span still closes. *)
+    track.  Exceptions propagate; the span always closes — the close
+    runs under [Fun.protect], so a raising body cannot leave the span
+    stack (or the attribution hooks) desynchronized. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Alias of {!span}. *)
+
+val set_span_hooks : on_open:(string -> unit) -> on_close:(unit -> unit) -> unit
+(** Mirror every span open/close to an external attribution stack
+    (Shs_prof installs its frame push/pop here).  Active regardless of
+    the sink: with hooks installed a span pays the hook calls even under
+    [Noop].  The hook pair is captured once at span entry, so
+    installing/removing hooks inside an open span cannot unbalance the
+    open/close pairing that span delivers. *)
+
+val clear_span_hooks : unit -> unit
+(** Remove the installed span hooks.  {!reset_all} also clears them. *)
 
 type span_tree = {
   span_name : string;
@@ -192,9 +208,10 @@ val reset : unit -> unit
 
 val reset_all : unit -> unit
 (** {!reset}, then return the configuration to its initial state too:
-    [Noop] sink, events disabled, default span and event clocks.  Bench
-    fixtures call this between experiments so no counter bleeds across;
-    re-arm the sink afterwards if you still need one. *)
+    [Noop] sink, events disabled, default span and event clocks, span
+    hooks cleared.  Bench fixtures call this between experiments so no
+    counter bleeds across; re-arm the sink afterwards if you still need
+    one. *)
 
 val snapshot_counters : unit -> (string * int) list
 (** Sorted by name. *)

@@ -36,8 +36,20 @@ val series_of_doc : Obs_json.t -> (series list, string) result
 
 val tracked : series -> bool
 (** Whether a series participates in the regression gate: every unit
-    except ["ns"] (wall-clock noise is excluded; everything else the
-    harness emits is deterministic under its fixed seeds). *)
+    except ["ns"], ["heap-words"] and ["wallclock-fraction"] (wall-clock
+    noise and process-layout-sensitive GC peaks are excluded; everything
+    else the harness emits is deterministic under its fixed seeds). *)
+
+val experiment_names : Obs_json.t -> string list
+(** The ["name"] of every experiment in document order (malformed
+    entries skipped). *)
+
+val synthesized_rows : Obs_json.t -> series list
+(** Rows derived from the document rather than stored as series: one
+    ["bigint.mul total"] row (unit ["count"]) per experiment that embeds
+    an Obs metrics snapshot with that counter, plus one document-level
+    ["elapsed_s"] row (unit ["s"], experiment ["(doc)"]).  These catch
+    whole-run cost regressions that no per-experiment series covers. *)
 
 type violation = {
   v_baseline : series;
@@ -55,15 +67,25 @@ type comparison = {
 }
 
 val compare_docs :
+  ?elapsed_tolerance:float ->
   tolerance:float ->
   baseline:Obs_json.t ->
   current:Obs_json.t ->
+  unit ->
   (comparison, string) result
 (** Match every tracked baseline row against the current document by
     (experiment, series, param) and flag relative deviations beyond
     [tolerance].  A zero baseline matches only a zero current value.
     Series present only in the current run are ignored (regenerate the
-    baseline to start tracking them). *)
+    baseline to start tracking them).
+
+    When both documents cover exactly the same experiment set, the
+    {!synthesized_rows} are compared too: per-experiment
+    ["bigint.mul total"] under [tolerance] and the document-level
+    ["elapsed_s"] under [elapsed_tolerance] (default [0.5] — wall clock
+    gates only order-of-magnitude blowups, the op counts gate the rest).
+    Subset runs ([--only ...]) skip them, since lazy fixture
+    construction would land in different experiments. *)
 
 val render : tolerance:float -> comparison -> string
 (** Human-readable verdict: one line per violation/missing row plus a

@@ -46,7 +46,13 @@ let absorb_statement tr st =
 let absorb_commitments tr ds =
   List.fold_left (fun tr d -> Transcript.absorb_num tr ~label:"commitment" d) tr ds
 
+(* static per-equation frame names, so profiling a proof does not
+   allocate a fresh string per relation per call *)
+let eq_names = Array.init 16 (Printf.sprintf "spk.eq%d")
+let eq_name i = if i < Array.length eq_names then eq_names.(i) else "spk.eq-rest"
+
 let prove ~rng st ~secrets ~transcript =
+  Prof.frame "spk.prove" @@ fun () ->
   List.iter
     (fun (name, _) ->
       if not (List.mem_assoc name secrets) then
@@ -55,7 +61,11 @@ let prove ~rng st ~secrets ~transcript =
   let blinders =
     List.map (fun (name, spec) -> (name, Interval.sample_blinder ~rng spec)) st.vars
   in
-  let ds = List.map (fun rel -> combine st rel.terms blinders) st.relations in
+  let ds =
+    List.mapi
+      (fun i rel -> Prof.frame (eq_name i) (fun () -> combine st rel.terms blinders))
+      st.relations
+  in
   let tr = absorb_commitments (absorb_statement transcript st) ds in
   let challenge = Transcript.challenge_bits tr ~bits:Interval.challenge_bits in
   let responses =
@@ -69,6 +79,7 @@ let prove ~rng st ~secrets ~transcript =
   { challenge; responses }
 
 let verify st ~transcript proof =
+  Prof.frame "spk.verify" @@ fun () ->
   let vars_match =
     List.length proof.responses = List.length st.vars
     && List.for_all2
@@ -91,8 +102,9 @@ let verify st ~transcript proof =
           st.vars proof.responses
       in
       let ds =
-        List.map
-          (fun rel ->
+        List.mapi
+          (fun i rel ->
+            Prof.frame (eq_name i) @@ fun () ->
             let extra = B.pow_mod rel.target proof.challenge st.modulus in
             combine st ~extra rel.terms shifted)
           st.relations

@@ -422,7 +422,7 @@ let bench_doc experiments =
     ]
 
 let compare_exn ~tolerance ~baseline ~current =
-  match Obs_bench.compare_docs ~tolerance ~baseline ~current with
+  match Obs_bench.compare_docs ~tolerance ~baseline ~current () with
   | Ok c -> c
   | Error msg -> Alcotest.fail ("compare_docs: " ^ msg)
 
@@ -492,7 +492,7 @@ let test_bench_compare_zero_and_missing () =
   (match
      Obs_bench.compare_docs ~tolerance:0.15
        ~baseline:(Obs_json.Obj [ ("schema", Obs_json.Str "other/9") ])
-       ~current:baseline
+       ~current:baseline ()
    with
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "wrong schema accepted")
