@@ -251,7 +251,77 @@ let e3 () =
           (Staged.stage (fun () -> ignore (s2_handshake 4))) ]
   in
   print_timings ~experiment:"e3" "wall-clock (512-bit parameters, simulated network):"
-    (run_bechamel ~limit:4 tests)
+    (run_bechamel ~limit:4 tests);
+  (* count ablation: one steady-state ACJT verify under each multi-exp
+     evaluation mode.  Mul counts are exact functions of the fixture
+     (fixed seed, deterministic profiler), so the >=2x gate below is
+     noise-free and the series are byte-stable across reruns. *)
+  let rng = rng_of 31 in
+  let modulus = Lazy.force Params.rsa_512 in
+  let mgr = Acjt.setup ~rng ~modulus in
+  let mem =
+    let req, offer = Acjt.join_begin ~rng (Acjt.public mgr) in
+    match Acjt.join_issue ~rng mgr ~uid:"u1" ~offer with
+    | Some (_, cert, _) -> Option.get (Acjt.join_complete req ~cert)
+    | None -> failwith "e3: join"
+  in
+  let asig = Acjt.sign ~rng mem ~msg:"e3" in
+  let arm mode =
+    Bigint.set_multi_mode mode;
+    (* start cold, then warm past the fixed-base use threshold so the
+       measured verify sees steady-state tables *)
+    Bigint.reset_caches ();
+    for _ = 1 to 5 do assert (Acjt.verify mem ~msg:"e3" asig) done;
+    Prof.reset ();
+    Prof.enable ();
+    assert (Acjt.verify mem ~msg:"e3" asig);
+    Prof.disable ();
+    let t = Prof.snapshot () in
+    let total = Prof.total t Prof.Mul in
+    let spk =
+      List.fold_left
+        (fun acc (frame, n) ->
+          if String.length frame >= 4 && String.sub frame 0 4 = "spk." then
+            acc + n
+          else acc)
+        0 (Prof.by_frame t Prof.Mul)
+    in
+    Prof.reset ();
+    (total, spk)
+  in
+  let saved = Bigint.multi_mode () in
+  let results =
+    List.map
+      (fun (name, mode) -> (name, arm mode))
+      [ ("folded", Bigint.Folded); ("multi", Bigint.Multi);
+        ("multi+fixed", Bigint.Multi_fixed) ]
+  in
+  Bigint.set_multi_mode saved;
+  Bigint.reset_caches ();
+  Printf.printf
+    "\ncount ablation (one warmed ACJT verify, 512-bit modulus):\n%-14s %18s %18s\n"
+    "arm" "bigint.mul total" "spk-frame muls";
+  List.iter
+    (fun (name, (total, spk)) ->
+      Printf.printf "%-14s %18d %18d\n" name total spk;
+      Report.add ~experiment:"e3"
+        ~series:(Printf.sprintf "verify muls (%s)" name)
+        ~unit_:"count" (float_of_int total);
+      Report.add ~experiment:"e3"
+        ~series:(Printf.sprintf "spk muls (%s)" name)
+        ~unit_:"count" (float_of_int spk))
+    results;
+  let total_of name = fst (List.assoc name results) in
+  let folded = total_of "folded" and fixed = total_of "multi+fixed" in
+  Printf.printf
+    "multi-exp + fixed-base cut over folded: %.2fx (mul count)\n"
+    (float_of_int folded /. float_of_int fixed);
+  if fixed * 2 > folded then
+    failwith
+      (Printf.sprintf
+         "e3: multi-exp + fixed-base verify uses %d muls vs %d folded — \
+          expected a >= 2x cut"
+         fixed folded)
 
 (* ------------------------------------------------------------------ *)
 (* E4: DGKA — Burmester-Desmedt vs GDH.2                               *)
@@ -649,6 +719,27 @@ let e8 () =
             let block = String.make 1024 'x' in
             fun () -> ignore (Chacha20.encrypt ~key ~nonce block)));
     ]
+    (* multi-exponentiation ablation: the same 3-term product under each
+       evaluation mode; the fixed-base arm measures the warm steady
+       state, since the tables persist across iterations *)
+    @ (let b2 = Groupgen.sample_qr ~rng n and b3 = Groupgen.sample_qr ~rng n in
+       let ea = Bigint.random_bits rng 512 and eb = Bigint.random_bits rng 512 in
+       let pairs = [ (base, e512); (b2, ea); (b3, eb) ] in
+       let staged mode =
+         Staged.stage (fun () ->
+             let saved = Bigint.multi_mode () in
+             Bigint.set_multi_mode mode;
+             let r = Bigint.pow_mod_multi pairs n in
+             Bigint.set_multi_mode saved;
+             ignore r)
+       in
+       [ Test.make ~name:"3-term product: folded pow_mod (512b exps)"
+           (staged Bigint.Folded);
+         Test.make ~name:"3-term product: straus multi-exp (512b exps)"
+           (staged Bigint.Multi);
+         Test.make ~name:"3-term product: multi-exp+fixed-base (512b exps)"
+           (staged Bigint.Multi_fixed);
+       ])
   in
   print_timings ~experiment:"e8" "microbenchmarks:"
     (run_bechamel ~scale:2.0 ~limit:30 tests);
@@ -968,6 +1059,10 @@ let e13 () =
   (* build the member world outside the profiled window so admission
      cost is not attributed to the handshake *)
   ignore (Lazy.force Fixtures.scheme1_world);
+  (* cold bignum caches no matter which experiments ran before: fixture
+     construction must not leak warm fixed-base tables into the counts,
+     or --only subsets would disagree with the full run *)
+  Bigint.reset_caches ();
   Prof.reset ();
   Prof.enable ();
   assert_accepted (s1_handshake 4);

@@ -47,12 +47,17 @@ cmp "$lint1" "$lint2"
 grep -q '"schema": "shs-lint/1"' "$lint1"
 grep -q '"actionable": 0' "$lint1"
 
-echo "== bench regression gate: compare vs BENCH_5.json =="
-# the live gate runs the same invocation that generated BENCH_5.json,
+echo "== bench regression gate: compare vs BENCH_6.json =="
+# the live gate runs the same invocation that generated BENCH_6.json,
 # so the experiment sets match and the synthesized rows (per-experiment
-# "bigint.mul total", document-level "elapsed_s") are gated too
-dune exec bench/main.exe -- --only e2,e10,e11,e12,e13 --quota 0.05 \
-  --json "$out" --compare BENCH_5.json
+# "bigint.mul total", document-level "elapsed_s") are gated too.  e3
+# carries the multi-exponentiation count ablation and fails hard on its
+# own if the fixed-base arm loses its >= 2x mul cut over folded pow_mod
+dune exec bench/main.exe -- --only e2,e3,e10,e11,e12,e13 --quota 0.05 \
+  --json "$out" --compare BENCH_6.json
+grep -q '"verify muls (folded)"' "$out"
+grep -q '"verify muls (multi+fixed)"' "$out"
+grep -q '"spk muls (multi)"' "$out"
 grep -q '"schema": "shs-bench/1"' "$out"
 grep -q 'prof.bigint.mul:' "$out"
 grep -q 'prof.limb_words:' "$out"
@@ -87,6 +92,14 @@ if cmp -s BENCH_3.json "$perturbed"; then
 fi
 if dune exec bench/main.exe -- --compare BENCH_3.json --against "$perturbed"; then
   echo "ci: compare gate failed to flag a perturbed series" >&2
+  exit 1
+fi
+
+echo "== bench regression gate: pre-multi-exp baseline must fail =="
+# BENCH_5.json predates the multi-exponentiation fast path; its e13
+# per-frame mul counts are ~3x today's, and the gate must say so
+if dune exec bench/main.exe -- --compare BENCH_5.json --against "$out"; then
+  echo "ci: compare gate failed to flag the multi-exp mul-count shift" >&2
   exit 1
 fi
 

@@ -558,11 +558,13 @@ module Montgomery = struct
     a.(0) <- 1;
     a
 
-  let from_limbs ctx limbs = make 1 limbs |> fun v -> erem v ctx.modulus
+  (* [mont_mul]'s conditional subtraction keeps every product < n, so a
+     value leaves the domain by one multiplication with 1 — no reduction *)
+  let from_limbs limbs = make 1 limbs
 
-  (* windowed ladder in the Montgomery domain *)
+  (* windowed ladder in the Montgomery domain; [b] must already be
+     reduced into [0, n) (every caller sits behind [pow_mod]'s erem) *)
   let pow ctx b e =
-    let b = erem b ctx.modulus in
     let bm = to_mont ctx b in
     let nbits = num_bits e in
     let acc_start = mont_mul ctx (one_limbs ctx) ctx.r2 (* = R mod n = mont(1) *) in
@@ -585,7 +587,7 @@ module Montgomery = struct
       if !digit <> 0 then acc := mont_mul ctx !acc table.(!digit)
     done;
     (* leave the Montgomery domain *)
-    from_limbs ctx (mont_mul ctx !acc (one_limbs ctx))
+    from_limbs (mont_mul ctx !acc (one_limbs ctx))
 end
 
 (* Fixed 4-bit window exponentiation. *)
@@ -616,16 +618,31 @@ let windowed_div_pow b e m nbits =
   done;
   !acc
 
-let mont_cache : (t * Montgomery.ctx) list ref = ref []
+(* Caches below are keyed by a cheap int fingerprint (low limb + limb
+   count) instead of a full [equal] scan; the fingerprint is verified
+   with [equal] on every hit, so a collision only costs a rebuild, never
+   a wrong answer.  Both caches are process-global, so they register a
+   reset hook with [Obs] (bottom of this file): [Obs.reset_all] — the
+   bench harness's fixture-isolation point — clears them, keeping every
+   experiment's setup cost charged inside that experiment. *)
+
+let fingerprint m = (Array.length m.mag lsl limb_bits) lxor m.mag.(0)
+
+let mont_cache : (int, t * Montgomery.ctx) Hashtbl.t = Hashtbl.create 8
+let mont_cache_limit = 8
 
 let mont_ctx m =
-  match List.find_opt (fun (m', _) -> equal m m') !mont_cache with
-  | Some (_, ctx) -> ctx
-  | None ->
+  let key = fingerprint m in
+  match Hashtbl.find_opt mont_cache key with
+  | Some (m', ctx) when equal m m' -> ctx
+  | _ ->
     let ctx = Montgomery.create m in
-    let keep = List.filteri (fun i _ -> i < 7) !mont_cache in
-    mont_cache := (m, ctx) :: keep;
+    if Hashtbl.length mont_cache >= mont_cache_limit then
+      Hashtbl.reset mont_cache;
+    Hashtbl.replace mont_cache key (m, ctx);
     ctx
+
+let mont_cache_size () = Hashtbl.length mont_cache
 
 let pow_mod_div b e m =
   if m.sign <= 0 then raise Division_by_zero;
@@ -634,34 +651,270 @@ let pow_mod_div b e m =
   if !Prof.active then Prof.charge Prof.Modexp ~words:(num_bits e);
   windowed_div_pow (erem b m) e m (num_bits e)
 
-let pow_mod b e m =
+(* dispatch for a reduced base and non-negative exponent; shared by
+   [pow_mod] and the folded arm of [pow_mod_multi] *)
+let pow_mod_body b e m =
+  let nbits = num_bits e in
+  if nbits <= window_bits * 2 then begin
+    (* tiny exponent: plain ladder, skip table setup *)
+    let acc = ref one in
+    for i = nbits - 1 downto 0 do
+      acc := mul_mod !acc !acc m;
+      if testbit e i then acc := mul_mod !acc b m
+    done;
+    !acc
+  end
+  else if testbit m 0 && num_bits m >= mont_threshold_bits then
+    (* odd modulus, real exponent: Montgomery domain.  Contexts are
+       cached: a run touches only a handful of moduli (the RSA n, the
+       Schnorr p, ...) and context creation costs a full division. *)
+    Montgomery.pow (mont_ctx m) b e
+  else windowed_div_pow b e m nbits
+
+let rec pow_mod b e m =
   if m.sign <= 0 then raise Division_by_zero;
   if e.sign < 0 then
+    (* invert once, then take the normal positive-exponent path — the
+       counter bump and Modexp charge happen in the recursive call, so
+       every [pow_mod] counts exactly once *)
     let inv = try invert b m with Not_found ->
       invalid_arg "Bigint.pow_mod: base not invertible for negative exponent"
     in
-    pow_mod_naive inv (neg e) m |> fun r -> r
+    pow_mod inv (neg e) m
   else begin
     Obs.incr pow_mod_counter;
     if !Prof.active then Prof.charge Prof.Modexp ~words:(num_bits e);
-    let b = erem b m in
-    let nbits = num_bits e in
-    if nbits <= window_bits * 2 then begin
-      (* tiny exponent: plain ladder, skip table setup *)
-      let acc = ref one in
-      for i = nbits - 1 downto 0 do
-        acc := mul_mod !acc !acc m;
-        if testbit e i then acc := mul_mod !acc b m
-      done;
-      !acc
-    end
-    else if testbit m 0 && num_bits m >= mont_threshold_bits then
-      (* odd modulus, real exponent: Montgomery domain.  Contexts are
-         cached: a run touches only a handful of moduli (the RSA n, the
-         Schnorr p, ...) and context creation costs a full division. *)
-      Montgomery.pow (mont_ctx m) b e
-    else windowed_div_pow b e m nbits
+    pow_mod_body (erem b m) e m
   end
+
+(* ------------------------------------------------------------------ *)
+(* Simultaneous multi-exponentiation (Straus/Shamir) with fixed-base   *)
+(* windowed tables.  A product Π bᵢ^eᵢ mod m is evaluated inside the   *)
+(* Montgomery domain with ONE shared squaring chain and ONE domain     *)
+(* exit; bases seen often enough (the scheme generators g, h, a, y …)  *)
+(* additionally get a cached table F[j][d] = base^(d·2^(4j)) so their  *)
+(* contribution costs only window multiplies — no squarings at all.    *)
+(* ------------------------------------------------------------------ *)
+
+type multi_mode = Folded | Multi | Multi_fixed
+
+(* ablation switch for bench E3/E8: Folded replays the historical
+   one-pow_mod-per-term evaluation, Multi is Straus without cached
+   tables, Multi_fixed is the default production path *)
+let multi_mode_ref = ref Multi_fixed
+let set_multi_mode m = multi_mode_ref := m
+let multi_mode () = !multi_mode_ref
+
+type fb_entry = {
+  fb_base : t;  (* reduced into [0, modulus) *)
+  fb_modulus : t;
+  mutable fb_uses : int;
+  mutable fb_inv : t option;  (* cached modular inverse (negative exponents) *)
+  (* fb_windows.(j).(d-1) = base^(d·2^(window_bits·j)) in the Montgomery
+     domain, grown window-by-window as larger exponents arrive *)
+  mutable fb_windows : int array array array;
+  mutable fb_next_pow : int array;  (* base^(2^(window_bits·|fb_windows|)), mont *)
+}
+
+let fb_cache : (int, fb_entry) Hashtbl.t = Hashtbl.create 16
+let fb_cache_limit = 32
+
+(* a base must recur before it earns a table: one-shot bases (session
+   tags, proof targets) stay on the dynamic path *)
+let fb_use_threshold = 4
+
+let fb_key b m = fingerprint m lxor (fingerprint b lsl 13)
+
+let fb_entry b m =
+  let key = fb_key b m in
+  match Hashtbl.find_opt fb_cache key with
+  | Some e when equal e.fb_base b && equal e.fb_modulus m -> e
+  | _ ->
+    if Hashtbl.length fb_cache >= fb_cache_limit then begin
+      (* evict the cold entries (one-shot session tags and proof
+         targets) so the warm generator tables survive the churn; a
+         full reset only if somehow everything is warm *)
+      let cold =
+        Hashtbl.fold
+          (fun k e acc -> if e.fb_uses < fb_use_threshold then k :: acc else acc)
+          fb_cache []
+      in
+      if cold = [] then Hashtbl.reset fb_cache
+      else List.iter (Hashtbl.remove fb_cache) cold
+    end;
+    let e =
+      { fb_base = b; fb_modulus = m; fb_uses = 0; fb_inv = None;
+        fb_windows = [||]; fb_next_pow = [||] }
+    in
+    Hashtbl.replace fb_cache key e;
+    e
+
+let fixed_base_cache_size () = Hashtbl.length fb_cache
+
+let fb_extend ctx e nwindows =
+  let cur = Array.length e.fb_windows in
+  if cur < nwindows then begin
+    if cur = 0 then e.fb_next_pow <- Montgomery.to_mont ctx e.fb_base;
+    let grown = Array.make nwindows [||] in
+    Array.blit e.fb_windows 0 grown 0 cur;
+    for j = cur to nwindows - 1 do
+      let p = e.fb_next_pow in
+      let w = Array.make ((1 lsl window_bits) - 1) p in
+      for d = 1 to Array.length w - 1 do
+        w.(d) <- Montgomery.mont_mul ctx w.(d - 1) p
+      done;
+      grown.(j) <- w;
+      let q = ref p in
+      for _ = 1 to window_bits do q := Montgomery.mont_mul ctx !q !q done;
+      e.fb_next_pow <- !q
+    done;
+    e.fb_windows <- grown
+  end
+
+(* table lookup for one pair: [Some windows] once the base has recurred
+   enough to amortize the build, [None] while it stays dynamic *)
+let fb_tables_for ctx b m ebits =
+  let e = fb_entry b m in
+  e.fb_uses <- e.fb_uses + 1;
+  if e.fb_uses < fb_use_threshold then None
+  else begin
+    fb_extend ctx e ((ebits + window_bits - 1) / window_bits);
+    Some e.fb_windows
+  end
+
+let window_digit e w =
+  let digit = ref 0 in
+  for j = window_bits - 1 downto 0 do
+    let bit = (w * window_bits) + j in
+    digit := (!digit lsl 1) lor (if testbit e bit then 1 else 0)
+  done;
+  !digit
+
+(* Straus/Shamir core: bases reduced and nonzero, exponents positive,
+   modulus odd and large enough for Montgomery *)
+let mont_multi ~fixed_tables m pairs =
+  let ctx = mont_ctx m in
+  let mont_one = Montgomery.(mont_mul ctx (one_limbs ctx) ctx.r2) in
+  let acc = ref mont_one in
+  let fixed, dyn =
+    if fixed_tables then
+      List.partition_map
+        (fun (b, e) ->
+          match fb_tables_for ctx b m (num_bits e) with
+          | Some windows -> Either.Left (windows, e)
+          | None -> Either.Right (b, e))
+        pairs
+    else ([], pairs)
+  in
+  (match dyn with
+   | [] -> ()
+   | dyn ->
+     let tabs =
+       List.map
+         (fun (b, e) ->
+           let t = Array.make (1 lsl window_bits) [||] in
+           t.(1) <- Montgomery.to_mont ctx b;
+           for d = 2 to Array.length t - 1 do
+             t.(d) <- Montgomery.mont_mul ctx t.(d - 1) t.(1)
+           done;
+           (t, e))
+         dyn
+     in
+     let nbits =
+       List.fold_left (fun a (_, e) -> Stdlib.max a (num_bits e)) 0 dyn
+     in
+     let nwindows = (nbits + window_bits - 1) / window_bits in
+     for w = nwindows - 1 downto 0 do
+       for _ = 1 to window_bits do
+         acc := Montgomery.mont_mul ctx !acc !acc
+       done;
+       List.iter
+         (fun (t, e) ->
+           let d = window_digit e w in
+           if d <> 0 then acc := Montgomery.mont_mul ctx !acc t.(d))
+         tabs
+     done);
+  (* fixed-base contributions are squaring-free and position-independent,
+     so they fold into the accumulator after the shared chain *)
+  List.iter
+    (fun (windows, e) ->
+      let nwindows = (num_bits e + window_bits - 1) / window_bits in
+      for w = 0 to nwindows - 1 do
+        let d = window_digit e w in
+        if d <> 0 then acc := Montgomery.mont_mul ctx !acc windows.(w).(d - 1)
+      done)
+    fixed;
+  Montgomery.from_limbs (Montgomery.mont_mul ctx !acc (Montgomery.one_limbs ctx))
+
+let pow_mod_multi pairs m =
+  if m.sign <= 0 then raise Division_by_zero;
+  Obs.incr pow_mod_counter;
+  if !Prof.active then
+    Prof.charge Prof.Multi_exp
+      ~words:(List.fold_left (fun a (_, e) -> a + num_bits e) 0 pairs);
+  let mode = !multi_mode_ref in
+  let mont_ok = testbit m 0 && num_bits m >= mont_threshold_bits in
+  let invert_base b =
+    let fail () =
+      invalid_arg
+        "Bigint.pow_mod_multi: base not invertible for negative exponent"
+    in
+    if mode = Multi_fixed && mont_ok then begin
+      (* park the inverse on the base's fixed-base entry so recurring
+         negative-exponent terms pay ext_gcd once, not per call *)
+      let rb = erem b m in
+      if is_zero rb then fail ();
+      let en = fb_entry rb m in
+      (* count the use so a recurring negative-exponent base stays warm
+         and its cached inverse survives cold-entry eviction *)
+      en.fb_uses <- en.fb_uses + 1;
+      match en.fb_inv with
+      | Some i -> i
+      | None ->
+        let i = try invert rb m with Not_found -> fail () in
+        en.fb_inv <- Some i;
+        i
+    end
+    else try invert b m with Not_found -> fail ()
+  in
+  let zero_factor = ref false in
+  let pairs =
+    List.filter_map
+      (fun (b, e) ->
+        if is_zero e then None
+        else begin
+          let b, e =
+            if e.sign < 0 then (invert_base b, neg e) else (erem b m, e)
+          in
+          if is_zero b then begin
+            zero_factor := true;
+            None
+          end
+          else Some (b, e)
+        end)
+      pairs
+  in
+  if !zero_factor then zero
+  else
+    match pairs with
+    | [] -> erem one m
+    | pairs ->
+      if mode <> Folded && mont_ok then
+        mont_multi ~fixed_tables:(mode = Multi_fixed) m pairs
+      else
+        (* even or tiny modulus (or the Folded ablation arm): fold of
+           independent windowed ladders, one mul_mod between terms *)
+        List.fold_left
+          (fun acc (b, e) -> mul_mod acc (pow_mod_body b e m) m)
+          (erem one m) pairs
+
+let reset_caches () =
+  Hashtbl.reset mont_cache;
+  Hashtbl.reset fb_cache
+
+(* join the bench harness's fixture-isolation point: [Obs.reset_all]
+   between experiments also clears this module's process-global caches *)
+let () = Obs.on_reset reset_caches
 
 (* ------------------------------------------------------------------ *)
 (* String and byte conversions                                         *)

@@ -105,6 +105,29 @@ val pow_mod_naive : t -> t -> t -> t
 (** Plain square-and-multiply (window size 1); non-negative exponents only.
     Kept as the baseline for the windowed-exponentiation ablation bench. *)
 
+val pow_mod_multi : (t * t) list -> t -> t
+(** [pow_mod_multi [(b1, e1); ...] m] is [Π bᵢ^eᵢ mod m] for [m > 0],
+    evaluated as one Straus/Shamir simultaneous exponentiation in the
+    Montgomery domain (odd [m] of at least 64 bits): all terms share a
+    single squaring chain and a single domain exit.  Bases that recur
+    across calls — the scheme generators every session reuses — earn a
+    cached fixed-base window table, after which their contribution costs
+    only window multiplies.  Negative exponents invert the base first
+    (the inverse is cached with the table); pairs with [eᵢ = 0] are
+    dropped; the empty product is [1 mod m].
+    @raise Division_by_zero if [m] is zero or negative.
+    @raise Invalid_argument if some [eᵢ < 0] with [bᵢ] not invertible. *)
+
+(** Evaluation strategy for {!pow_mod_multi} — the bench E3/E8 ablation
+    switch.  [Folded] replays the historical fold of independent
+    {!pow_mod} calls with a multiplication between terms; [Multi] is
+    Straus/Shamir without cached tables; [Multi_fixed] (the default)
+    adds the fixed-base tables. *)
+type multi_mode = Folded | Multi | Multi_fixed
+
+val set_multi_mode : multi_mode -> unit
+val multi_mode : unit -> multi_mode
+
 val gcd : t -> t -> t
 
 val ext_gcd : t -> t -> t * t * t
@@ -141,9 +164,23 @@ val mul_count : unit -> int
     benchmark harness to report operation counts alongside wall-clock. *)
 
 val pow_mod_count : unit -> int
-(** Number of modular exponentiations performed since start-up. *)
+(** Number of modular exponentiations performed since start-up.
+    {!pow_mod_multi} counts as one exponentiation regardless of how many
+    terms it folds. *)
 
 val reset_counters : unit -> unit
+
+val reset_caches : unit -> unit
+(** Clear the Montgomery-context and fixed-base-table caches.  Also
+    registered as an [Obs.on_reset] hook, so [Obs.reset_all] — the bench
+    harness's fixture-isolation point — clears them automatically and no
+    setup cost bleeds across experiments. *)
+
+val mont_cache_size : unit -> int
+(** Number of cached Montgomery contexts (test/bench instrumentation). *)
+
+val fixed_base_cache_size : unit -> int
+(** Number of fixed-base table entries (test/bench instrumentation). *)
 
 (** {1 Infix operators} *)
 

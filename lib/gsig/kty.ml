@@ -61,7 +61,7 @@ let public mgr = mgr.pub
 
 let join_begin ~rng pub =
   let x' = Interval.sample ~rng pub.sizes.Gsig_sizes.lambda in
-  let offer = B.pow_mod pub.b x' pub.n in
+  let offer = B.pow_mod_multi [ (pub.b, x') ] pub.n in
   ({ jpub = pub; jx' = x' }, Wire.encode ~tag:"kty-offer" [ B.to_bytes_be offer ])
 
 let join_issue ~rng mgr ~uid ~offer =
@@ -77,7 +77,10 @@ let join_issue ~rng mgr ~uid ~offer =
         Primegen.random_prime_in ~rng ~lo:(Interval.lo spec) ~hi:(Interval.hi spec)
       in
       let d = B.invert e mgr.order in
-      let base = B.mul_mod (B.mul_mod pub.a0 (B.pow_mod pub.a x pub.n) pub.n) c pub.n in
+      let base =
+        B.mul_mod (B.mul_mod pub.a0 (B.pow_mod_multi [ (pub.a, x) ] pub.n) pub.n)
+          c pub.n
+      in
       let a_cert = B.pow_mod base d pub.n in
       Hashtbl.add mgr.roster uid { a_cert; e_cert = e; x_trace = x; revoked = false };
       let mgr = { mgr with join_order = uid :: mgr.join_order } in
@@ -99,10 +102,11 @@ let join_complete req ~cert =
     let e_mem = B.of_bytes_be e_bytes in
     let x = B.of_bytes_be x_bytes in
     let lhs = B.pow_mod a_mem e_mem pub.n in
+    (* a0 · a^x · b^x' in one simultaneous exponentiation *)
     let rhs =
-      B.mul_mod
-        (B.mul_mod pub.a0 (B.pow_mod pub.a x pub.n) pub.n)
-        (B.pow_mod pub.b req.jx' pub.n) pub.n
+      B.mul_mod pub.a0
+        (B.pow_mod_multi [ (pub.a, x); (pub.b, req.jx') ] pub.n)
+        pub.n
     in
     if B.equal lhs rhs
        && Interval.mem pub.sizes.Gsig_sizes.gamma e_mem
@@ -198,19 +202,19 @@ let sign_internal ~rng mem ~msg ~t7_and_k' =
   let s = pub.sizes in
   let r = Interval.sample ~rng s.Gsig_sizes.free in
   let k = Interval.sample ~rng s.Gsig_sizes.free in
-  let t1 = B.mul_mod mem.a_mem (B.pow_mod pub.y r pub.n) pub.n in
-  let t2 = B.pow_mod pub.g r pub.n in
-  let t3 =
-    B.mul_mod (B.pow_mod pub.g mem.e_mem pub.n) (B.pow_mod pub.h r pub.n) pub.n
-  in
-  let t5 = B.pow_mod pub.g k pub.n in
+  (* fixed-generator tags ride the multi-exp fast path; T4/T6 keep
+     plain pow_mod — their bases T5/T7 are fresh per signature *)
+  let t1 = B.mul_mod mem.a_mem (B.pow_mod_multi [ (pub.y, r) ] pub.n) pub.n in
+  let t2 = B.pow_mod_multi [ (pub.g, r) ] pub.n in
+  let t3 = B.pow_mod_multi [ (pub.g, mem.e_mem); (pub.h, r) ] pub.n in
+  let t5 = B.pow_mod_multi [ (pub.g, k) ] pub.n in
   let t4 = B.pow_mod t5 mem.x pub.n in
   let t7 =
     match t7_and_k' with
     | `Common_base base -> base
     | `Fresh ->
       let k' = Interval.sample ~rng s.Gsig_sizes.free in
-      B.pow_mod pub.g k' pub.n
+      B.pow_mod_multi [ (pub.g, k') ] pub.n
   in
   let t6 = B.pow_mod t7 mem.x' pub.n in
   let st = statement pub ~t1 ~t2 ~t3 ~t4 ~t5 ~t6 ~t7 in
@@ -327,12 +331,12 @@ let forge_without_membership ~rng pub ~msg =
   let k = Interval.sample ~rng s.Gsig_sizes.free in
   let k' = Interval.sample ~rng s.Gsig_sizes.free in
   let fake_a = Groupgen.sample_qr ~rng pub.n in
-  let t1 = B.mul_mod fake_a (B.pow_mod pub.y r pub.n) pub.n in
-  let t2 = B.pow_mod pub.g r pub.n in
-  let t3 = B.mul_mod (B.pow_mod pub.g e pub.n) (B.pow_mod pub.h r pub.n) pub.n in
-  let t5 = B.pow_mod pub.g k pub.n in
+  let t1 = B.mul_mod fake_a (B.pow_mod_multi [ (pub.y, r) ] pub.n) pub.n in
+  let t2 = B.pow_mod_multi [ (pub.g, r) ] pub.n in
+  let t3 = B.pow_mod_multi [ (pub.g, e); (pub.h, r) ] pub.n in
+  let t5 = B.pow_mod_multi [ (pub.g, k) ] pub.n in
   let t4 = B.pow_mod t5 x pub.n in
-  let t7 = B.pow_mod pub.g k' pub.n in
+  let t7 = B.pow_mod_multi [ (pub.g, k') ] pub.n in
   let t6 = B.pow_mod t7 x' pub.n in
   let st = statement pub ~t1 ~t2 ~t3 ~t4 ~t5 ~t6 ~t7 in
   let secrets =

@@ -332,13 +332,20 @@ let reset () =
   trace_ctx := 0;
   track_ref := "main"
 
+(* downstream modules (bigint caches) register cleanup here; obs cannot
+   call them directly without inverting the dependency *)
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let on_reset f = reset_hooks := !reset_hooks @ [ f ]
+
 let reset_all () =
   reset ();
   set_sink Noop;
   events_on := false;
   clock := default_clock;
   event_clock := default_event_clock;
-  span_hooks := None
+  span_hooks := None;
+  List.iter (fun f -> f ()) !reset_hooks
 
 let snapshot_counters () =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []

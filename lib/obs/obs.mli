@@ -209,9 +209,17 @@ val reset : unit -> unit
 val reset_all : unit -> unit
 (** {!reset}, then return the configuration to its initial state too:
     [Noop] sink, events disabled, default span and event clocks, span
-    hooks cleared.  Bench fixtures call this between experiments so no
-    counter bleeds across; re-arm the sink afterwards if you still need
+    hooks cleared — and finally run every {!on_reset} hook.  Bench
+    fixtures call this between experiments so no counter (or downstream
+    cache) bleeds across; re-arm the sink afterwards if you still need
     one. *)
+
+val on_reset : (unit -> unit) -> unit
+(** Register a hook run at the end of every {!reset_all}.  Modules
+    below [Obs] in the dependency order (e.g. bigint's Montgomery and
+    fixed-base caches) use this to join fixture isolation without
+    [Obs] depending on them.  Hooks run in registration order and are
+    never removed. *)
 
 val snapshot_counters : unit -> (string * int) list
 (** Sorted by name. *)

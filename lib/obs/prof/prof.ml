@@ -10,17 +10,19 @@
    frame boundaries costs one [Gc.counters] read at each end no matter
    how many primitives ran inside. *)
 
-type op = Mul | Reduce | Modexp | Inv
+type op = Mul | Reduce | Modexp | Inv | Multi_exp
 
-let n_ops = 4
-let op_index = function Mul -> 0 | Reduce -> 1 | Modexp -> 2 | Inv -> 3
+let n_ops = 5
+let op_index = function
+  | Mul -> 0 | Reduce -> 1 | Modexp -> 2 | Inv -> 3 | Multi_exp -> 4
 let op_name = function
   | Mul -> "mul"
   | Reduce -> "reduce"
   | Modexp -> "modexp"
   | Inv -> "inv"
+  | Multi_exp -> "multi_exp"
 
-let all_ops = [ Mul; Reduce; Modexp; Inv ]
+let all_ops = [ Mul; Reduce; Modexp; Inv; Multi_exp ]
 
 (* live frame node: children in reverse first-seen order *)
 type frame_node = {

@@ -30,11 +30,15 @@
 
 (** {1 Charging} *)
 
-(** The metered bigint primitives. *)
-type op = Mul | Reduce | Modexp | Inv
+(** The metered bigint primitives.  [Multi_exp] is one simultaneous
+    multi-exponentiation ([Bigint.pow_mod_multi]); its word estimate is
+    the summed bit length of the exponents, mirroring [Modexp]'s
+    per-call estimate so folded-vs-simultaneous evaluations of the same
+    product charge comparable top-level work. *)
+type op = Mul | Reduce | Modexp | Inv | Multi_exp
 
 val op_name : op -> string
-(** ["mul"], ["reduce"], ["modexp"], ["inv"]. *)
+(** ["mul"], ["reduce"], ["modexp"], ["inv"], ["multi_exp"]. *)
 
 val all_ops : op list
 

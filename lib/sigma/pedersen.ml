@@ -8,8 +8,10 @@ let setup ~rng (m : Groupgen.rsa_modulus) =
   let h = Groupgen.sample_qr ~rng n in
   { n; g; h }
 
+(* g^value · h^blind as one two-term multi-exponentiation: shared
+   squaring chain, and the fixed g/h hit the cached base tables *)
 let commit p ~value ~blind =
-  B.mul_mod (B.pow_mod p.g value p.n) (B.pow_mod p.h blind p.n) p.n
+  B.pow_mod_multi [ (p.g, value); (p.h, blind) ] p.n
 
 let random_blind ~rng p =
   B.random_bits rng (B.num_bits p.n + Interval.challenge_bits + Interval.slack_bits)

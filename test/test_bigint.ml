@@ -258,6 +258,195 @@ let modular_props =
         B.is_zero g || (B.is_zero (B.rem x g) && B.is_zero (B.rem y g)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-exponentiation: cross-checks over every evaluation mode        *)
+(* ------------------------------------------------------------------ *)
+
+(* the reference semantics: a fold of independent pow_mod calls.  Both
+   sides raise Invalid_argument on exactly the same inputs (a negative
+   exponent over a non-invertible base), so compare through Result. *)
+let ref_product pairs m =
+  try
+    Ok
+      (List.fold_left
+         (fun acc (b_, e) -> B.mul_mod acc (B.pow_mod b_ e m) m)
+         (B.erem B.one m) pairs)
+  with Invalid_argument _ -> Error ()
+
+let multi_result pairs m =
+  try Ok (B.pow_mod_multi pairs m) with Invalid_argument _ -> Error ()
+
+let in_mode mode f =
+  let saved = B.multi_mode () in
+  B.set_multi_mode mode;
+  Fun.protect ~finally:(fun () -> B.set_multi_mode saved) f
+
+let all_modes = [ B.Folded; B.Multi; B.Multi_fixed ]
+
+let gen_multi =
+  let open QCheck2.Gen in
+  let pairs =
+    list_size (int_bound 4)
+      (pair (arb_big ~bits:128 ()) (arb_big ~bits:96 ()))
+  in
+  map
+    (fun (pairs, (m, odd)) ->
+      let m = B.add (B.abs m) B.two in
+      (pairs, if odd && B.is_even m then B.succ m else m))
+    (pair pairs (pair (arb_big ~bits:100 ()) bool))
+
+let multi_props =
+  [ qtest "pow_mod_multi agrees with pow_mod fold (all modes)" ~count:120
+      gen_multi
+      (fun (pairs, m) ->
+        let expected = ref_product pairs m in
+        List.for_all
+          (fun mode -> in_mode mode (fun () -> multi_result pairs m) = expected)
+          all_modes);
+    qtest "4-way pow_mod cross-check" ~count:60
+      (QCheck2.Gen.map
+         (fun ((b_, e), m) -> (b_, B.abs e, B.add (B.abs m) B.two))
+         QCheck2.Gen.(pair (pair (arb_big ~bits:256 ()) (arb_big ~bits:64 ()))
+                        (arb_big ~bits:128 ())))
+      (fun (b_, e, m) ->
+        let r = B.pow_mod b_ e m in
+        B.equal r (B.pow_mod_naive b_ e m)
+        && B.equal r (B.pow_mod_div b_ e m)
+        && B.equal r (B.pow_mod_multi [ (b_, e) ] m));
+  ]
+
+(* a fixed odd >64-bit modulus (the Mersenne prime 2^107 - 1), forcing
+   the Montgomery path *)
+let m107 = B.pred (B.shift_left B.one 107)
+
+let test_multi_edge_cases () =
+  let check_all msg pairs m =
+    let expected = ref_product pairs m in
+    List.iter
+      (fun mode ->
+        Alcotest.(check bool) msg true
+          (in_mode mode (fun () -> multi_result pairs m) = expected))
+      all_modes
+  in
+  let e200 = B.pred (B.shift_left B.one 200) in
+  check_all "empty product" [] m107;
+  check_all "e = 0" [ (b "12345", B.zero) ] m107;
+  check_all "b = 0" [ (B.zero, b "7") ] m107;
+  check_all "b = 0, e = 0" [ (B.zero, B.zero) ] m107;
+  check_all "b >= m" [ (B.add m107 (b "5"), e200) ] m107;
+  check_all "even modulus" [ (b "123", e200); (b "77", b "999") ] (b "1000000");
+  check_all "one-limb modulus" [ (b "123", e200); (b "45", b "67") ] (b "1009");
+  check_all "negative exponent"
+    [ (b "123456789", B.neg e200); (b "987654321", e200) ]
+    m107;
+  check_all "non-invertible negative exponent"
+    [ (B.shift_left m107 1, B.neg (b "3")) ]
+    m107;
+  (* repeated same-base calls cross the fixed-base use threshold: the
+     answer must not change once the cached table takes over *)
+  B.reset_caches ();
+  let g = b "123456789" in
+  let expected = B.pow_mod g e200 m107 in
+  for _ = 1 to 8 do
+    Alcotest.(check bool) "warm fixed-base table stays correct" true
+      (B.equal expected (B.pow_mod_multi [ (g, e200) ] m107))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metering and caching regressions                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* every entry point bumps pow_mod_counter exactly once per call, on
+   every path (the negative-exponent path historically delegated to a
+   second metered entry point) *)
+let test_pow_mod_counted_once () =
+  let counted msg expected f =
+    let c0 = B.pow_mod_count () in
+    ignore (f ());
+    Alcotest.(check int) msg expected (B.pow_mod_count () - c0)
+  in
+  let e200 = B.pred (B.shift_left B.one 200) in
+  let even_m = b "1000000" in
+  counted "tiny-exponent path" 1 (fun () -> B.pow_mod (b "7") (b "5") m107);
+  counted "montgomery path" 1 (fun () -> B.pow_mod (b "7") e200 m107);
+  counted "division-ladder path" 1 (fun () -> B.pow_mod (b "7") e200 even_m);
+  counted "negative-exponent path" 1 (fun () ->
+      B.pow_mod (b "7") (B.neg e200) m107);
+  counted "pow_mod_naive" 1 (fun () -> B.pow_mod_naive (b "7") (b "100") m107);
+  counted "pow_mod_div" 1 (fun () -> B.pow_mod_div (b "7") (b "100") m107);
+  List.iter
+    (fun mode ->
+      counted
+        (Printf.sprintf "pow_mod_multi (%s)"
+           (match mode with
+            | B.Folded -> "folded" | B.Multi -> "multi"
+            | B.Multi_fixed -> "multi+fixed"))
+        1
+        (fun () ->
+          in_mode mode (fun () ->
+              B.pow_mod_multi [ (b "3", e200); (b "5", e200) ] m107)))
+    all_modes
+
+(* satellite regression: the negative-exponent path must route the
+   inverted base through the windowed/Montgomery fast path.  The pre-fix
+   code delegated to pow_mod_naive, making its mul count exactly equal
+   to an explicit invert + naive ladder; the fast path is strictly
+   cheaper on an all-ones exponent. *)
+let test_neg_exponent_uses_fast_path () =
+  let e200 = B.pred (B.shift_left B.one 200) in
+  let base = b "123456789" in
+  ignore (B.pow_mod base B.two m107) (* warm the Montgomery context *);
+  let c0 = B.mul_count () in
+  let r_fast = B.pow_mod base (B.neg e200) m107 in
+  let c1 = B.mul_count () in
+  let inv = B.invert base m107 in
+  let r_naive = B.pow_mod_naive inv e200 m107 in
+  let c2 = B.mul_count () in
+  Alcotest.(check bool) "same result" true (B.equal r_fast r_naive);
+  Alcotest.(check bool)
+    (Printf.sprintf "neg-exp muls (%d) strictly below invert+naive (%d)"
+       (c1 - c0) (c2 - c1))
+    true
+    (c1 - c0 < c2 - c1)
+
+(* satellite regression: with a warm context, a Montgomery pow_mod
+   charges exactly ONE Prof.Reduce — the caller-side erem of the
+   oversized base.  The pre-fix code charged two more: a redundant
+   second reduction of the already-reduced base inside Montgomery.pow,
+   and a full Knuth division on domain exit even though mont_mul's
+   conditional subtraction already guarantees the result is < n. *)
+let test_montgomery_single_reduce () =
+  let e200 = B.pred (B.shift_left B.one 200) in
+  let big_b = B.pred (B.shift_left m107 1) (* 2m-1: above m, same limb count *) in
+  ignore (B.pow_mod big_b B.two m107) (* warm the Montgomery context *);
+  Prof.reset ();
+  Prof.enable ();
+  ignore (B.pow_mod big_b e200 m107);
+  Prof.disable ();
+  let t = Prof.snapshot () in
+  Alcotest.(check int) "exactly one Reduce per warmed Montgomery pow_mod" 1
+    (Prof.total t Prof.Reduce);
+  Prof.reset ()
+
+(* satellite regression: the Montgomery-context and fixed-base caches
+   must not survive Obs.reset_all — setup cost used to bleed into
+   whichever bench experiment first touched a modulus *)
+let test_caches_reset_with_obs () =
+  let e200 = B.pred (B.shift_left B.one 200) in
+  ignore (B.pow_mod (b "7") e200 m107);
+  for _ = 1 to 5 do
+    ignore (B.pow_mod_multi [ (b "123456789", e200) ] m107)
+  done;
+  Alcotest.(check bool) "montgomery context cached" true
+    (B.mont_cache_size () > 0);
+  Alcotest.(check bool) "fixed-base entry cached" true
+    (B.fixed_base_cache_size () > 0);
+  Obs.reset_all ();
+  Alcotest.(check int) "montgomery cache cleared by Obs.reset_all" 0
+    (B.mont_cache_size ());
+  Alcotest.(check int) "fixed-base cache cleared by Obs.reset_all" 0
+    (B.fixed_base_cache_size ())
+
 let unit_tests =
   [ Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
     Alcotest.test_case "string known values" `Quick test_string_known;
@@ -272,10 +461,23 @@ let unit_tests =
     Alcotest.test_case "gcd" `Quick test_gcd;
   ]
 
+let multi_unit_tests =
+  [ Alcotest.test_case "multi-exp edge cases" `Quick test_multi_edge_cases;
+    Alcotest.test_case "pow_mod counted once per path" `Quick
+      test_pow_mod_counted_once;
+    Alcotest.test_case "negative exponent uses fast path" `Quick
+      test_neg_exponent_uses_fast_path;
+    Alcotest.test_case "warmed Montgomery pow charges one Reduce" `Quick
+      test_montgomery_single_reduce;
+    Alcotest.test_case "caches reset with Obs.reset_all" `Quick
+      test_caches_reset_with_obs;
+  ]
+
 let () =
   Alcotest.run "bigint"
     [ ("unit", unit_tests);
       ("native-crosscheck", native_props);
       ("algebra", algebra_props);
       ("modular", modular_props);
+      ("multi-exp", multi_unit_tests @ multi_props);
     ]
