@@ -4,8 +4,9 @@
 # a JSON-determinism check), the bench regression gate
 # against the checked-in baseline (plus a perturbation check proving the
 # gate can fail), a bounded protocol-fuzz smoke, a deterministic
-# trace-export smoke, a byte-identical cost-profile export check, and
-# the demo's --metrics report.  Run from the repository root.
+# trace-export smoke, a byte-identical cost-profile export check, a
+# byte-identical churn-dashboard export check, and the demo's --metrics
+# and --prometheus reports.  Run from the repository root.
 set -eu
 
 echo "== build =="
@@ -24,8 +25,11 @@ lint1=$(mktemp /tmp/shs_lint1_XXXXXX.json)
 lint2=$(mktemp /tmp/shs_lint2_XXXXXX.json)
 prof1=$(mktemp -d /tmp/shs_prof1_XXXXXX)
 prof2=$(mktemp -d /tmp/shs_prof2_XXXXXX)
+dash1=$(mktemp -d /tmp/shs_dash1_XXXXXX)
+dash2=$(mktemp -d /tmp/shs_dash2_XXXXXX)
+prom=$(mktemp /tmp/shs_prom_XXXXXX.txt)
 lintbad=$(mktemp -d /tmp/shs_lintbad_XXXXXX)
-trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2"; rm -rf "$lintbad" "$prof1" "$prof2"' EXIT
+trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2" "$prom"; rm -rf "$lintbad" "$prof1" "$prof2" "$dash1" "$dash2"' EXIT
 
 echo "== lint gate: zero non-baselined findings =="
 dune build @lint
@@ -47,14 +51,16 @@ cmp "$lint1" "$lint2"
 grep -q '"schema": "shs-lint/1"' "$lint1"
 grep -q '"actionable": 0' "$lint1"
 
-echo "== bench regression gate: compare vs BENCH_6.json =="
-# the live gate runs the same invocation that generated BENCH_6.json,
+echo "== bench regression gate: compare vs BENCH_7.json =="
+# the live gate runs the same invocation that generated BENCH_7.json,
 # so the experiment sets match and the synthesized rows (per-experiment
 # "bigint.mul total", document-level "elapsed_s") are gated too.  e3
 # carries the multi-exponentiation count ablation and fails hard on its
-# own if the fixed-base arm loses its >= 2x mul cut over folded pow_mod
-dune exec bench/main.exe -- --only e2,e3,e10,e11,e12,e13 --quota 0.05 \
-  --json "$out" --compare BENCH_6.json
+# own if the fixed-base arm loses its >= 2x mul cut over folded pow_mod;
+# e14 fails hard on its own if either tree scheme's churn telemetry
+# comes back empty or a tracked member fails to apply a rekey
+dune exec bench/main.exe -- --only e2,e3,e10,e11,e12,e13,e14 --quota 0.05 \
+  --json "$out" --compare BENCH_7.json
 grep -q '"verify muls (folded)"' "$out"
 grep -q '"verify muls (multi+fixed)"' "$out"
 grep -q '"spk muls (multi)"' "$out"
@@ -75,14 +81,19 @@ grep -q '"gcd.timeouts"' "$out"
 grep -q '"gcd.retransmissions"' "$out"
 grep -q '"p95"' "$out"
 grep -q 'net.drop instants' "$out"
+grep -q '"lkh rekey latency p50"' "$out"
+grep -q '"lkh tree size last"' "$out"
+grep -q '"oft tree size last"' "$out"
+grep -q '"oft rekey latency p95"' "$out"
 
 echo "== bench regression gate: older baselines still hold (file vs file) =="
-# BENCH_3/BENCH_4 cover subsets of the current experiment set, so these
-# compare their stored tracked rows only (the synthesized rows are
-# skipped across unequal sets — lazy fixture construction bleeds into
-# whichever experiment forces it first)
+# BENCH_3/BENCH_4/BENCH_6 cover subsets of the current experiment set,
+# so these compare their stored tracked rows only (the synthesized rows
+# are skipped across unequal sets — lazy fixture construction bleeds
+# into whichever experiment forces it first)
 dune exec bench/main.exe -- --compare BENCH_3.json --against "$out"
 dune exec bench/main.exe -- --compare BENCH_4.json --against "$out"
+dune exec bench/main.exe -- --compare BENCH_6.json --against "$out"
 
 echo "== bench regression gate: perturbed baseline must fail =="
 sed 's/"value": 745,/"value": 900,/' BENCH_3.json > "$perturbed"
@@ -100,6 +111,18 @@ echo "== bench regression gate: pre-multi-exp baseline must fail =="
 # per-frame mul counts are ~3x today's, and the gate must say so
 if dune exec bench/main.exe -- --compare BENCH_5.json --against "$out"; then
   echo "ci: compare gate failed to flag the multi-exp mul-count shift" >&2
+  exit 1
+fi
+
+echo "== bench regression gate: perturbed churn telemetry must fail =="
+# flip the e14 tracked-delivery counts; the gate must flag the drift
+sed 's/"value": 2304,/"value": 999,/' BENCH_7.json > "$perturbed"
+if cmp -s BENCH_7.json "$perturbed"; then
+  echo "ci: perturbation did not change the churn baseline" >&2
+  exit 1
+fi
+if dune exec bench/main.exe -- --compare BENCH_7.json --against "$perturbed"; then
+  echo "ci: compare gate failed to flag perturbed churn telemetry" >&2
   exit 1
 fi
 
@@ -141,5 +164,25 @@ echo "$report" | grep -q 'p50'
 echo "$report" | grep -q 'instant events'
 echo "$report" | grep -q 'cost attribution'
 echo "$report" | grep -q 'attributed:'
+
+echo "== obs smoke: shs_demo --prometheus exposition =="
+dune exec bin/shs_demo.exe -- handshake -m 2 --prometheus -o "$prom" \
+  --net-seed 7 > /dev/null
+grep -q '^# TYPE shs_gcd_sessions counter' "$prom"
+grep -q ' gauge$' "$prom"
+grep -q '^shs_' "$prom"
+
+echo "== dashboard smoke: byte-identical churn telemetry exports =="
+dune exec bin/shs_demo.exe -- dashboard --members 512 --events 40 \
+  --seed 7 -o "$dash1/d" > /dev/null
+dune exec bin/shs_demo.exe -- dashboard --members 512 --events 40 \
+  --seed 7 -o "$dash2/d" > /dev/null
+cmp "$dash1/d.csv" "$dash2/d.csv"
+cmp "$dash1/d.html" "$dash2/d.html"
+grep -q '^series,unit,ts,value' "$dash1/d.csv"
+grep -q '^rekey latency p95,' "$dash1/d.csv"
+grep -q '^tree size,' "$dash1/d.csv"
+grep -q '<svg' "$dash1/d.html"
+grep -q 'rekey latency p50' "$dash1/d.html"
 
 echo "ci: all checks passed"

@@ -60,7 +60,9 @@ let build ~seed ~n =
 (* ------------------------------------------------------------------ *)
 
 let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
-    drop duplicate jitter crash net_seed flip forge replay attack_seed =
+    prometheus prom_out drop duplicate jitter crash net_seed flip forge replay
+    attack_seed =
+  let metrics = metrics || prometheus in
   if metrics then begin
     Obs.set_sink Obs.Memory;
     (* the event log feeds the retransmission/timeout instant counts in
@@ -182,6 +184,16 @@ let run_handshake scheme m outsiders clone revoke_last seed verbose metrics
   if metrics then begin
     print_string (Obs.report ());
     print_string (Prof.report (Prof.snapshot ()))
+  end;
+  if prometheus then begin
+    let text = Obs.to_prometheus () in
+    match prom_out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "Prometheus exposition written to %s\n" path
   end;
   0
 
@@ -598,6 +610,57 @@ let run_session_cmd dir uids trace metrics =
   end
 
 (* ------------------------------------------------------------------ *)
+(* dashboard                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_dashboard scheme capacity tracked events seed cadence out =
+  let (module C : Cgkd_intf.S) =
+    match scheme with
+    | "lkh" -> (module Lkh)
+    | "oft" -> (module Oft)
+    | "sd" -> (module Sd)
+    | "lsd" -> (module Lsd)
+    | s -> failwith (Printf.sprintf "unknown scheme %S (try lkh, oft, sd, lsd)" s)
+  in
+  let initial = max 1 (capacity / 2) in
+  let cfg =
+    { Churn.default with
+      capacity;
+      initial;
+      tracked = min tracked initial;
+      events;
+      seed;
+      cadence;
+    }
+  in
+  Printf.printf
+    "Churning a %s group: capacity %d, %d initial members, %d tracked, \
+     %d events, seed %d...\n%!"
+    C.name capacity initial cfg.Churn.tracked events seed;
+  let s = Churn.run (module C) cfg in
+  Printf.printf
+    "  joins %d, leaves %d, rekeys %d; %d tracked deliveries (%d failed)\n"
+    s.Churn.joins s.Churn.leaves s.Churn.rekeys s.Churn.deliveries
+    s.Churn.failures;
+  Printf.printf "  final members %d, epoch %d, sim duration %.2f\n"
+    s.Churn.final_members s.Churn.final_epoch s.Churn.duration;
+  Printf.printf "  rekey latency p50 %.4f, p95 %.4f (sim-s)\n"
+    s.Churn.latency_p50 s.Churn.latency_p95;
+  let title =
+    Printf.sprintf "shs churn dashboard: %s, capacity %d, seed %d" C.name
+      capacity seed
+  in
+  let write path text =
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  write (out ^ ".csv") (Obs_series.to_csv s.Churn.recorder);
+  write (out ^ ".html") (Obs_series.to_html ~title s.Churn.recorder);
+  0
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -669,21 +732,41 @@ let handshake_term =
     Arg.(value & opt int 99
          & info [ "attack-seed" ] ~doc:"Seed for the adversary plan's DRBG.")
   in
-  let run debug scheme m outsiders clone revoke seed verbose metrics drop
-      duplicate jitter crash net_seed flip forge replay attack_seed =
+  let prometheus_t =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Also emit the session's metrics in Prometheus text exposition \
+             format (implies $(b,--metrics) collection).")
+  in
+  let prom_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the Prometheus exposition to $(docv) instead of stdout \
+             (only meaningful with $(b,--prometheus)).")
+  in
+  let run debug scheme m outsiders clone revoke seed verbose metrics prometheus
+      prom_out drop duplicate jitter crash net_seed flip forge replay
+      attack_seed =
     setup_logging debug;
     if scheme <> 1 && scheme <> 2 then (prerr_endline "scheme must be 1 or 2"; 1)
     else if m < 2 then (prerr_endline "need at least 2 members"; 1)
     else
       try
-        run_handshake scheme m outsiders clone revoke seed verbose metrics drop
-          duplicate jitter crash net_seed flip forge replay attack_seed
+        run_handshake scheme m outsiders clone revoke seed verbose metrics
+          prometheus prom_out drop duplicate jitter crash net_seed flip forge
+          replay attack_seed
       with Invalid_argument msg -> prerr_endline msg; 1
   in
   Term.(
     const run $ verbose_flag $ scheme_t $ m_t $ outsiders_t $ clone_t $ revoke_t
-    $ seed_t $ verbose_t $ metrics_flag $ drop_t $ duplicate_t $ jitter_t
-    $ crash_t $ net_seed_t $ flip_t $ forge_t $ replay_t $ attack_seed_t)
+    $ seed_t $ verbose_t $ metrics_flag $ prometheus_t $ prom_out_t $ drop_t
+    $ duplicate_t $ jitter_t $ crash_t $ net_seed_t $ flip_t $ forge_t
+    $ replay_t $ attack_seed_t)
 
 let handshake_cmd =
   Cmd.v
@@ -880,6 +963,61 @@ let run_cmd =
        ~doc:"Run a secret handshake between stored members (default: all active).")
     Term.(const run $ verbose_flag $ dir_t $ trace_t $ uids_t $ metrics_flag)
 
+let dashboard_cmd =
+  let scheme_t =
+    Arg.(
+      value
+      & opt (enum [ ("lkh", "lkh"); ("oft", "oft"); ("sd", "sd"); ("lsd", "lsd") ]) "lkh"
+      & info [ "scheme" ]
+          ~doc:"CGKD scheme to churn: $(b,lkh), $(b,oft), $(b,sd) or $(b,lsd).")
+  in
+  let capacity_t =
+    Arg.(value & opt int 1024
+         & info [ "members"; "capacity" ]
+             ~doc:"Tree capacity (power of two); half is populated before \
+                   churn begins.")
+  in
+  let tracked_t =
+    Arg.(value & opt int 8
+         & info [ "tracked" ]
+             ~doc:"Members that apply every rekey broadcast (the latency \
+                   sample population).")
+  in
+  let events_t =
+    Arg.(value & opt int 64
+         & info [ "events" ] ~doc:"Churn membership events to schedule.")
+  in
+  let cadence_t =
+    Arg.(value & opt float 4.0
+         & info [ "cadence" ] ~doc:"Telemetry scrape interval in sim-seconds.")
+  in
+  let out_t =
+    Arg.(value & opt string "shs_dashboard"
+         & info [ "o"; "out" ] ~docv:"PREFIX"
+             ~doc:"Output prefix: writes $(docv).csv and $(docv).html.")
+  in
+  let run debug scheme capacity tracked events seed cadence out =
+    setup_logging debug;
+    if capacity < 2 then (prerr_endline "need capacity of at least 2"; 1)
+    else if events < 1 then (prerr_endline "need at least one churn event"; 1)
+    else if tracked < 1 then (prerr_endline "need at least one tracked member"; 1)
+    else if not (cadence > 0.0) then (prerr_endline "cadence must be positive"; 1)
+    else
+      try run_dashboard scheme capacity tracked events seed cadence out with
+      | Invalid_argument msg | Failure msg -> prerr_endline msg; 1
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:
+         "Churn a CGKD group on the deterministic simulator, scraping rekey \
+          rate, tree size, queue depth and rekey-latency percentiles on a \
+          fixed sim-time cadence, and export the series as CSV plus a \
+          self-contained HTML dashboard.  Deterministic: same seeds, same \
+          bytes.")
+    Term.(
+      const run $ verbose_flag $ scheme_t $ capacity_t $ tracked_t $ events_t
+      $ seed_t $ cadence_t $ out_t)
+
 let main =
   (* [handshake] doubles as the default command, so
      [shs_demo -- --metrics] works without naming a subcommand *)
@@ -887,6 +1025,7 @@ let main =
     (Cmd.info "shs_demo" ~version:"1.0.0"
        ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
     [ handshake_cmd; lifecycle_cmd; trace_cmd; profile_cmd; params_cmd;
-      fuzz_cmd; init_cmd; add_cmd; revoke_cmd; members_cmd; run_cmd ]
+      fuzz_cmd; dashboard_cmd; init_cmd; add_cmd; revoke_cmd; members_cmd;
+      run_cmd ]
 
 let () = exit (Cmd.eval' main)

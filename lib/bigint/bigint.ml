@@ -629,6 +629,13 @@ let windowed_div_pow b e m nbits =
 let fingerprint m = (Array.length m.mag lsl limb_bits) lxor m.mag.(0)
 
 let mont_cache : (int, t * Montgomery.ctx) Hashtbl.t = Hashtbl.create 8
+
+(* occupancy gauges for the telemetry layer: set wherever either cache
+   changes size, so sampling them is a field read *)
+let mont_cache_gauge =
+  Obs.gauge ~help:"Montgomery context cache entries" "bigint.mont_cache"
+let fb_cache_gauge =
+  Obs.gauge ~help:"fixed-base table cache entries" "bigint.fb_cache"
 let mont_cache_limit = 8
 
 let mont_ctx m =
@@ -640,6 +647,7 @@ let mont_ctx m =
     if Hashtbl.length mont_cache >= mont_cache_limit then
       Hashtbl.reset mont_cache;
     Hashtbl.replace mont_cache key (m, ctx);
+    Obs.set_gauge mont_cache_gauge (Hashtbl.length mont_cache);
     ctx
 
 let mont_cache_size () = Hashtbl.length mont_cache
@@ -747,6 +755,7 @@ let fb_entry b m =
         fb_windows = [||]; fb_next_pow = [||] }
     in
     Hashtbl.replace fb_cache key e;
+    Obs.set_gauge fb_cache_gauge (Hashtbl.length fb_cache);
     e
 
 let fixed_base_cache_size () = Hashtbl.length fb_cache
@@ -910,7 +919,9 @@ let pow_mod_multi pairs m =
 
 let reset_caches () =
   Hashtbl.reset mont_cache;
-  Hashtbl.reset fb_cache
+  Hashtbl.reset fb_cache;
+  Obs.set_gauge mont_cache_gauge 0;
+  Obs.set_gauge fb_cache_gauge 0
 
 (* join the bench harness's fixture-isolation point: [Obs.reset_all]
    between experiments also clears this module's process-global caches *)

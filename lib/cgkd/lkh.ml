@@ -4,6 +4,16 @@ let join_counter = Obs.counter ~help:"CGKD member joins" "cgkd.join"
 let leave_counter = Obs.counter ~help:"CGKD member leaves" "cgkd.leave"
 let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.rekey"
 
+(* per-scheme level gauges (the shared counters above classify by
+   operation): sampled by the telemetry recorder during churn runs.
+   Process-global like every gauge — they describe the controller that
+   last mutated, which is the live one in any single-group run *)
+let size_gauge =
+  Obs.gauge ~help:"live members in the LKH key tree" "cgkd.lkh.tree_size"
+let depth_gauge =
+  Obs.gauge ~help:"LKH key-tree leaf depth (log2 capacity)"
+    "cgkd.lkh.tree_depth"
+
 let key_len = 32
 
 (* Nodes in heap order: root = 1, children of v are 2v and 2v+1; leaves
@@ -32,6 +42,9 @@ let setup ~rng ~capacity =
   if not (is_pow2 capacity && capacity >= 2) then
     invalid_arg "Lkh.setup: capacity must be a power of two >= 2";
   let keys = Array.init (2 * capacity) (fun _ -> rng key_len) in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  Obs.set_gauge depth_gauge (log2 capacity);
+  Obs.set_gauge size_gauge 0;
   { rng;
     cap = capacity;
     keys;
@@ -109,6 +122,7 @@ let join gc ~uid =
       gc.keys.(leaf) <- gc.rng key_len;
       let entries = refresh_path gc ~leaf ~skip_leaf:true in
       gc.c_epoch <- gc.c_epoch + 1;
+      Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
       let path_keys = Hashtbl.create 16 in
       List.iter (fun v -> Hashtbl.replace path_keys v gc.keys.(v)) (path_to_root leaf);
       let m = { uid; leaf; cap_m = gc.cap; path_keys; m_epoch = gc.c_epoch } in
@@ -125,6 +139,7 @@ let leave gc ~uid =
     gc.keys.(leaf) <- gc.rng key_len;  (* burn the departed leaf key *)
     let entries = refresh_path gc ~leaf ~skip_leaf:true in
     gc.c_epoch <- gc.c_epoch + 1;
+    Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
     Some (gc, encode_rekey ~epoch:gc.c_epoch ~root_key:gc.keys.(1) entries)
 
 let malformed () =

@@ -4,6 +4,13 @@ let join_counter = Obs.counter ~help:"CGKD member joins" "cgkd.join"
 let leave_counter = Obs.counter ~help:"CGKD member leaves" "cgkd.leave"
 let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.rekey"
 
+(* per-scheme level gauges, sampled by the telemetry recorder *)
+let size_gauge =
+  Obs.gauge ~help:"live members in the OFT key tree" "cgkd.oft.tree_size"
+let depth_gauge =
+  Obs.gauge ~help:"OFT key-tree leaf depth (log2 capacity)"
+    "cgkd.oft.tree_depth"
+
 let key_len = 32
 
 let blind k = Hmac.mac ~key:k "oft-blind"
@@ -48,6 +55,9 @@ let refresh_cache gc leaf =
 let setup ~rng ~capacity =
   if not (is_pow2 capacity && capacity >= 2) then
     invalid_arg "Oft.setup: capacity must be a power of two >= 2";
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  Obs.set_gauge depth_gauge (log2 capacity);
+  Obs.set_gauge size_gauge 0;
   let gc =
     { rng;
       cap = capacity;
@@ -146,6 +156,7 @@ let join gc ~uid =
       Hashtbl.add gc.leaf_of uid leaf;
       gc.leaf_keys.(leaf) <- gc.rng key_len;
       refresh_cache gc leaf;
+      Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
       let msg = broadcast_path gc leaf in
       let m = member_state gc ~uid leaf in
       Some (gc, m, msg)
@@ -161,6 +172,7 @@ let leave gc ~uid =
     gc.burnt <- leaf :: gc.burnt;
     gc.leaf_keys.(leaf) <- gc.rng key_len;
     refresh_cache gc leaf;
+    Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
     Some (gc, broadcast_path gc leaf)
 
 let malformed () =

@@ -28,6 +28,15 @@ let rekey_counter = Obs.counter ~help:"CGKD rekey messages processed" "cgkd.reke
 module Make (P : POLICY) = struct
   let name = P.name
 
+  (* per-scheme level gauges ("cgkd.sd.tree_size" / "cgkd.lsd...."),
+     sampled by the telemetry recorder *)
+  let size_gauge =
+    Obs.gauge ~help:("live members in the " ^ P.name ^ " virtual tree")
+      ("cgkd." ^ P.name ^ ".tree_size")
+  let depth_gauge =
+    Obs.gauge ~help:(P.name ^ " virtual-tree leaf depth (log2 capacity)")
+      ("cgkd." ^ P.name ^ ".tree_depth")
+
   let key_len = 32
 
   (* Heap numbering: root = 1; children of v are 2v, 2v+1; leaves are
@@ -89,6 +98,8 @@ module Make (P : POLICY) = struct
     let node_labels = Array.init (2 * capacity) (fun _ -> rng key_len) in
     let revoked = Array.make (2 * capacity) false in
     revoked.(capacity) <- true;
+    Obs.set_gauge depth_gauge height;
+    Obs.set_gauge size_gauge 0;
     { rng;
       cap = capacity;
       height;
@@ -224,6 +235,7 @@ module Make (P : POLICY) = struct
         gc.free <- rest;
         gc.revoked.(leaf) <- false;
         Hashtbl.add gc.leaf_of uid leaf;
+        Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
         let msg = broadcast gc in
         let m =
           { uid; leaf; height_m = gc.height; labels = member_labels gc leaf;
@@ -239,6 +251,7 @@ module Make (P : POLICY) = struct
     | Some leaf ->
       Hashtbl.remove gc.leaf_of uid;
       gc.revoked.(leaf) <- true;
+      Obs.set_gauge size_gauge (Hashtbl.length gc.leaf_of);
       Some (gc, broadcast gc)
 
   (* ---------------- member-side rekey --------------------------------- *)

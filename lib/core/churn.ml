@@ -1,0 +1,218 @@
+(* Seeded CGKD churn over sim time: the long-run workload behind bench
+   e14 and the `shs_demo dashboard` subcommand.
+
+   One controller holds the full tree; a small set of *tracked* members
+   applies every rekey broadcast, so member-side cost and rekey latency
+   are measured without simulating the entire membership (at 2^14
+   members that would be ~10^8 secretbox opens for no additional
+   signal).  Tracked members join last during the initial population, so
+   they are current when churn begins and only replay each other's join
+   broadcasts.
+
+   Everything is driven by one DRBG stream: event gaps, join/leave
+   choice, leaver selection, delivery jitter.  Broadcast deliveries to a
+   tracked member are forced monotone (a later rekey never overtakes an
+   earlier one on the same member) because both tree schemes refuse a
+   rekey against stale state — reordering would permanently desync the
+   member, which is a model artifact, not a protocol property. *)
+
+let rekeys_counter =
+  Obs.counter ~help:"churn membership events (join or leave) that rekeyed"
+    "churn.rekeys"
+let deliveries_counter =
+  Obs.counter ~help:"rekey broadcasts applied by tracked members"
+    "churn.deliveries"
+let failures_counter =
+  Obs.counter ~help:"rekey broadcasts a tracked member failed to apply"
+    "churn.failures"
+
+type config = {
+  capacity : int;  (** tree capacity; power of two *)
+  initial : int;  (** members joined before churn begins *)
+  tracked : int;  (** members that apply every rekey broadcast *)
+  events : int;  (** churn membership events *)
+  mean_gap : float;  (** mean sim-seconds between membership events *)
+  base_latency : float;  (** fixed broadcast delivery latency *)
+  jitter : float;  (** extra uniform delivery latency bound *)
+  cadence : float;  (** telemetry scrape interval *)
+  window : int;  (** sliding latency-window capacity *)
+  seed : int;
+}
+
+let default =
+  { capacity = 1 lsl 14;
+    initial = 1 lsl 13;
+    tracked = 12;
+    events = 192;
+    mean_gap = 1.0;
+    base_latency = 0.05;
+    jitter = 0.2;
+    cadence = 4.0;
+    window = 64;
+    seed = 42;
+  }
+
+type summary = {
+  joins : int;
+  leaves : int;
+  rekeys : int;  (** broadcasts emitted during churn *)
+  deliveries : int;  (** broadcasts applied by tracked members *)
+  failures : int;  (** applications that returned [None] *)
+  final_members : int;
+  final_epoch : int;
+  duration : float;  (** sim time at drain *)
+  latency_p50 : float;  (** over every delivery, not just the window *)
+  latency_p95 : float;
+  recorder : Obs_series.t;
+}
+
+let u01 rng =
+  let b = rng 4 in
+  let byte i = Char.code b.[i] in
+  float_of_int
+    ((byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3)
+  /. 4294967296.0
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let run (module C : Cgkd_intf.S) cfg =
+  if cfg.initial > cfg.capacity then
+    invalid_arg "Churn.run: initial exceeds capacity";
+  if cfg.tracked > cfg.initial then
+    invalid_arg "Churn.run: tracked exceeds initial";
+  if not (cfg.mean_gap > 0.0) then
+    invalid_arg "Churn.run: mean_gap must be positive";
+  let rng = Drbg.bytes_fn (Drbg.of_int_seed cfg.seed) in
+  let gc = ref (C.setup ~rng ~capacity:cfg.capacity) in
+
+  (* -------- initial population; tracked members join last ---------- *)
+  let tracked = ref [] in  (* (member ref, next-free delivery time) *)
+  let others = Array.make (max 1 cfg.capacity) "" in
+  let n_others = ref 0 in
+  for i = 0 to cfg.initial - 1 do
+    let uid = Printf.sprintf "u%d" i in
+    match C.join !gc ~uid with
+    | None -> invalid_arg "Churn.run: join failed during population"
+    | Some (gc', m, msg) ->
+      gc := gc';
+      (* already-present tracked members replay the newcomer's rekey *)
+      List.iter
+        (fun (mr, _) ->
+          match C.rekey !mr msg with
+          | Some m' -> mr := m'
+          | None -> Obs.incr failures_counter)
+        !tracked;
+      if i >= cfg.initial - cfg.tracked then
+        tracked := !tracked @ [ (ref m, ref 0.0) ]
+      else begin
+        others.(!n_others) <- uid;
+        Stdlib.incr n_others
+      end
+  done;
+
+  (* -------- telemetry: recorder armed after setup, so the rate
+     baselines exclude the population phase ------------------------- *)
+  let recorder = Obs_series.create ~cadence:cfg.cadence in
+  let lat_win = Obs_series.window ~capacity:(max 1 cfg.window) in
+  Obs_series.counter_rate recorder ~unit_:"rekeys/interval"
+    ~name:"rekey rate" rekeys_counter;
+  Obs_series.counter_rate recorder ~unit_:"applies/interval"
+    ~name:"rekeys applied rate" (Obs.counter "cgkd.rekey");
+  Obs_series.gauge_level recorder ~unit_:"members" ~name:"tree size"
+    (Obs.gauge ("cgkd." ^ C.name ^ ".tree_size"));
+  Obs_series.gauge_level recorder ~unit_:"events" ~name:"sim queue depth"
+    (Obs.gauge "sim.queue_depth");
+  Obs_series.quantile_series recorder ~unit_:"sim-s"
+    ~name:"rekey latency p50" ~q:0.5 lat_win;
+  Obs_series.quantile_series recorder ~unit_:"sim-s"
+    ~name:"rekey latency p95" ~q:0.95 lat_win;
+
+  (* -------- churn ---------------------------------------------------- *)
+  let sim = Sim.create () in
+  let joins = ref 0 and leaves = ref 0 and rekeys = ref 0 in
+  let deliveries = ref 0 and failures = ref 0 in
+  let latencies = ref [] in
+  let next_uid = ref 0 in
+
+  let broadcast msg =
+    Stdlib.incr rekeys;
+    Obs.incr rekeys_counter;
+    let emitted = Sim.now sim in
+    List.iter
+      (fun (mr, next_free) ->
+        let arrival = emitted +. cfg.base_latency +. (cfg.jitter *. u01 rng) in
+        let arrival = Float.max arrival !next_free in
+        next_free := arrival;
+        Sim.schedule sim ~delay:(arrival -. emitted) (fun () ->
+            match C.rekey !mr msg with
+            | Some m' ->
+              mr := m';
+              Stdlib.incr deliveries;
+              Obs.incr deliveries_counter;
+              let lat = Sim.now sim -. emitted in
+              Obs_series.observe lat_win lat;
+              latencies := lat :: !latencies
+            | None ->
+              Stdlib.incr failures;
+              Obs.incr failures_counter))
+      !tracked
+  in
+  let try_leave () =
+    if !n_others > 0 then begin
+      let idx = int_of_float (u01 rng *. float_of_int !n_others) in
+      let idx = min idx (!n_others - 1) in
+      let uid = others.(idx) in
+      match C.leave !gc ~uid with
+      | None -> ()
+      | Some (gc', msg) ->
+        gc := gc';
+        others.(idx) <- others.(!n_others - 1);
+        Stdlib.decr n_others;
+        Stdlib.incr leaves;
+        broadcast msg
+    end
+  in
+  let try_join () =
+    let uid = Printf.sprintf "c%d" !next_uid in
+    Stdlib.incr next_uid;
+    match C.join !gc ~uid with
+    | None -> try_leave ()  (* full (or slot burnt): churn the other way *)
+    | Some (gc', _m, msg) ->
+      gc := gc';
+      others.(!n_others) <- uid;
+      Stdlib.incr n_others;
+      Stdlib.incr joins;
+      broadcast msg
+  in
+  let t = ref 0.0 in
+  for _ = 1 to cfg.events do
+    t := !t +. (cfg.mean_gap *. (0.5 +. u01 rng));
+    Sim.schedule sim ~delay:!t (fun () ->
+        if !n_others = 0 then try_join ()
+        else if u01 rng < 0.5 then try_join ()
+        else try_leave ())
+  done;
+  Sim.every sim ~interval:cfg.cadence (fun ~now ->
+      Obs_series.sample recorder ~now);
+  Sim.run sim;
+
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  { joins = !joins;
+    leaves = !leaves;
+    rekeys = !rekeys;
+    deliveries = !deliveries;
+    failures = !failures;
+    final_members = List.length (C.members !gc);
+    final_epoch = C.controller_epoch !gc;
+    duration = Sim.now sim;
+    latency_p50 = percentile sorted 0.5;
+    latency_p95 = percentile sorted 0.95;
+    recorder;
+  }

@@ -1,0 +1,52 @@
+(** Seeded CGKD churn over sim time.
+
+    Drives a controller through an initial population and then a stream
+    of join/leave membership events on the deterministic scheduler,
+    while a small set of {e tracked} members applies every rekey
+    broadcast under seeded delivery latency.  An {!Obs_series} recorder
+    scrapes rekey rate, member-side apply rate, tree size, scheduler
+    queue depth and sliding-window rekey-latency percentiles on a fixed
+    sim-time cadence — so the whole trajectory, and the CSV/HTML
+    dashboards exported from it, is a pure function of [config.seed].
+
+    This is the workload behind bench e14 and [shs_demo dashboard], and
+    the measurement substrate for ROADMAP item 2 (million-member groups,
+    concurrent sessions). *)
+
+type config = {
+  capacity : int;  (** tree capacity; power of two (scheme-enforced) *)
+  initial : int;  (** members joined before churn begins *)
+  tracked : int;  (** members that apply every rekey broadcast *)
+  events : int;  (** churn membership events to schedule *)
+  mean_gap : float;  (** mean sim-seconds between membership events;
+                         gaps are uniform in [0.5, 1.5] × mean *)
+  base_latency : float;  (** fixed broadcast delivery latency (sim-s) *)
+  jitter : float;  (** extra uniform delivery latency bound (sim-s) *)
+  cadence : float;  (** telemetry scrape interval (sim-s) *)
+  window : int;  (** sliding latency-window capacity *)
+  seed : int;
+}
+
+val default : config
+(** 2^14 capacity, 2^13 initial members, 12 tracked, 192 events — the
+    e14 shape. *)
+
+type summary = {
+  joins : int;
+  leaves : int;
+  rekeys : int;  (** broadcasts emitted during churn *)
+  deliveries : int;  (** broadcasts applied by tracked members *)
+  failures : int;  (** applications that returned [None]; 0 on a
+                       healthy run — deliveries are per-member FIFO *)
+  final_members : int;
+  final_epoch : int;
+  duration : float;  (** sim time when the event queue drained *)
+  latency_p50 : float;  (** exact, over every delivery of the run *)
+  latency_p95 : float;
+  recorder : Obs_series.t;  (** the scraped series, ready to export *)
+}
+
+val run : (module Cgkd_intf.S) -> config -> summary
+(** Raises [Invalid_argument] on inconsistent bounds
+    ([initial > capacity], [tracked > initial], non-positive
+    [mean_gap]) and propagates the scheme's own capacity validation. *)

@@ -131,12 +131,14 @@ let run ~m ~sessions ~attack_seed ?(drop = 0.0) ?(fault_seed = 0)
           ~watchdog:Gcd_types.byzantine_watchdog
       with
       | r -> Ok r
-      | exception e -> Error (Printexc.to_string e)
+      | exception e -> Error e
     in
     mutated := !mutated + Adversary.mutated adv;
     let terminations, error =
       match result with
-      | Error msg ->
+      | Error e ->
+        (* render the exception only here, at the report boundary *)
+        let msg = Printexc.to_string e in
         exceptions := (i, msg) :: !exceptions;
         ([], Some msg)
       | Ok r ->

@@ -40,6 +40,18 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
   (* metrics: span names are shared across instantiations so the trace
      tree aggregates by protocol phase, not by scheme *)
   let sessions_counter = Obs.counter ~help:"handshake sessions run" "gcd.sessions"
+
+  (* live levels for the telemetry recorder: how many sessions are in
+     flight, and where their parties sit in the protocol.  A single
+     [run_session] drives one session at a time today; the concurrent
+     engine these gauges anticipate will hold many *)
+  let live_sessions_gauge =
+    Obs.gauge ~help:"handshake sessions currently running" "gcd.sessions.live"
+  let phase_gauges =
+    Array.init 4 (fun i ->
+        Obs.gauge
+          ~help:(Printf.sprintf "live handshake parties currently in phase %d" i)
+          (Printf.sprintf "gcd.live.phase%d" i))
   let retransmissions_counter =
     Obs.counter ~help:"handshake messages retransmitted by the watchdog"
       "gcd.retransmissions"
@@ -231,6 +243,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     mutable sent_p3 : bool;
     p3 : (string * string) option array;
     mutable outcome : Gcd_types.outcome option;
+    mutable obs_phase : int;  (* phase currently registered on the gauges *)
   }
 
   let make_party ~role ~self ~n ~fmt ~hooks ~allow_partial ~two_phase ~rng =
@@ -249,7 +262,27 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
       sent_p3 = false;
       p3 = Array.make n None;
       outcome = None;
+      obs_phase = 0;
     }
+
+  (* Watchdog phase marker: strictly increases as the party progresses,
+     so a stalled marker means the current phase lost a message. *)
+  let phase_of p =
+    if p.outcome <> None then 3
+    else if p.sent_p3 then 2
+    else if p.kprime <> None then 1
+    else 0
+
+  (* move the party between the live-phase gauges after a transition;
+     [run_session] registers parties at phase 0 and deregisters whatever
+     phase they ended in at teardown *)
+  let track_phase p =
+    let ph = phase_of p in
+    if ph <> p.obs_phase then begin
+      Obs.gauge_sub phase_gauges.(p.obs_phase) 1;
+      Obs.gauge_add phase_gauges.(ph) 1;
+      p.obs_phase <- ph
+    end
 
   let xor_bytes a b =
     assert (String.length a = String.length b);
@@ -286,6 +319,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     Log.debug (fun f -> f "party %d: phase I complete, emitting tag" p.self);
     let mac = mac_phase2 ~kprime ~sid p.self in
     p.macs.(p.self) <- Some mac;
+    track_phase p;
     [ (None, Wire.encode ~tag:"hs2" [ mac ]) ]
 
   let mac_valid p j =
@@ -303,6 +337,7 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     | Some sid, Some kprime ->
       Log.debug (fun f -> f "party %d: entering phase III" p.self);
       p.sent_p3 <- true;
+      track_phase p;
       let all_valid = List.for_all (mac_valid p) (List.init p.n Fun.id) in
       let genuine = is_genuine p in
       let theta, delta =
@@ -392,7 +427,8 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
           (* positions whose Phase III message never arrived (timeout /
              crash) have no bytes to trace *)
           transcript = Array.map (Option.value ~default:("", "")) p.p3;
-        }
+        };
+    track_phase p
 
   (* Phase II-only termination: the tag matrix is the whole outcome. *)
   let finalize_two_phase p =
@@ -424,7 +460,8 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
           termination = classify ~accepted ~partners;
           sid;
           transcript = [||];  (* nothing traceable: that is the point *)
-        }
+        };
+    track_phase p
 
   let all_present arr = Array.for_all Option.is_some arr
 
@@ -528,14 +565,6 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
 
   let outcome p = p.outcome
 
-  (* Watchdog phase marker: strictly increases as the party progresses,
-     so a stalled marker means the current phase lost a message. *)
-  let phase_of p =
-    if p.outcome <> None then 3
-    else if p.sent_p3 then 2
-    else if p.kprime <> None then 1
-    else 0
-
   (* A phase timed out: force the party one phase forward, continuing
      with random values where the protocol data never arrived (§7's
      indistinguishable abort).  Progresses by at least one phase per
@@ -598,6 +627,18 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
             ~two_phase ~rng:pt.p_rng)
         participants
     in
+    (* register on the live gauges; the finally arm deregisters whatever
+       phase each party ended in, so a raising session (the fuzzer
+       injects raising adversaries) cannot leak gauge population *)
+    Obs.gauge_add live_sessions_gauge 1;
+    Array.iter (fun p -> Obs.gauge_add phase_gauges.(p.obs_phase) 1) parties;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.gauge_sub live_sessions_gauge 1;
+        Array.iter
+          (fun p -> Obs.gauge_sub phase_gauges.(p.obs_phase) 1)
+          parties)
+    @@ fun () ->
     (* per-party send history, for watchdog retransmission: the protocol
        state machines ignore exact duplicates, so replaying everything a
        party ever said is safe and repairs any earlier loss *)

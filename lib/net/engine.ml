@@ -6,6 +6,10 @@ let deliveries_counter = Obs.counter ~help:"messages delivered (all engines)" "n
 let dropped_counter = Obs.counter ~help:"messages dropped by fault injection" "net.dropped"
 let duplicated_counter = Obs.counter ~help:"messages duplicated by fault injection" "net.duplicated"
 
+let in_flight_gauge =
+  Obs.gauge ~help:"message copies scheduled but not yet delivered or dropped"
+    "net.in_flight"
+
 type decision = Deliver | Drop | Replace of string
 
 type adversary = src:int -> dst:int -> payload:string -> decision
@@ -103,7 +107,11 @@ let deliver t ~src ~dst payload =
         end
         else payload
       in
+      Obs.gauge_add in_flight_gauge 1;
       Sim.schedule t.sim ~delay:(lat +. extra) (fun () ->
+          (* decrement up front: every arrival path (delivery, crashed
+             receiver, missing receiver) takes the copy off the wire *)
+          Obs.gauge_sub in_flight_gauge 1;
           if Obs.events_enabled () then
             Obs.set_track ("party-" ^ string_of_int dst);
           match t.faults with

@@ -1,5 +1,12 @@
 (* Binary min-heap keyed by (time, sequence number). *)
 
+(* one process-global gauge: with several schedulers alive the last
+   writer wins, which is fine — sessions run one scheduler at a time,
+   and the gauge is a live level, not an accumulator *)
+let queue_gauge =
+  Obs.gauge ~help:"events queued in the discrete-event scheduler"
+    "sim.queue_depth"
+
 type event = { time : float; seq : int; action : unit -> unit }
 
 type t = {
@@ -33,6 +40,7 @@ let push t ev =
   t.heap.(t.size) <- ev;
   let i = ref t.size in
   t.size <- t.size + 1;
+  Obs.set_gauge queue_gauge t.size;
   while !i > 0 && less t.heap.(!i) t.heap.((!i - 1) / 2) do
     swap t.heap !i ((!i - 1) / 2);
     i := (!i - 1) / 2
@@ -43,6 +51,7 @@ let pop t =
   else begin
     let top = t.heap.(0) in
     t.size <- t.size - 1;
+    Obs.set_gauge queue_gauge t.size;
     t.heap.(0) <- t.heap.(t.size);
     t.heap.(t.size) <- dummy;
     let i = ref 0 in
@@ -80,3 +89,16 @@ let run t = while step t do () done
 
 let pending t = t.size
 let events_processed t = t.processed
+
+(* Self-rescheduling periodic hook: fires every [interval] sim-seconds
+   for as long as other work remains queued.  The re-arm is conditional
+   on [pending > 0] — at firing time the hook itself is already popped,
+   so an otherwise-empty queue means the run is over and rescheduling
+   would keep [run] from ever draining. *)
+let every t ~interval f =
+  if not (interval > 0.0) then invalid_arg "Sim.every: interval must be positive";
+  let rec tick () =
+    f ~now:t.clock;
+    if t.size > 0 then schedule t ~delay:interval tick
+  in
+  schedule t ~delay:interval tick

@@ -30,3 +30,16 @@ val events_processed : t -> int
     [pending = 0] and a processed count that is a pure function of the
     run — the determinism guarantee the tracing layer's timestamps rely
     on. *)
+
+val every : t -> interval:float -> (now:float -> unit) -> unit
+(** [every t ~interval f] arms a periodic hook: [f ~now] fires every
+    [interval] sim-seconds, re-arming itself only while other events
+    remain queued, so {!run} still terminates once real work drains.
+    The telemetry scraper ([Obs_series.sample]) rides this hook, which
+    is what makes recorded series a pure function of the run's seeds.
+    @raise Invalid_argument unless [interval > 0]. *)
+
+(**/**)
+
+val queue_gauge : Obs.gauge
+(** The [sim.queue_depth] gauge (exposed for tests). *)

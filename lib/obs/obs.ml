@@ -20,6 +20,31 @@ let value c = c.c_value
 let reset_counter c = c.c_value <- 0
 
 (* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Like counters but free to move both ways: queue depths, in-flight
+   message counts, live-session populations, cache occupancy.  Interned
+   in their own namespace; a gauge write is one mutable field update so
+   instrumented hot paths (the sim scheduler) pay next to nothing. *)
+type gauge = { g_name : string; g_help : string; mutable g_value : int }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+
+let gauge ?(help = "") name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_help = help; g_value = 0 } in
+    Hashtbl.add gauges name g;
+    g
+
+let set_gauge g v = g.g_value <- v
+let gauge_add g n = g.g_value <- g.g_value + n
+let gauge_sub g n = g.g_value <- g.g_value - n
+let gauge_value g = g.g_value
+
+(* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -150,6 +175,31 @@ type event = {
 let events_on = ref false
 let event_log : event list ref = ref []
 
+(* Bounded: long churn runs with events enabled must not grow memory
+   without limit.  Once the cap is reached new events are discarded and
+   counted; the Chrome exporter annotates the document when that
+   happened.  The default is generous — a full fuzz sweep records a few
+   hundred thousand events. *)
+let default_event_cap = 1_000_000
+let event_cap = ref default_event_cap
+let event_count = ref 0
+
+let dropped_counter =
+  counter ~help:"events discarded at the event-log cap" "obs.events.dropped"
+
+let set_event_cap n =
+  if n < 0 then invalid_arg "Obs.set_event_cap: negative cap";
+  event_cap := n
+
+let current_event_cap () = !event_cap
+
+let push_event e =
+  if !event_count >= !event_cap then incr dropped_counter
+  else begin
+    event_count := !event_count + 1;
+    event_log := e :: !event_log
+  end
+
 (* the event clock defaults to following the span clock; session runners
    point it at Sim.now so timelines are in deterministic sim time *)
 let default_event_clock () = !clock ()
@@ -167,10 +217,9 @@ let set_track s = track_ref := s
 let current_track () = !track_ref
 
 let record kind name ~id ~args =
-  event_log :=
+  push_event
     { ev_kind = kind; ev_name = name; ev_track = !track_ref;
       ev_ts = !event_clock (); ev_id = id; ev_args = args }
-    :: !event_log
 
 let instant ?(args = []) name =
   if !events_on then record Instant name ~id:0 ~args
@@ -255,10 +304,9 @@ let span name f =
        timeline closes on it even if deliveries switch tracks inside *)
     let btrack = !track_ref in
     if ev then
-      event_log :=
+      push_event
         { ev_kind = Span_begin; ev_name = name; ev_track = btrack;
-          ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
-        :: !event_log;
+          ev_ts = !event_clock (); ev_id = 0; ev_args = [] };
     (match hooks with Some (on_open, _) -> on_open name | None -> ());
     let parent = !current in
     let node =
@@ -281,10 +329,9 @@ let span name f =
        | None -> ());
       (match hooks with Some (_, on_close) -> on_close () | None -> ());
       if ev then
-        event_log :=
+        push_event
           { ev_kind = Span_end; ev_name = name; ev_track = btrack;
             ev_ts = !event_clock (); ev_id = 0; ev_args = [] }
-          :: !event_log
     in
     Fun.protect ~finally:close f
   end
@@ -314,6 +361,7 @@ let trace () = (freeze !root).children
 
 let reset () =
   Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
   Hashtbl.iter
     (fun _ h ->
       h.h_count <- 0;
@@ -327,6 +375,7 @@ let reset () =
   root := r;
   current := r;
   event_log := [];
+  event_count := 0;
   next_flow := 0;
   next_trace_id := 0;
   trace_ctx := 0;
@@ -342,6 +391,7 @@ let reset_all () =
   reset ();
   set_sink Noop;
   events_on := false;
+  event_cap := default_event_cap;
   clock := default_clock;
   event_clock := default_event_clock;
   span_hooks := None;
@@ -349,6 +399,10 @@ let reset_all () =
 
 let snapshot_counters () =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
+  |> List.sort compare
+
+let snapshot_gauges () =
+  Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) gauges []
   |> List.sort compare
 
 let snapshot_histograms () =
@@ -381,6 +435,14 @@ let to_prometheus () =
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" p);
       Buffer.add_string buf (Printf.sprintf "%s %d\n" p v))
     (snapshot_counters ());
+  List.iter
+    (fun (name, v) ->
+      let p = sanitize name in
+      let help = (Hashtbl.find gauges name).g_help in
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" p help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" p);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" p v))
+    (snapshot_gauges ());
   List.iter
     (fun (name, st) ->
       let p = sanitize name in
@@ -422,6 +484,9 @@ let to_json () =
     [ ("counters",
        Obs_json.Obj
          (List.map (fun (n, v) -> (n, Obs_json.Int v)) (snapshot_counters ())));
+      ("gauges",
+       Obs_json.Obj
+         (List.map (fun (n, v) -> (n, Obs_json.Int v)) (snapshot_gauges ())));
       ("histograms",
        Obs_json.Obj
          (List.map (fun (n, st) -> (n, hist_to_json st)) (snapshot_histograms ())));
@@ -502,10 +567,24 @@ let to_chrome_trace () =
     in
     Obs_json.Obj (base @ extra @ args)
   in
+  (* note the cap only when it actually bit, so documents from runs that
+     fit (everything golden-tested) are unchanged byte for byte *)
+  let dropped = value dropped_counter in
+  let tail =
+    if dropped = 0 then []
+    else
+      [ ("otherData",
+         Obs_json.Obj
+           [ ("shs.events.dropped", Obs_json.Int dropped);
+             ("shs.events.cap", Obs_json.Int !event_cap);
+           ])
+      ]
+  in
   Obs_json.Obj
-    [ ("traceEvents", Obs_json.List (meta @ List.map ev_json evs));
-      ("displayTimeUnit", Obs_json.Str "ms");
-    ]
+    ([ ("traceEvents", Obs_json.List (meta @ List.map ev_json evs));
+       ("displayTimeUnit", Obs_json.Str "ms");
+     ]
+    @ tail)
 
 let pretty_ns ns =
   if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -532,6 +611,13 @@ let report () =
     List.iter
       (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %12d\n" n v))
       counters
+  end;
+  let gs = List.filter (fun (_, v) -> v <> 0) (snapshot_gauges ()) in
+  if gs <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %12d\n" n v))
+      gs
   end;
   let hists = snapshot_histograms () in
   if hists <> [] then begin

@@ -6,6 +6,10 @@
       counts, network messages/bytes, GSIG sign/verify calls, CGKD rekey
       events).  Counters are always on; an increment is a single mutable
       field write, cheap enough for the bignum hot path.
+    - {b gauges} — instantaneous integer levels that move both ways
+      (scheduler queue depth, in-flight messages, live sessions, tree
+      sizes, cache occupancy).  Same cost model as counters; the
+      {!Obs_series} recorder samples them over time.
     - {b histograms} — log-bucketed aggregates of float observations
       (span latencies in nanoseconds): count/sum/min/max plus a sparse
       power-of-two bucket table from which p50/p95/p99 are estimated
@@ -51,6 +55,23 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
 val reset_counter : counter -> unit
+
+(** {1 Gauges}
+
+    Instantaneous levels that move both ways: scheduler queue depth,
+    in-flight messages, live sessions by phase, CGKD tree size, bigint
+    cache occupancy.  Same interning and cost model as counters (one
+    mutable field write); a separate namespace. *)
+
+type gauge
+
+val gauge : ?help:string -> string -> gauge
+(** Registers (or returns the existing) gauge under a name. *)
+
+val set_gauge : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_sub : gauge -> int -> unit
+val gauge_value : gauge -> int
 
 (** {1 Histograms} *)
 
@@ -181,6 +202,21 @@ val set_current_trace : int -> unit
 val events : unit -> event list
 (** The event log since the last {!reset}, in record order. *)
 
+(** {2 Event-log bound}
+
+    The log is capped so long churn runs with events enabled cannot grow
+    memory without limit.  Past the cap, new events (including span
+    begin/end pairs) are discarded and counted on the
+    [obs.events.dropped] counter, and {!to_chrome_trace} notes the loss
+    in an [otherData] section.  {!reset} rewinds the stored-event count
+    with the log; {!reset_all} also restores the default cap. *)
+
+val set_event_cap : int -> unit
+(** Maximum number of events retained (default 1_000_000).  Raises
+    [Invalid_argument] on a negative cap. *)
+
+val current_event_cap : unit -> int
+
 val instant_counts : unit -> (string * int) list
 (** Instant events grouped by name, sorted — e.g.
     [("gcd.retransmit", 12); ("net.drop", 31)]. *)
@@ -224,21 +260,25 @@ val on_reset : (unit -> unit) -> unit
 val snapshot_counters : unit -> (string * int) list
 (** Sorted by name. *)
 
+val snapshot_gauges : unit -> (string * int) list
+(** Sorted by name; every interned gauge appears, including zeros. *)
+
 val snapshot_histograms : unit -> (string * hist_stats) list
 (** Sorted by name; empty histograms are omitted. *)
 
 (** {1 Exporters} *)
 
 val to_prometheus : unit -> string
-(** Prometheus-style text: counters as [shs_<name>] with [# HELP]/[#
-    TYPE] headers, histograms as summaries with [{quantile="0.5|0.95|
-    0.99"}] sample lines plus [_count]/[_sum]/[_min]/[_max] series.
-    Names are sanitized ([.] → [_]). *)
+(** Prometheus-style text: counters and gauges as [shs_<name>] with
+    [# HELP]/[# TYPE] headers, histograms as summaries with
+    [{quantile="0.5|0.95|0.99"}] sample lines plus
+    [_count]/[_sum]/[_min]/[_max] series.  Names are sanitized
+    ([.] → [_]). *)
 
 val to_json : unit -> Obs_json.t
-(** [{"counters": {..}, "histograms": {..}, "trace": [..]}] — the
-    document embedded in the bench harness's [--json] output; histogram
-    objects carry [p50]/[p95]/[p99]. *)
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..},
+    "trace": [..]}] — the document embedded in the bench harness's
+    [--json] output; histogram objects carry [p50]/[p95]/[p99]. *)
 
 val to_chrome_trace : unit -> Obs_json.t
 (** The event log as a Chrome [trace_event] document:

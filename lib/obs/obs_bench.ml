@@ -41,18 +41,37 @@ let num = function
   | Obs_json.Float f -> Some f
   | _ -> None
 
+(* typed per the TAXONOMY rule: the parser classifies what is wrong,
+   [describe_error] renders it at the boundary that needs text *)
+type doc_error =
+  | Unsupported_schema of string
+  | Missing_schema
+  | Missing_experiments
+  | Unnamed_experiment
+  | Missing_series_list of string
+  | Malformed_row of string
+
+let describe_error = function
+  | Unsupported_schema s -> Printf.sprintf "unsupported schema %S" s
+  | Missing_schema -> "not a shs-bench/1 document (no \"schema\" field)"
+  | Missing_experiments -> "missing \"experiments\" list"
+  | Unnamed_experiment -> "experiment without a \"name\""
+  | Missing_series_list e ->
+    Printf.sprintf "experiment %S: missing series list" e
+  | Malformed_row e -> Printf.sprintf "experiment %S: malformed series row" e
+
 let series_of_doc doc =
   let ( let* ) = Result.bind in
   let* () =
     match Obs_json.member "schema" doc with
     | Some (Obs_json.Str "shs-bench/1") -> Ok ()
-    | Some (Obs_json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
-    | _ -> Error "not a shs-bench/1 document (no \"schema\" field)"
+    | Some (Obs_json.Str s) -> Error (Unsupported_schema s)
+    | _ -> Error Missing_schema
   in
   let* experiments =
     match Obs_json.member "experiments" doc with
     | Some (Obs_json.List l) -> Ok l
-    | _ -> Error "missing \"experiments\" list"
+    | _ -> Error Missing_experiments
   in
   let row_of experiment j =
     match
@@ -67,9 +86,7 @@ let series_of_doc doc =
         match param with Obs_json.Int p -> Some p | _ -> None
       in
       Ok { sx_experiment = experiment; sx_series; sx_param; sx_value; sx_unit }
-    | _ ->
-      Error
-        (Printf.sprintf "experiment %S: malformed series row" experiment)
+    | _ -> Error (Malformed_row experiment)
   in
   let rec exps acc = function
     | [] -> Ok (List.rev acc)
@@ -77,7 +94,7 @@ let series_of_doc doc =
       let* name =
         match Obs_json.member "name" e with
         | Some (Obs_json.Str n) -> Ok n
-        | _ -> Error "experiment without a \"name\""
+        | _ -> Error Unnamed_experiment
       in
       let* rows =
         match Obs_json.member "series" e with
@@ -88,7 +105,7 @@ let series_of_doc doc =
               let* r = row_of name j in
               Ok (r :: acc))
             (Ok []) l
-        | _ -> Error (Printf.sprintf "experiment %S: missing series list" name)
+        | _ -> Error (Missing_series_list name)
       in
       exps (List.rev_append rows acc) rest
   in
@@ -175,8 +192,10 @@ let key s = (s.sx_experiment, s.sx_series, s.sx_param)
 
 let compare_docs ?(elapsed_tolerance = 0.5) ~tolerance ~baseline ~current () =
   let ( let* ) = Result.bind in
-  let* base_rows = series_of_doc baseline in
-  let* cur_rows = series_of_doc current in
+  (* the gate's consumers (ci.sh via bench/main, tests) want text, so
+     the typed parse errors are rendered at this boundary *)
+  let* base_rows = Result.map_error describe_error (series_of_doc baseline) in
+  let* cur_rows = Result.map_error describe_error (series_of_doc current) in
   let cur_exps =
     List.fold_left
       (fun acc r ->

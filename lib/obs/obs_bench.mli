@@ -30,9 +30,21 @@ val provenance : world_seeds:int list -> fault_seeds:int list -> Obs_json.t
 (** [{"schema_version": 1, "git_commit": .., "world_seeds": [..],
     "fault_seeds": [..]}]. *)
 
-val series_of_doc : Obs_json.t -> (series list, string) result
+type doc_error =
+  | Unsupported_schema of string  (** a ["schema"] other than shs-bench/1 *)
+  | Missing_schema
+  | Missing_experiments
+  | Unnamed_experiment
+  | Missing_series_list of string  (** experiment name *)
+  | Malformed_row of string  (** experiment name *)
+
+val describe_error : doc_error -> string
+(** One-line rendering, used by {!compare_docs} at the CLI boundary. *)
+
+val series_of_doc : Obs_json.t -> (series list, doc_error) result
 (** Flatten a [shs-bench/1] document back into rows, in document order.
-    [Error] names what is malformed (wrong schema, missing fields). *)
+    [Error] classifies what is malformed (wrong schema, missing
+    fields). *)
 
 val tracked : series -> bool
 (** Whether a series participates in the regression gate: every unit

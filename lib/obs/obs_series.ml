@@ -1,0 +1,306 @@
+(* Time-series recorder over the Obs registry.
+
+   A recorder holds registered series and, on every [sample ~now] call,
+   appends one point per series: counter series record the *delta* since
+   the previous sample (a rate per cadence interval), gauge series the
+   instantaneous level, quantile series a nearest-rank quantile over a
+   sliding ring-buffer window of observations.  The recorder never reads
+   a clock itself — callers drive it, normally from a [Sim.every] hook —
+   so with a deterministic scheduler every series is a pure function of
+   the run's seeds, and the CSV/HTML exports are byte-stable. *)
+
+type sample = { s_ts : float; s_value : float }
+
+type window = {
+  w_buf : float array;
+  mutable w_len : int;
+  mutable w_pos : int;  (* next write slot *)
+}
+
+let window ~capacity =
+  if capacity <= 0 then invalid_arg "Obs_series.window: capacity must be positive";
+  { w_buf = Array.make capacity 0.0; w_len = 0; w_pos = 0 }
+
+let observe w v =
+  let cap = Array.length w.w_buf in
+  w.w_buf.(w.w_pos) <- v;
+  w.w_pos <- (w.w_pos + 1) mod cap;
+  if w.w_len < cap then w.w_len <- w.w_len + 1
+
+let window_length w = w.w_len
+
+(* exact nearest-rank quantile over the window contents; None when the
+   window has seen nothing yet *)
+let window_quantile w q =
+  if w.w_len = 0 then None
+  else begin
+    let a = Array.make w.w_len 0.0 in
+    let cap = Array.length w.w_buf in
+    let start = (w.w_pos - w.w_len + cap) mod cap in
+    for i = 0 to w.w_len - 1 do
+      a.(i) <- w.w_buf.((start + i) mod cap)
+    done;
+    Array.sort compare a;
+    let rank = int_of_float (Float.ceil (q *. float_of_int w.w_len)) in
+    let idx = max 0 (min (w.w_len - 1) (rank - 1)) in
+    Some a.(idx)
+  end
+
+type source =
+  | Rate of Obs.counter * int ref  (* counter, value at previous sample *)
+  | Level of Obs.gauge
+  | Quantile of window * float
+
+type series = {
+  sr_name : string;
+  sr_unit : string;
+  sr_source : source;
+  mutable sr_samples : sample list;  (* newest first *)
+}
+
+type t = {
+  cadence : float;
+  mutable series : series list;  (* reverse registration order *)
+  mutable ticks : int;
+  mutable last_ts : float;
+}
+
+let create ~cadence =
+  if not (cadence > 0.0) then
+    invalid_arg "Obs_series.create: cadence must be positive";
+  { cadence; series = []; ticks = 0; last_ts = 0.0 }
+
+let cadence t = t.cadence
+let ticks t = t.ticks
+let last_ts t = t.last_ts
+
+let register t name unit_ source =
+  if List.exists (fun s -> s.sr_name = name) t.series then
+    invalid_arg ("Obs_series: duplicate series " ^ name);
+  t.series <-
+    { sr_name = name; sr_unit = unit_; sr_source = source; sr_samples = [] }
+    :: t.series
+
+(* the rate baseline is the counter's value at registration time, so a
+   recorder attached mid-run (after setup/population) only sees the
+   activity that follows *)
+let counter_rate t ?(unit_ = "count") ~name c =
+  register t name unit_ (Rate (c, ref (Obs.value c)))
+
+let gauge_level t ?(unit_ = "level") ~name g = register t name unit_ (Level g)
+
+let quantile_series t ?(unit_ = "value") ~name ~q w =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Obs_series.quantile_series: q outside [0,1]";
+  register t name unit_ (Quantile (w, q))
+
+let sample t ~now =
+  List.iter
+    (fun s ->
+      match s.sr_source with
+      | Rate (c, prev) ->
+        let v = Obs.value c in
+        s.sr_samples <-
+          { s_ts = now; s_value = float_of_int (v - !prev) } :: s.sr_samples;
+        prev := v
+      | Level g ->
+        s.sr_samples <-
+          { s_ts = now; s_value = float_of_int (Obs.gauge_value g) }
+          :: s.sr_samples
+      | Quantile (w, q) ->
+        (* an empty window yields no point (a gap), not a fake zero *)
+        (match window_quantile w q with
+         | Some v -> s.sr_samples <- { s_ts = now; s_value = v } :: s.sr_samples
+         | None -> ()))
+    t.series;
+  t.ticks <- t.ticks + 1;
+  t.last_ts <- now
+
+let all_series t =
+  List.rev_map
+    (fun s ->
+      (s.sr_name, s.sr_unit,
+       List.rev_map (fun p -> (p.s_ts, p.s_value)) s.sr_samples))
+    t.series
+
+let names t = List.rev_map (fun s -> s.sr_name) t.series
+
+let samples t ~name =
+  match List.find_opt (fun s -> s.sr_name = name) t.series with
+  | None -> []
+  | Some s -> List.rev_map (fun p -> (p.s_ts, p.s_value)) s.sr_samples
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* shortest decimal form that round-trips, same policy as Obs_json: the
+   exports must be byte-identical across runs, and must not depend on
+   locale or on printf defaults drifting *)
+let fmt_float v =
+  let s = Printf.sprintf "%.12g" v in
+  if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,unit,ts,value\n";
+  List.iter
+    (fun (name, unit_, pts) ->
+      List.iter
+        (fun (ts, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%s\n" name unit_ (fmt_float ts)
+               (fmt_float v)))
+        pts)
+    (all_series t);
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* chart geometry: fixed-size SVG, coordinates printed with %.2f so the
+   byte output is stable for any given sample values *)
+let chart_w = 640.0
+let chart_h = 120.0
+let pad = 6.0
+
+let svg_chart buf pts =
+  let n = List.length pts in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" \
+        role=\"img\">" chart_w chart_h chart_w chart_h);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" \
+        fill=\"#fafafa\" stroke=\"#ddd\"/>" chart_w chart_h);
+  (match pts with
+   | [] -> Buffer.add_string buf
+             (Printf.sprintf
+                "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" \
+                 fill=\"#999\">no samples</text>"
+                (chart_w /. 2.0 -. 34.0) (chart_h /. 2.0))
+   | _ ->
+     let ts = List.map fst pts and vs = List.map snd pts in
+     let tmin = List.fold_left Float.min (List.hd ts) ts in
+     let tmax = List.fold_left Float.max (List.hd ts) ts in
+     let vmin = List.fold_left Float.min (List.hd vs) vs in
+     let vmax = List.fold_left Float.max (List.hd vs) vs in
+     let tspan = if tmax > tmin then tmax -. tmin else 1.0 in
+     let vspan = if vmax > vmin then vmax -. vmin else 1.0 in
+     let x ts = pad +. ((ts -. tmin) /. tspan *. (chart_w -. (2.0 *. pad))) in
+     let y v =
+       if vmax > vmin then
+         chart_h -. pad -. ((v -. vmin) /. vspan *. (chart_h -. (2.0 *. pad)))
+       else chart_h /. 2.0
+     in
+     (* midline gridline *)
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" \
+           stroke=\"#eee\"/>"
+          pad (chart_h /. 2.0) (chart_w -. pad) (chart_h /. 2.0));
+     if n = 1 then begin
+       let tx, tv = List.hd pts in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"3\" fill=\"#2a6fb0\"/>"
+            (x tx) (y tv))
+     end
+     else begin
+       (* step chart: each sample holds its value until the next tick *)
+       let b = Buffer.create 256 in
+       let first = ref true in
+       let prev_y = ref 0.0 in
+       List.iter
+         (fun (tx, tv) ->
+           let px = x tx and py = y tv in
+           if !first then begin
+             Buffer.add_string b (Printf.sprintf "%.2f,%.2f" px py);
+             first := false
+           end
+           else
+             Buffer.add_string b
+               (Printf.sprintf " %.2f,%.2f %.2f,%.2f" px !prev_y px py);
+           prev_y := py)
+         pts;
+       Buffer.add_string buf
+         (Printf.sprintf
+            "<polyline points=\"%s\" fill=\"none\" stroke=\"#2a6fb0\" \
+             stroke-width=\"1.5\"/>" (Buffer.contents b))
+     end;
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<text x=\"%.1f\" y=\"12\" font-size=\"10\" fill=\"#777\" \
+           text-anchor=\"end\">%s</text>"
+          (chart_w -. pad) (html_escape (fmt_float vmax)));
+     Buffer.add_string buf
+       (Printf.sprintf
+          "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#777\" \
+           text-anchor=\"end\">%s</text>"
+          (chart_w -. pad) (chart_h -. 4.0) (html_escape (fmt_float vmin))));
+  Buffer.add_string buf "</svg>"
+
+let stats pts =
+  match List.map snd pts with
+  | [] -> None
+  | v :: _ as vs ->
+    let mn = List.fold_left Float.min v vs in
+    let mx = List.fold_left Float.max v vs in
+    let last = List.nth vs (List.length vs - 1) in
+    Some (mn, mx, last)
+
+let to_html ?(title = "shs time series") t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!doctype html>\n<html><head><meta charset=\"utf-8\">";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>%s</title>" (html_escape title));
+  Buffer.add_string buf
+    "<style>body{font-family:monospace;margin:24px;background:#fff;color:#222}\
+     h1{font-size:18px}.meta{color:#777;font-size:12px;margin-bottom:16px}\
+     .card{display:inline-block;vertical-align:top;margin:0 16px 16px 0;\
+     padding:8px;border:1px solid #e2e2e2;border-radius:4px}\
+     .card h2{font-size:13px;margin:0 0 2px 0}\
+     .card .stat{color:#555;font-size:11px;margin-bottom:4px}</style>";
+  Buffer.add_string buf "</head><body>";
+  Buffer.add_string buf
+    (Printf.sprintf "<h1>%s</h1>" (html_escape title));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<div class=\"meta\">cadence %s sim-s &middot; %d ticks &middot; %d \
+        series &middot; last sample at t=%s</div>"
+       (fmt_float t.cadence) t.ticks (List.length t.series)
+       (fmt_float t.last_ts));
+  List.iter
+    (fun (name, unit_, pts) ->
+      Buffer.add_string buf "<div class=\"card\">";
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>%s</h2>" (html_escape name));
+      (match stats pts with
+       | None ->
+         Buffer.add_string buf
+           (Printf.sprintf "<div class=\"stat\">%s &middot; empty</div>"
+              (html_escape unit_))
+       | Some (mn, mx, last) ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "<div class=\"stat\">%s &middot; last %s &middot; min %s \
+               &middot; max %s &middot; %d samples</div>"
+              (html_escape unit_) (html_escape (fmt_float last))
+              (html_escape (fmt_float mn)) (html_escape (fmt_float mx))
+              (List.length pts)));
+      svg_chart buf pts;
+      Buffer.add_string buf "</div>")
+    (all_series t);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

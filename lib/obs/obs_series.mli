@@ -1,0 +1,95 @@
+(** Obs_series: deterministic time-series recording over the {!Obs}
+    registry.
+
+    End-of-run aggregates (counters, histogram summaries) cannot answer
+    "what happened over time" — rekey rate under churn, queue depth
+    under backpressure, latency-percentile drift as a tree grows.  A
+    recorder closes that gap: registered series are sampled on a fixed
+    cadence, each sample appending one point per series:
+
+    - {b counter rates} — the counter {e delta} since the previous
+      sample, i.e. events per cadence interval.  The baseline is the
+      counter value at registration, so a recorder attached after setup
+      only measures what follows.
+    - {b gauge levels} — the instantaneous gauge value.
+    - {b window quantiles} — a nearest-rank quantile over a sliding
+      ring-buffer {!window} of observations (e.g. rekey latencies).  An
+      empty window contributes no point (a gap), never a fake zero.
+
+    The recorder never reads a clock: callers pass [~now] explicitly,
+    normally from a [Sim.every] periodic hook, so under the
+    deterministic simulator every series — and the {!to_csv} /
+    {!to_html} exports — is a pure function of the run's seeds and
+    byte-identical across runs. *)
+
+type t
+
+val create : cadence:float -> t
+(** A recorder with the given sampling cadence (sim-seconds between
+    scrapes; informational — the caller drives {!sample}).  Raises
+    [Invalid_argument] unless [cadence > 0]. *)
+
+val cadence : t -> float
+
+val ticks : t -> int
+(** Number of {!sample} calls so far. *)
+
+val last_ts : t -> float
+(** Timestamp of the most recent {!sample}; [0.0] before the first. *)
+
+(** {1 Sliding windows} *)
+
+type window
+
+val window : capacity:int -> window
+(** A ring buffer retaining the last [capacity] observations. *)
+
+val observe : window -> float -> unit
+val window_length : window -> int
+
+val window_quantile : window -> float -> float option
+(** Exact nearest-rank quantile over the current window contents;
+    [None] while empty. *)
+
+(** {1 Registering series}
+
+    Series names must be unique within a recorder ([Invalid_argument]
+    otherwise); [unit_] is carried verbatim into the exports. *)
+
+val counter_rate : t -> ?unit_:string -> name:string -> Obs.counter -> unit
+val gauge_level : t -> ?unit_:string -> name:string -> Obs.gauge -> unit
+
+val quantile_series :
+  t -> ?unit_:string -> name:string -> q:float -> window -> unit
+(** Raises [Invalid_argument] unless [q] is in [0,1]. *)
+
+(** {1 Sampling and reading} *)
+
+val sample : t -> now:float -> unit
+(** Append one point per registered series stamped [now].  Call on a
+    fixed cadence (see [Sim.every]); nothing prevents irregular calls,
+    but rate series are per-interval deltas, so an irregular cadence
+    changes their meaning. *)
+
+val names : t -> string list
+(** Registration order. *)
+
+val samples : t -> name:string -> (float * float) list
+(** [(ts, value)] points oldest-first; [[]] for unknown names. *)
+
+val all_series : t -> (string * string * (float * float) list) list
+(** [(name, unit, points)] in registration order. *)
+
+(** {1 Exports}
+
+    Both are deterministic: fixed series order (registration), fixed
+    float formatting (shortest round-tripping decimal), no timestamps
+    other than sim time, no external assets. *)
+
+val to_csv : t -> string
+(** [series,unit,ts,value] rows grouped by series. *)
+
+val to_html : ?title:string -> t -> string
+(** A self-contained HTML dashboard: one card per series with summary
+    stats and an inline-SVG step chart.  No scripts, no external
+    references; byte-identical across identically-seeded runs. *)

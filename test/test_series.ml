@@ -1,0 +1,332 @@
+(* Tests for gauges, the bounded event log and the Obs_series
+   time-series recorder: gauge registry math and exporter coverage, the
+   event-log cap (drop counting, chrome-trace annotation, reset
+   semantics), sliding-window ring-buffer quantiles, Sim.every cadence
+   edges, a QCheck delta-sum property for counter-rate series, and
+   byte-identical CSV/HTML dashboards from identically-seeded churn
+   runs. *)
+
+let reset_all = Obs.reset_all
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_math () =
+  reset_all ();
+  let g = Obs.gauge ~help:"test" "test.series.gauge" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.gauge_value g);
+  Obs.set_gauge g 7;
+  Obs.gauge_add g 5;
+  Obs.gauge_sub g 2;
+  Alcotest.(check int) "set/add/sub" 10 (Obs.gauge_value g);
+  Obs.gauge_sub g 15;
+  Alcotest.(check int) "gauges may go negative" (-5) (Obs.gauge_value g);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes gauges" 0 (Obs.gauge_value g)
+
+let test_gauge_interning () =
+  reset_all ();
+  let a = Obs.gauge "test.series.shared" in
+  let b = Obs.gauge "test.series.shared" in
+  Obs.gauge_add a 3;
+  Obs.gauge_add b 4;
+  Alcotest.(check int) "two handles, one gauge" 7 (Obs.gauge_value a);
+  Alcotest.(check bool) "snapshot carries it" true
+    (List.mem_assoc "test.series.shared" (Obs.snapshot_gauges ()))
+
+let test_gauge_exporters () =
+  reset_all ();
+  let g = Obs.gauge ~help:"an exported gauge" "test.series.export" in
+  Obs.set_gauge g 42;
+  let prom = Obs.to_prometheus () in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prometheus TYPE gauge" true
+    (contains prom "# TYPE shs_test_series_export gauge");
+  Alcotest.(check bool) "prometheus value line" true
+    (contains prom "shs_test_series_export 42");
+  let json = Obs_json.to_string (Obs.to_json ()) in
+  Alcotest.(check bool) "json gauges object" true
+    (contains json "\"test.series.export\":42")
+
+(* ------------------------------------------------------------------ *)
+(* Bounded event log                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_cap () =
+  reset_all ();
+  Obs.set_events true;
+  Obs.set_event_clock (Obs.manual_clock ());
+  Obs.set_event_cap 3;
+  for i = 1 to 8 do
+    Obs.instant (Printf.sprintf "ev%d" i)
+  done;
+  Alcotest.(check int) "log truncated at cap" 3
+    (List.length (Obs.events ()));
+  Alcotest.(check int) "drops counted" 5
+    (List.assoc "obs.events.dropped" (Obs.snapshot_counters ()));
+  let trace = Obs_json.to_string (Obs.to_chrome_trace ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chrome trace notes the drops" true
+    (contains trace "shs.events.dropped");
+  (* reset empties the log but keeps the configured cap *)
+  Obs.reset ();
+  Obs.set_events true;
+  Alcotest.(check int) "cap survives reset" 3 (Obs.current_event_cap ());
+  Obs.instant "after";
+  Alcotest.(check int) "room again after reset" 1
+    (List.length (Obs.events ()));
+  reset_all ();
+  Alcotest.(check int) "reset_all restores default cap" 1_000_000
+    (Obs.current_event_cap ());
+  (* a clean registry must not advertise a cap it never hit *)
+  Obs.set_events true;
+  Obs.instant "clean";
+  let trace = Obs_json.to_string (Obs.to_chrome_trace ()) in
+  Alcotest.(check bool) "no drop note without drops" false
+    (contains trace "shs.events.dropped");
+  reset_all ()
+
+let test_event_cap_validation () =
+  reset_all ();
+  Alcotest.check_raises "negative cap rejected"
+    (Invalid_argument "Obs.set_event_cap: negative cap")
+    (fun () -> Obs.set_event_cap (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_window_ring () =
+  let w = Obs_series.window ~capacity:4 in
+  Alcotest.(check (option (float 0.0))) "empty window" None
+    (Obs_series.window_quantile w 0.5);
+  for i = 1 to 8 do
+    Obs_series.observe w (float_of_int i)
+  done;
+  Alcotest.(check int) "ring keeps last capacity" 4
+    (Obs_series.window_length w);
+  (* contents are 5..8: nearest-rank p50 = 6, p95 = 8, p0 = 5 *)
+  Alcotest.(check (option (float 0.0))) "p50" (Some 6.0)
+    (Obs_series.window_quantile w 0.5);
+  Alcotest.(check (option (float 0.0))) "p95" (Some 8.0)
+    (Obs_series.window_quantile w 0.95);
+  Alcotest.(check (option (float 0.0))) "p0 clamps to min" (Some 5.0)
+    (Obs_series.window_quantile w 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_basics () =
+  reset_all ();
+  let r = Obs_series.create ~cadence:2.0 in
+  let c = Obs.counter "test.series.rate" in
+  Obs.add c 10;  (* pre-registration traffic must not count *)
+  Obs_series.counter_rate r ~unit_:"ev/tick" ~name:"rate" c;
+  let g = Obs.gauge "test.series.level" in
+  Obs_series.gauge_level r ~name:"level" g;
+  let w = Obs_series.window ~capacity:8 in
+  Obs_series.quantile_series r ~name:"p50" ~q:0.5 w;
+  Obs.add c 3;
+  Obs.set_gauge g 5;
+  Obs_series.sample r ~now:2.0;
+  Obs.add c 4;
+  Obs.set_gauge g 1;
+  Obs_series.observe w 0.25;
+  Obs_series.sample r ~now:4.0;
+  Alcotest.(check (list string)) "registration order"
+    [ "rate"; "level"; "p50" ] (Obs_series.names r);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "rate = per-interval delta, baseline at registration"
+    [ (2.0, 3.0); (4.0, 4.0) ]
+    (Obs_series.samples r ~name:"rate");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "gauge level"
+    [ (2.0, 5.0); (4.0, 1.0) ]
+    (Obs_series.samples r ~name:"level");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "empty window leaves a gap, not a zero"
+    [ (4.0, 0.25) ]
+    (Obs_series.samples r ~name:"p50");
+  Alcotest.(check int) "ticks" 2 (Obs_series.ticks r);
+  Alcotest.(check (float 0.0)) "last_ts" 4.0 (Obs_series.last_ts r)
+
+let test_duplicate_series_rejected () =
+  let r = Obs_series.create ~cadence:1.0 in
+  let c = Obs.counter "test.series.dup" in
+  Obs_series.counter_rate r ~name:"x" c;
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Obs_series: duplicate series x")
+    (fun () -> Obs_series.gauge_level r ~name:"x" (Obs.gauge "test.series.dupg"))
+
+(* The ISSUE's delta-sum property: for any increment schedule, the sum
+   of a counter-rate series' samples equals the counter's total growth
+   since registration, no matter how increments interleave with
+   scrapes. *)
+let test_delta_sum =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"rate samples sum to counter total" ~count:100
+       QCheck2.Gen.(list_size (int_bound 40) (int_bound 50))
+       (fun increments ->
+         reset_all ();
+         let c = Obs.counter "test.series.deltasum" in
+         let r = Obs_series.create ~cadence:1.0 in
+         Obs_series.counter_rate r ~name:"rate" c;
+         List.iteri
+           (fun i n ->
+             Obs.add c n;
+             (* scrape after every third increment, so some intervals
+                cover several increments and some cover none *)
+             if i mod 3 = 0 then Obs_series.sample r ~now:(float_of_int i))
+           increments;
+         Obs_series.sample r ~now:1000.0;
+         let total =
+           List.fold_left
+             (fun acc (_, v) -> acc +. v)
+             0.0
+             (Obs_series.samples r ~name:"rate")
+         in
+         int_of_float total = List.fold_left ( + ) 0 increments))
+
+(* ------------------------------------------------------------------ *)
+(* Sim.every cadence edges                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_every_stops_when_idle () =
+  (* with nothing else queued the hook fires exactly once: re-arming
+     only while other work is pending is what lets Sim.run terminate *)
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.every sim ~interval:2.0 (fun ~now -> fired := now :: !fired);
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0))) "one tick, then quiescent" [ 2.0 ]
+    (List.rev !fired)
+
+let test_sim_every_covers_workload () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.schedule sim ~delay:5.0 (fun () -> ());
+  Sim.every sim ~interval:2.0 (fun ~now -> fired := now :: !fired);
+  Sim.run sim;
+  (* ticks at 2 and 4 see the pending event; the tick at 6 drains last *)
+  Alcotest.(check (list (float 0.0))) "ticks past the last event"
+    [ 2.0; 4.0; 6.0 ] (List.rev !fired)
+
+let test_sim_every_long_interval () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.schedule sim ~delay:1.0 (fun () -> ());
+  Sim.every sim ~interval:50.0 (fun ~now -> fired := now :: !fired);
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0))) "interval longer than workload"
+    [ 50.0 ] (List.rev !fired)
+
+let test_sim_every_validation () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "non-positive interval"
+    (Invalid_argument "Sim.every: interval must be positive")
+    (fun () -> Sim.every sim ~interval:0.0 (fun ~now:_ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Churn determinism: byte-identical dashboards                        *)
+(* ------------------------------------------------------------------ *)
+
+let small_churn =
+  { Churn.default with
+    capacity = 64;
+    initial = 32;
+    tracked = 4;
+    events = 24;
+    cadence = 2.0;
+    window = 16;
+    seed = 11;
+  }
+
+let test_churn_deterministic_exports () =
+  let run () =
+    reset_all ();
+    let s = Churn.run (module Lkh) small_churn in
+    (s, Obs_series.to_csv s.Churn.recorder,
+     Obs_series.to_html ~title:"determinism" s.Churn.recorder)
+  in
+  let s1, csv1, html1 = run () in
+  let _s2, csv2, html2 = run () in
+  Alcotest.(check int) "healthy run: no failed applies" 0 s1.Churn.failures;
+  Alcotest.(check int) "every membership event rekeys"
+    (s1.Churn.joins + s1.Churn.leaves) s1.Churn.rekeys;
+  Alcotest.(check bool) "csv non-trivial" true (String.length csv1 > 100);
+  Alcotest.(check string) "csv byte-identical" csv1 csv2;
+  Alcotest.(check string) "html byte-identical" html1 html2;
+  Alcotest.(check bool) "csv header" true
+    (String.length csv1 > 20 && String.sub csv1 0 20 = "series,unit,ts,value")
+
+let test_churn_series_populated () =
+  reset_all ();
+  let s = Churn.run (module Oft) small_churn in
+  let points name =
+    List.length (Obs_series.samples s.Churn.recorder ~name)
+  in
+  Alcotest.(check bool) "rekey rate sampled" true (points "rekey rate" > 0);
+  Alcotest.(check bool) "tree size sampled" true (points "tree size" > 0);
+  Alcotest.(check bool) "latency p95 sampled" true
+    (points "rekey latency p95" > 0);
+  let sizes = Obs_series.samples s.Churn.recorder ~name:"tree size" in
+  let _, last_size = List.nth sizes (List.length sizes - 1) in
+  Alcotest.(check (float 0.0)) "last tree-size sample matches summary"
+    (float_of_int s.Churn.final_members) last_size
+
+let test_churn_validation () =
+  Alcotest.check_raises "tracked > initial"
+    (Invalid_argument "Churn.run: tracked exceeds initial")
+    (fun () ->
+      ignore
+        (Churn.run (module Lkh)
+           { small_churn with initial = 2; tracked = 3 }))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  reset_all ();
+  Alcotest.run "series"
+    [ ( "gauges",
+        [ Alcotest.test_case "math" `Quick test_gauge_math;
+          Alcotest.test_case "interning" `Quick test_gauge_interning;
+          Alcotest.test_case "exporters" `Quick test_gauge_exporters;
+        ] );
+      ( "event-cap",
+        [ Alcotest.test_case "cap + drops" `Quick test_event_cap;
+          Alcotest.test_case "validation" `Quick test_event_cap_validation;
+        ] );
+      ( "windows",
+        [ Alcotest.test_case "ring + quantiles" `Quick test_window_ring ] );
+      ( "recorder",
+        [ Alcotest.test_case "basics" `Quick test_recorder_basics;
+          Alcotest.test_case "duplicate names" `Quick
+            test_duplicate_series_rejected;
+          test_delta_sum;
+        ] );
+      ( "sim-every",
+        [ Alcotest.test_case "stops when idle" `Quick
+            test_sim_every_stops_when_idle;
+          Alcotest.test_case "covers workload" `Quick
+            test_sim_every_covers_workload;
+          Alcotest.test_case "long interval" `Quick
+            test_sim_every_long_interval;
+          Alcotest.test_case "validation" `Quick test_sim_every_validation;
+        ] );
+      ( "churn",
+        [ Alcotest.test_case "deterministic exports" `Quick
+            test_churn_deterministic_exports;
+          Alcotest.test_case "series populated" `Quick
+            test_churn_series_populated;
+          Alcotest.test_case "validation" `Quick test_churn_validation;
+        ] );
+    ]
