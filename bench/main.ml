@@ -1229,10 +1229,132 @@ let e14 () =
     "claim checked: churn telemetry is non-empty and deterministic for both \
      tree schemes at 2^14 capacity\n"
 
+(* ------------------------------------------------------------------ *)
+(* E15: concurrent-session engine under burst arrivals                 *)
+(* ------------------------------------------------------------------ *)
+
+(* No Bechamel: the swarm runs on the deterministic scheduler, so every
+   fraction, throughput and latency quantile is a pure function of the
+   config seeds — one run per arm is exact and replayable.  Wall clock
+   is recorded as an untracked "ns" row for context only. *)
+let e15 () =
+  header "E15  concurrent-session engine (1000-session bursts)"
+    "one engine multiplexes >= 1000 concurrent m=4 handshake sessions \
+     with admission control, bounded inboxes, deadline shedding and \
+     poisoned-session isolation; byte-identical across two seeded runs, \
+     and Byzantine pressure scoped to a sid subset never touches an \
+     untargeted session";
+  let world = Swarm.world ~seed:1500 ~roster:8 () in
+  let base = { Swarm.default with Swarm.world_seed = 1500 } in
+  let add series unit_ v = Report.add ~experiment:"e15" ~series ~unit_ v in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+
+  (* -- baseline: >= 1000 clean sessions, run twice, byte-identical -- *)
+  let s, secs = wall (fun () -> Swarm.run ~world base) in
+  let text = Swarm.to_text s in
+  let csv = Obs_series.to_csv s.Swarm.recorder in
+  print_string text;
+  Printf.printf "baseline wall-clock: %.1fs (%.1f sessions/s)\n%!" secs
+    (float_of_int s.Swarm.completed /. secs);
+  let s2 = Swarm.run ~world base in
+  if Swarm.to_text s2 <> text then
+    failwith "e15: 1000-session summary differs between two seeded runs";
+  if Obs_series.to_csv s2.Swarm.recorder <> csv then
+    failwith "e15: 1000-session telemetry differs between two seeded runs";
+  if s.Swarm.admitted <> base.Swarm.sessions then
+    failwith "e15: baseline did not admit every arrival";
+  if s.Swarm.full_complete <> base.Swarm.sessions then
+    failwith "e15: baseline did not fully complete every session";
+  if
+    not
+      (s.Swarm.lat_p50 <= s.Swarm.lat_p95 && s.Swarm.lat_p95 <= s.Swarm.lat_p99)
+  then failwith "e15: latency quantiles out of order";
+  add "sessions" "count" (float_of_int s.Swarm.submitted);
+  add "complete fraction" "fraction"
+    (float_of_int s.Swarm.completed /. float_of_int s.Swarm.submitted);
+  add "throughput" "sessions/sim-s" s.Swarm.throughput;
+  add "duration" "sim-time" s.Swarm.duration;
+  add "flow latency p50" "sim-time" s.Swarm.lat_p50;
+  add "flow latency p95" "sim-time" s.Swarm.lat_p95;
+  add "flow latency p99" "sim-time" s.Swarm.lat_p99;
+  add "telemetry ticks" "count"
+    (float_of_int (Obs_series.ticks s.Swarm.recorder));
+  add "baseline wall-clock" "ns" (secs *. 1e9);
+
+  (* -- overload: a burst far past the high-water mark is load-shed at
+     admission; whoever is admitted still completes ------------------- *)
+  let s =
+    Swarm.run ~world
+      { base with
+        Swarm.sessions = 300;
+        high_water = 64;
+        mean_gap = 0.002;
+      }
+  in
+  Printf.printf
+    "overload (high water 64): %d admitted, %d rejected, %d completed\n"
+    s.Swarm.admitted s.Swarm.rejected s.Swarm.completed;
+  if s.Swarm.rejected = 0 then
+    failwith "e15: overload burst was never rejected at the high-water mark";
+  if s.Swarm.completed <> s.Swarm.admitted then
+    failwith "e15: an admitted session did not complete under overload";
+  add "overload admitted" "count" (float_of_int s.Swarm.admitted);
+  add "overload rejected" "count" (float_of_int s.Swarm.rejected);
+  add "overload reject fraction" "fraction"
+    (float_of_int s.Swarm.rejected /. float_of_int s.Swarm.submitted);
+
+  (* -- lossy sweep: every second session on a 10%-drop channel; the
+     watchdogs repair the targeted half, the clean half must be
+     untouched (isolation over fault scope) --------------------------- *)
+  let s =
+    Swarm.run ~world
+      { base with Swarm.sessions = 250; drop_every = 2; drop = 0.10 }
+  in
+  Printf.printf "drop sweep (10%% on every 2nd sid): %s" (Swarm.to_text s);
+  if s.Swarm.poisoned <> 0 then
+    failwith "e15: channel loss poisoned a session";
+  if not (Swarm.isolation_ok s) then
+    failwith "e15: a session outside the fault scope failed to complete";
+  add "drop complete fraction" "fraction"
+    (float_of_int s.Swarm.completed /. float_of_int s.Swarm.admitted);
+  add "drop shed" "count" (float_of_int s.Swarm.shed);
+  add "drop flow latency p95" "sim-time" s.Swarm.lat_p95;
+
+  (* -- Byzantine sweep: every third session seats a mutation adversary;
+     the isolation gate is hard — 100% of untargeted sessions must
+     fully complete ---------------------------------------------------- *)
+  let s =
+    Swarm.run ~world
+      { base with Swarm.sessions = 250; byz_every = 3 }
+  in
+  Printf.printf "byzantine sweep (every 3rd sid): %s" (Swarm.to_text s);
+  if s.Swarm.poisoned <> 0 then
+    failwith "e15: a Byzantine seat poisoned its session (bytes must be \
+              rejected, not raised)";
+  if not (Swarm.isolation_ok s) then
+    failwith
+      (Printf.sprintf
+         "e15: isolation violated — %d/%d untargeted sessions fully complete"
+         s.Swarm.untargeted_full s.Swarm.untargeted);
+  add "byz targeted" "count" (float_of_int s.Swarm.targeted);
+  add "byz untargeted" "count" (float_of_int s.Swarm.untargeted);
+  add "byz untargeted complete fraction" "fraction"
+    (float_of_int s.Swarm.untargeted_full /. float_of_int s.Swarm.untargeted);
+  add "byz complete fraction" "fraction"
+    (float_of_int s.Swarm.completed /. float_of_int s.Swarm.admitted);
+  Printf.printf
+    "claim checked: 1000-session bursts replay byte-identically, overload is \
+     rejected not leaked, and scoped Byzantine pressure never touches an \
+     untargeted session\n"
+
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15) ]
 
 let () =
   parse_cli ();
@@ -1245,7 +1367,7 @@ let () =
   List.iter
     (fun name ->
       if not (List.mem_assoc name experiments) then (
-        Printf.eprintf "unknown experiment %S (have e1..e14)\n" name;
+        Printf.eprintf "unknown experiment %S (have e1..e15)\n" name;
         exit 2))
     !only;
   (* with --json, collect the trace/histograms too so the output file

@@ -3,7 +3,8 @@
 # gate (plus an injected-violation check proving the gate can fail, and
 # a JSON-determinism check), the bench regression gate
 # against the checked-in baseline (plus a perturbation check proving the
-# gate can fail), a bounded protocol-fuzz smoke, a deterministic
+# gate can fail), a bounded protocol-fuzz smoke, a 1000-session
+# concurrent-swarm determinism + isolation smoke, a deterministic
 # trace-export smoke, a byte-identical cost-profile export check, a
 # byte-identical churn-dashboard export check, and the demo's --metrics
 # and --prometheus reports.  Run from the repository root.
@@ -29,7 +30,9 @@ dash1=$(mktemp -d /tmp/shs_dash1_XXXXXX)
 dash2=$(mktemp -d /tmp/shs_dash2_XXXXXX)
 prom=$(mktemp /tmp/shs_prom_XXXXXX.txt)
 lintbad=$(mktemp -d /tmp/shs_lintbad_XXXXXX)
-trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2" "$prom"; rm -rf "$lintbad" "$prof1" "$prof2" "$dash1" "$dash2"' EXIT
+swarm1=$(mktemp /tmp/shs_swarm1_XXXXXX.txt)
+swarm2=$(mktemp /tmp/shs_swarm2_XXXXXX.txt)
+trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2" "$prom" "$swarm1" "$swarm2"; rm -rf "$lintbad" "$prof1" "$prof2" "$dash1" "$dash2"' EXIT
 
 echo "== lint gate: zero non-baselined findings =="
 dune build @lint
@@ -44,6 +47,19 @@ if dune exec bin/shs_lint.exe -- --root "$lintbad" --no-baseline > /dev/null; th
   exit 1
 fi
 
+echo "== lint gate: TOTAL-DECODE scope covers lib/core/engine =="
+# a partial decode entry planted under the session-engine directory must
+# be flagged, proving the scope's lib/core/ prefix reaches the subtree
+rm -f "$lintbad/lib/core/evil.ml"
+mkdir -p "$lintbad/lib/core/engine"
+cat > "$lintbad/lib/core/engine/evil_decode.ml" <<'EOF'
+let decode_frame s = Option.get (Wire.decode s)
+EOF
+if dune exec bin/shs_lint.exe -- --root "$lintbad" --no-baseline > /dev/null; then
+  echo "ci: lint gate missed a partial decode under lib/core/engine" >&2
+  exit 1
+fi
+
 echo "== lint determinism: identical JSON across runs =="
 dune exec bin/shs_lint.exe -- --json > "$lint1"
 dune exec bin/shs_lint.exe -- --json > "$lint2"
@@ -51,16 +67,19 @@ cmp "$lint1" "$lint2"
 grep -q '"schema": "shs-lint/1"' "$lint1"
 grep -q '"actionable": 0' "$lint1"
 
-echo "== bench regression gate: compare vs BENCH_7.json =="
-# the live gate runs the same invocation that generated BENCH_7.json,
+echo "== bench regression gate: compare vs BENCH_8.json =="
+# the live gate runs the same invocation that generated BENCH_8.json,
 # so the experiment sets match and the synthesized rows (per-experiment
 # "bigint.mul total", document-level "elapsed_s") are gated too.  e3
 # carries the multi-exponentiation count ablation and fails hard on its
 # own if the fixed-base arm loses its >= 2x mul cut over folded pow_mod;
 # e14 fails hard on its own if either tree scheme's churn telemetry
-# comes back empty or a tracked member fails to apply a rekey
-dune exec bench/main.exe -- --only e2,e3,e10,e11,e12,e13,e14 --quota 0.05 \
-  --json "$out" --compare BENCH_7.json
+# comes back empty or a tracked member fails to apply a rekey; e15
+# fails hard on its own if the 1000-session swarm is not byte-identical
+# across two seeded runs or any untargeted session under the Byzantine
+# sweep fails to complete
+dune exec bench/main.exe -- --only e2,e3,e10,e11,e12,e13,e14,e15 --quota 0.05 \
+  --json "$out" --compare BENCH_8.json
 grep -q '"verify muls (folded)"' "$out"
 grep -q '"verify muls (multi+fixed)"' "$out"
 grep -q '"spk muls (multi)"' "$out"
@@ -85,6 +104,12 @@ grep -q '"lkh rekey latency p50"' "$out"
 grep -q '"lkh tree size last"' "$out"
 grep -q '"oft tree size last"' "$out"
 grep -q '"oft rekey latency p95"' "$out"
+grep -q '"throughput"' "$out"
+grep -q '"flow latency p99"' "$out"
+grep -q '"overload rejected"' "$out"
+grep -q '"byz untargeted complete fraction"' "$out"
+grep -q '"engine.admitted"' "$out"
+grep -q '"engine.reaped"' "$out"
 
 echo "== bench regression gate: older baselines still hold (file vs file) =="
 # BENCH_3/BENCH_4/BENCH_6 cover subsets of the current experiment set,
@@ -96,7 +121,7 @@ dune exec bench/main.exe -- --compare BENCH_4.json --against "$out"
 dune exec bench/main.exe -- --compare BENCH_6.json --against "$out"
 
 echo "== bench regression gate: perturbed baseline must fail =="
-sed 's/"value": 745,/"value": 900,/' BENCH_3.json > "$perturbed"
+sed 's/"value": 508,/"value": 900,/' BENCH_3.json > "$perturbed"
 if cmp -s BENCH_3.json "$perturbed"; then
   echo "ci: perturbation did not change the baseline" >&2
   exit 1
@@ -114,6 +139,16 @@ if dune exec bench/main.exe -- --compare BENCH_5.json --against "$out"; then
   exit 1
 fi
 
+echo "== bench regression gate: pre-bounded-retx baseline must fail =="
+# BENCH_7.json predates the bounded watchdog retransmission history:
+# stale-phase eviction changes every lossy-channel trajectory, so its
+# e10/e11/e12 rows are frozen pre-eviction numbers — the gate must say
+# so (its e14 churn rows still hold; see the perturbation check below)
+if dune exec bench/main.exe -- --compare BENCH_7.json --against "$out"; then
+  echo "ci: compare gate failed to flag the bounded-retx trajectory shift" >&2
+  exit 1
+fi
+
 echo "== bench regression gate: perturbed churn telemetry must fail =="
 # flip the e14 tracked-delivery counts; the gate must flag the drift
 sed 's/"value": 2304,/"value": 999,/' BENCH_7.json > "$perturbed"
@@ -123,6 +158,20 @@ if cmp -s BENCH_7.json "$perturbed"; then
 fi
 if dune exec bench/main.exe -- --compare BENCH_7.json --against "$perturbed"; then
   echo "ci: compare gate failed to flag perturbed churn telemetry" >&2
+  exit 1
+fi
+
+echo "== bench regression gate: perturbed swarm telemetry must fail =="
+# flip the e15 overload-rejection count; the gate must flag the drift
+awk '/"series": "overload rejected",/ { hot = 1 }
+     hot && /"value":/ { sub(/"value": [0-9.eE+-]+,/, "\"value\": 1,"); hot = 0 }
+     { print }' BENCH_8.json > "$perturbed"
+if cmp -s BENCH_8.json "$perturbed"; then
+  echo "ci: perturbation did not change the swarm baseline" >&2
+  exit 1
+fi
+if dune exec bench/main.exe -- --compare BENCH_8.json --against "$perturbed"; then
+  echo "ci: compare gate failed to flag perturbed swarm telemetry" >&2
   exit 1
 fi
 
@@ -136,6 +185,20 @@ dune exec bin/shs_demo.exe -- fuzz --sessions 5 > "$fuzz1"
 dune exec bin/shs_demo.exe -- fuzz --sessions 5 > "$fuzz2"
 cmp "$fuzz1" "$fuzz2"
 grep -q 'all invariants held' "$fuzz1"
+
+echo "== swarm smoke: 1000 concurrent sessions, byte-identical summaries =="
+# the concurrent-session engine at CI scale: 1000 Poisson arrivals over
+# one scheduler with every 5th session on a lossy channel and every 7th
+# seating a Byzantine adversary.  shs_demo swarm exits nonzero if any
+# untargeted session fails (the isolation gate), and two identically
+# seeded runs must agree to the byte
+dune exec bin/shs_demo.exe -- swarm --sessions 1000 --members 4 \
+  --drop-every 5 --byz-every 7 > "$swarm1"
+dune exec bin/shs_demo.exe -- swarm --sessions 1000 --members 4 \
+  --drop-every 5 --byz-every 7 > "$swarm2"
+cmp "$swarm1" "$swarm2"
+grep -q '1000 submitted, 1000 admitted' "$swarm1"
+grep -q '100% of untargeted sessions complete' "$swarm1"
 
 echo "== trace smoke: deterministic Chrome trace export =="
 dune exec bin/shs_demo.exe -- trace --drop 0.2 --net-seed 7 -o "$trace1" > /dev/null

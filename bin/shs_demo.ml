@@ -661,6 +661,52 @@ let run_dashboard scheme capacity tracked events seed cadence out =
   0
 
 (* ------------------------------------------------------------------ *)
+(* swarm                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_swarm sessions m mean_gap seed drop drop_every byz_every high_water
+    deadline out =
+  let cfg =
+    { Swarm.default with
+      Swarm.sessions;
+      m;
+      mean_gap;
+      world_seed = seed;
+      drop;
+      drop_every;
+      byz_every;
+      high_water;
+      deadline;
+      roster = max Swarm.default.Swarm.roster m;
+    }
+  in
+  Printf.printf
+    "Bursting %d sessions (m=%d, mean gap %g sim-s, seed %d) at one engine \
+     (high water %d)...\n%!"
+    sessions m mean_gap seed high_water;
+  let s = Swarm.run cfg in
+  print_string (Swarm.to_text s);
+  (match out with
+   | None -> ()
+   | Some prefix ->
+     let write path text =
+       let oc = open_out_bin path in
+       output_string oc text;
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     in
+     let title =
+       Printf.sprintf "shs swarm: %d sessions, m=%d, seed %d" sessions m seed
+     in
+     write (prefix ^ ".csv") (Obs_series.to_csv s.Swarm.recorder);
+     write (prefix ^ ".html") (Obs_series.to_html ~title s.Swarm.recorder));
+  if Swarm.isolation_ok s then 0
+  else begin
+    prerr_endline "isolation violated: an untargeted session failed";
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1018,6 +1064,72 @@ let dashboard_cmd =
       const run $ verbose_flag $ scheme_t $ capacity_t $ tracked_t $ events_t
       $ seed_t $ cadence_t $ out_t)
 
+let swarm_cmd =
+  let sessions_t =
+    Arg.(value & opt int 200
+         & info [ "sessions" ] ~doc:"Total session arrivals to burst.")
+  in
+  let m_t =
+    Arg.(value & opt int 4 & info [ "m"; "members" ] ~doc:"Seats per session.")
+  in
+  let gap_t =
+    Arg.(value & opt float 0.05
+         & info [ "mean-gap" ]
+             ~doc:"Mean Poisson inter-arrival gap in sim-seconds.")
+  in
+  let drop_t =
+    Arg.(value & opt float 0.05
+         & info [ "drop" ]
+             ~doc:"Per-copy drop probability on fault-targeted sessions.")
+  in
+  let drop_every_t =
+    Arg.(value & opt int 0
+         & info [ "drop-every" ] ~docv:"K"
+             ~doc:"Give every $(docv)th session (sid mod $(docv) = 0) a lossy \
+                   channel; 0 disables fault targeting.")
+  in
+  let byz_every_t =
+    Arg.(value & opt int 0
+         & info [ "byz-every" ] ~docv:"K"
+             ~doc:"Seat a Byzantine mutation adversary on every $(docv)th \
+                   session; 0 disables attack targeting.")
+  in
+  let high_water_t =
+    Arg.(value & opt int 4096
+         & info [ "high-water" ]
+             ~doc:"Admission-control cap on concurrently live sessions.")
+  in
+  let deadline_t =
+    Arg.(value & opt float 240.0
+         & info [ "deadline" ]
+             ~doc:"Sim-time budget per session before it is shed.")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"PREFIX"
+             ~doc:"Also export telemetry as $(docv).csv and $(docv).html.")
+  in
+  let run debug sessions m gap seed drop drop_every byz_every high_water
+      deadline out =
+    setup_logging debug;
+    try
+      run_swarm sessions m gap seed drop drop_every byz_every high_water
+        deadline out
+    with Invalid_argument msg | Failure msg -> prerr_endline msg; 1
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Burst hundreds of concurrent handshake sessions at one \
+          multi-session engine: Poisson arrivals, bounded inboxes, admission \
+          control, deadline shedding and scoped fault/Byzantine targeting.  \
+          Prints the deterministic summary (byte-identical across runs of \
+          the same seeds); exits nonzero if any untargeted session fails \
+          (isolation violation).")
+    Term.(
+      const run $ verbose_flag $ sessions_t $ m_t $ gap_t $ seed_t $ drop_t
+      $ drop_every_t $ byz_every_t $ high_water_t $ deadline_t $ out_t)
+
 let main =
   (* [handshake] doubles as the default command, so
      [shs_demo -- --metrics] works without naming a subcommand *)
@@ -1025,7 +1137,7 @@ let main =
     (Cmd.info "shs_demo" ~version:"1.0.0"
        ~doc:"Multi-party secret handshakes (GCD framework) demo driver")
     [ handshake_cmd; lifecycle_cmd; trace_cmd; profile_cmd; params_cmd;
-      fuzz_cmd; dashboard_cmd; init_cmd; add_cmd; revoke_cmd; members_cmd;
-      run_cmd ]
+      fuzz_cmd; dashboard_cmd; swarm_cmd; init_cmd; add_cmd; revoke_cmd;
+      members_cmd; run_cmd ]
 
 let () = exit (Cmd.eval' main)

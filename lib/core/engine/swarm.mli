@@ -1,0 +1,71 @@
+(** Burst-arrival handshake workload over {!Shs_engine}: Poisson
+    arrivals from a dedicated DRBG stream, [m] same-group seats per
+    session rotated over a small shared roster, optional fault /
+    Byzantine targeting scoped to a subset of sids.  Deterministic in
+    the config seeds; drives bench e15 and [shs_demo swarm]. *)
+
+type config = {
+  sessions : int;  (** total arrivals *)
+  m : int;  (** seats per session *)
+  mean_gap : float;  (** mean Poisson inter-arrival gap (sim-s) *)
+  world_seed : int;
+  fault_seed : int;
+  attack_seed : int;
+  drop : float;  (** per-copy drop probability for fault-scoped sessions *)
+  drop_every : int;  (** 0 = none; else target sids with [sid mod k = 0] *)
+  byz_every : int;  (** 0 = none; else Byzantine seat on [sid mod k = 0] *)
+  high_water : int;
+  inbox_capacity : int;
+  service_time : float;
+  deadline : float;
+  roster : int;  (** members enrolled in the shared world *)
+  cadence : float;  (** telemetry scrape interval (sim-s) *)
+}
+
+val default : config
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  rejected : int;  (** refused by admission control ([Overloaded]) *)
+  completed : int;
+  shed : int;
+  poisoned : int;
+  full_complete : int;  (** sessions where every seat terminated Complete *)
+  targeted : int;  (** admitted sessions under a fault or attack scope *)
+  untargeted : int;
+  untargeted_full : int;
+  duration : float;  (** sim time at drain *)
+  throughput : float;  (** completed sessions per sim-second *)
+  lat_p50 : float;  (** session flow latency: admission to reap (sim-s) *)
+  lat_p95 : float;
+  lat_p99 : float;
+  recorder : Obs_series.t;
+  reports : Shs_engine.report list;
+      (** per-session terminal reports in reaping order (oldest first) *)
+}
+
+val isolation_ok : summary -> bool
+(** Every untargeted session fully completed — the hard gate of the
+    Byzantine sweep. *)
+
+val world :
+  seed:int -> roster:int -> unit ->
+  Scheme1.authority * Scheme1.member array
+(** Build the shared member world (expensive: [roster] admissions);
+    pass it to {!run} to amortize across sweeps. *)
+
+val run :
+  ?world:Scheme1.authority * Scheme1.member array ->
+  ?fault_scope:(int -> bool) ->
+  ?attack_scope:(int -> bool) ->
+  config ->
+  summary
+(** Run the workload to quiescence.  [fault_scope] / [attack_scope]
+    override the [drop_every] / [byz_every] sid predicates.  A supplied
+    [world] must have been built with the same seed/roster as the
+    config for runs to be reproducible from the config alone. *)
+
+val to_text : summary -> string
+(** Deterministic multi-line rendering (sim-time quantities only);
+    byte-identical across identically-seeded runs. *)

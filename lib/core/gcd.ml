@@ -632,19 +632,23 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
        injects raising adversaries) cannot leak gauge population *)
     Obs.gauge_add live_sessions_gauge 1;
     Array.iter (fun p -> Obs.gauge_add phase_gauges.(p.obs_phase) 1) parties;
+    (* per-party send history, for watchdog retransmission: the protocol
+       state machines ignore exact duplicates, so replaying everything a
+       party ever said is safe and repairs any earlier loss.  Bounded
+       (stale-phase eviction + hard cap, see {!Retx}) so concurrent
+       sessions never hold unbounded byte buffers. *)
+    let history = Array.init n (fun _ -> Retx.create ()) in
     Fun.protect
       ~finally:(fun () ->
         Obs.gauge_sub live_sessions_gauge 1;
+        Array.iter Retx.clear history;
         Array.iter
           (fun p -> Obs.gauge_sub phase_gauges.(p.obs_phase) 1)
           parties)
     @@ fun () ->
-    (* per-party send history, for watchdog retransmission: the protocol
-       state machines ignore exact duplicates, so replaying everything a
-       party ever said is safe and repairs any earlier loss *)
-    let history = Array.make n [] in
     let emit self msgs =
-      history.(self) <- history.(self) @ msgs;
+      Retx.record history.(self) ~phase:(phase_of parties.(self)) msgs;
+      if parties.(self).outcome <> None then Retx.clear history.(self);
       List.iter
         (fun (dst, payload) ->
           match dst with
@@ -674,18 +678,27 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
        then invalid_arg "Gcd.run_session: bad watchdog policy";
        let sim = Engine.sim net in
        let resend self =
-         Obs.add retransmissions_counter (List.length history.(self));
+         (* frames below every peer's current phase can repair nothing
+            anymore: drop them before replaying what remains *)
+         let min_peer_phase = ref 3 in
+         Array.iteri
+           (fun j p ->
+             if j <> self then min_peer_phase := min !min_peer_phase (phase_of p))
+           parties;
+         Retx.evict_stale history.(self) ~min_peer_phase:!min_peer_phase;
+         let frames = Retx.frames history.(self) in
+         Obs.add retransmissions_counter (List.length frames);
          if Obs.events_enabled () then
            Obs.instant "gcd.retransmit"
              ~args:
                [ ("party", string_of_int self);
-                 ("msgs", string_of_int (List.length history.(self))) ];
+                 ("msgs", string_of_int (List.length frames)) ];
          List.iter
            (fun (dst, payload) ->
              match dst with
              | None -> Engine.broadcast net ~src:self payload
              | Some dst -> Engine.send net ~src:self ~dst payload)
-           history.(self)
+           frames
        in
        let rec arm self ~phase ~attempt ~delay =
          Sim.schedule sim ~delay (fun () ->
@@ -730,6 +743,32 @@ module Make (G : Gsig_intf.S) (C : Cgkd_intf.S) (D : Dgka_intf.S) = struct
     { Gcd_types.outcomes = Array.map outcome parties;
       stats = Engine.stats net;
       duration = Sim.now (Engine.sim net);
+    }
+
+  (* A scheme-erased handle for the concurrent-session scheduler
+     ({!Shs_engine}): the engine drives seats by index, so the abstract
+     [party] type never leaves the functor.  Parties are created here —
+     callers that must not pay the DGKA setup cost for sessions that may
+     be refused admission should defer the call (the scheduler takes a
+     [unit -> driver] thunk for exactly that reason). *)
+  let engine_driver ?(allow_partial = true) ?(two_phase = false)
+      ?(hooks = default_hooks) ~fmt participants =
+    let n = Array.length participants in
+    if n < 2 then invalid_arg "Gcd.engine_driver: need at least two parties";
+    let parties =
+      Array.mapi
+        (fun self pt ->
+          make_party ~role:pt.p_role ~self ~n ~fmt ~hooks ~allow_partial
+            ~two_phase ~rng:pt.p_rng)
+        participants
+    in
+    { Gcd_types.dr_n = n;
+      dr_start = (fun self -> start parties.(self));
+      dr_receive = (fun self ~src ~payload -> receive parties.(self) ~src payload);
+      dr_force = (fun self -> force_progress parties.(self));
+      dr_outcome = (fun self -> outcome parties.(self));
+      dr_phase = (fun self -> phase_of parties.(self));
+      dr_obs_phase = (fun self -> parties.(self).obs_phase);
     }
 
   (* ---------------------------------------------------------------- *)

@@ -76,3 +76,23 @@ type session_result = {
   stats : Engine.stats;
   duration : float;  (** simulated time consumed by the session *)
 }
+
+(** A scheme-erased handle on one session's party state machines,
+    indexed by seat.  {!Gcd.Make.engine_driver} builds one; the
+    concurrent-session scheduler ({!Shs_engine}) drives it without
+    knowing the instantiation's [party] type.  All functions may raise
+    (a poisoned seat); the scheduler contains the blast radius. *)
+type driver = {
+  dr_n : int;  (** number of seats *)
+  dr_start : int -> (int option * string) list;
+      (** kick a seat off; returns [(dst, payload)] messages
+          ([None] = broadcast) *)
+  dr_receive : int -> src:int -> payload:string -> (int option * string) list;
+  dr_force : int -> (int option * string) list;
+      (** force the seat one phase forward (§7 indistinguishable abort
+          on missing data); repeated application always terminates it *)
+  dr_outcome : int -> outcome option;
+  dr_phase : int -> int;  (** watchdog phase marker, 0..3 *)
+  dr_obs_phase : int -> int;
+      (** phase currently registered on the live-phase gauges *)
+}

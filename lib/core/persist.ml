@@ -18,13 +18,31 @@ let dl_group () = Lazy.force Params.schnorr_512
 
 (** Loading state from disk never raises: OS-level failures and corrupt
     bytes both come back as a typed error naming what went wrong. *)
+
+(** Why saved bytes failed to decode — a crash mid-write shows up as
+    [Truncation] (the frame is cut short), while bit rot or tampering
+    inside an intact frame shows up as [Bad_field].  Callers use the
+    split to pick a recovery story: a truncated checkpoint usually means
+    "fall back to the previous one", a bad field means the file is the
+    right shape but its contents cannot be trusted at all. *)
+type corruption =
+  | Truncation  (** the wire frame itself is cut short *)
+  | Bad_field  (** framing is intact but the tag or a field is invalid *)
+
+let corruption_to_string = function
+  | Truncation -> "truncation"
+  | Bad_field -> "bad field"
+
 type load_error =
   | Io_error of string  (** the OS message: missing file, permissions, ... *)
-  | Corrupt of string  (** bytes were read but do not decode as [what] *)
+  | Corrupt of { what : string; detail : corruption }
+      (** bytes were read but do not decode as [what] *)
 
 let load_error_to_string = function
   | Io_error msg -> "io error: " ^ msg
-  | Corrupt what -> "corrupt state: not a valid " ^ what
+  | Corrupt { what; detail } ->
+    Printf.sprintf "corrupt state: not a valid %s (%s)" what
+      (corruption_to_string detail)
 
 let read_file path =
   match open_in_bin path with
@@ -45,9 +63,17 @@ let load ~what import path =
     (match import s with
      | Some v -> Ok v
      | None ->
+       (* the importer only says "no"; re-running the strict decoder on
+          the raw bytes tells truncation apart from field corruption *)
+       let detail =
+         match Wire.decode_strict s with
+         | Error Wire.Truncated -> Truncation
+         | Ok _ | Error (Wire.Trailing_garbage | Wire.Length_overflow) ->
+           Bad_field
+       in
        Shs_error.reject ~layer:"persist" Shs_error.Malformed
-         ~args:[ ("what", what) ];
-       Error (Corrupt what))
+         ~args:[ ("what", what); ("detail", corruption_to_string detail) ];
+       Error (Corrupt { what; detail }))
 
 module type STORE = sig
   type authority

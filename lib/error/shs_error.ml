@@ -1,13 +1,14 @@
-type reason = Malformed | Replayed | Forged | Stale | Internal
+type reason = Malformed | Replayed | Forged | Stale | Overloaded | Internal
 
 let reason_to_string = function
   | Malformed -> "malformed"
   | Replayed -> "replayed"
   | Forged -> "forged"
   | Stale -> "stale"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
-let all_reasons = [ Malformed; Replayed; Forged; Stale; Internal ]
+let all_reasons = [ Malformed; Replayed; Forged; Stale; Overloaded; Internal ]
 
 (* Obs interns counters by name; the table here only avoids rebuilding
    the name strings on the reject path. *)

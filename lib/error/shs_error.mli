@@ -21,6 +21,11 @@ type reason =
           (exact duplicates are channel noise, not rejections) *)
   | Forged  (** claims an impossible or unauthorized origin *)
   | Stale  (** arrived after the session reached a terminal outcome *)
+  | Overloaded
+      (** refused by admission control: the engine is past its
+          high-water mark.  From the peer's view this is
+          indistinguishable from an ordinary abort (no reply either
+          way) — the §7 argument extended to overload. *)
   | Internal  (** reserved: local invariant violation, not peer input *)
 
 val reason_to_string : reason -> string

@@ -37,9 +37,9 @@ type t = {
   mutable started : bool;
 }
 
-let create ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?adversary ?faults ~n () =
+let create ?sim ?(latency = fun ~src:_ ~dst:_ -> 1.0) ?adversary ?faults ~n () =
   if n <= 0 then invalid_arg "Engine.create: need at least one party";
-  { sim = Sim.create ();
+  { sim = (match sim with Some s -> s | None -> Sim.create ());
     n;
     receivers = Array.make n None;
     latency;
@@ -181,8 +181,10 @@ let send t ~src ~dst payload =
     deliver t ~src ~dst payload
   end
 
+let start t = t.started <- true
+
 let run t =
-  t.started <- true;
+  start t;
   Sim.run t.sim
 
 let stats t =

@@ -44,6 +44,7 @@ type decision =
 type adversary = src:int -> dst:int -> payload:string -> decision
 
 val create :
+  ?sim:Sim.t ->
   ?latency:(src:int -> dst:int -> float) ->
   ?adversary:adversary ->
   ?faults:Faults.t ->
@@ -52,7 +53,11 @@ val create :
   t
 (** Default latency: 1.0 for every link.  A [latency] function returning
     a negative (or NaN) value raises [Invalid_argument] naming the link,
-    at send time. *)
+    at send time.  [sim] shares an external scheduler instead of creating
+    a private one — the concurrent-session engine ({!Shs_engine})
+    multiplexes many per-session engines over one [Sim] this way; with a
+    shared scheduler, drive it with {!start} + [Sim.run] rather than
+    {!run}. *)
 
 val n_parties : t -> int
 val sim : t -> Sim.t
@@ -68,6 +73,11 @@ val broadcast : t -> src:int -> string -> unit
     A no-op if [src] has crash-stopped under the fault plan. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
+
+val start : t -> unit
+(** Mark the engine live (deliveries to receiver-less parties become
+    errors) without running the scheduler — for engines on a shared
+    [?sim] whose owner drives [Sim.run] itself. *)
 
 val run : t -> unit
 (** Run the simulation to quiescence. *)

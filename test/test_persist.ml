@@ -333,14 +333,40 @@ let test_typed_load_errors () =
    | Error (Persist.Io_error _) -> ()
    | Error (Persist.Corrupt _) -> Alcotest.fail "missing file reported as corrupt"
    | Ok _ -> Alcotest.fail "loaded a missing file");
-  (* corrupt bytes are a typed Corrupt naming what failed to decode *)
+  (* corrupt bytes are a typed Corrupt naming what failed to decode and
+     why: arbitrary junk reads as a cut-short frame *)
   let junk = write "not an authority" in
   Alcotest.(check (result reject load_err))
-    "corrupt authority" (Error (Persist.Corrupt "scheme1 authority state"))
+    "corrupt authority"
+    (Error
+       (Persist.Corrupt
+          { what = "scheme1 authority state"; detail = Persist.Truncation }))
     (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_authority ~rng:(rng_of 1) junk));
   Alcotest.(check (result reject load_err))
-    "corrupt member" (Error (Persist.Corrupt "scheme1 member state"))
+    "corrupt member"
+    (Error
+       (Persist.Corrupt
+          { what = "scheme1 member state"; detail = Persist.Truncation }))
     (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_member ~rng:(rng_of 1) junk));
+  (* a crash mid-write (valid prefix, frame cut short) is Truncation... *)
+  let ga_bytes = Persist.Scheme1_store.export_authority ga in
+  let torn = write (String.sub ga_bytes 0 (String.length ga_bytes / 2)) in
+  Alcotest.(check (result reject load_err))
+    "torn write is truncation"
+    (Error
+       (Persist.Corrupt
+          { what = "scheme1 authority state"; detail = Persist.Truncation }))
+    (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_authority ~rng:(rng_of 1) torn));
+  (* ...while an intact frame whose fields do not import is Bad_field *)
+  let rotted =
+    write (Wire.encode ~tag:"s1-ga" [ "schnorr_512"; "x"; "y"; "z" ])
+  in
+  Alcotest.(check (result reject load_err))
+    "intact frame, rotten fields"
+    (Error
+       (Persist.Corrupt
+          { what = "scheme1 authority state"; detail = Persist.Bad_field }))
+    (Result.map (fun _ -> ()) (Persist.Scheme1_store.load_authority ~rng:(rng_of 1) rotted));
   (* and the happy path round-trips through disk *)
   let ga_path = write (Persist.Scheme1_store.export_authority ga) in
   let m_path = write (Persist.Scheme1_store.export_member alice) in
@@ -350,6 +376,101 @@ let test_typed_load_errors () =
   (match Persist.Scheme1_store.load_member ~rng:(rng_of 6223) m_path with
    | Ok m -> Alcotest.(check string) "uid survives disk" "alice" (Scheme1.member_uid m)
    | Error e -> Alcotest.fail ("member load: " ^ Persist.load_error_to_string e));
+  List.iter Sys.remove !cleanup
+
+(* Crash recovery across a live session: checkpoint the durable world
+   while a handshake sits mid-Phase-II, abort the interrupted session
+   (crashed sessions terminate, they never leak), reload the checkpoint
+   through the typed load path, and drive the restored world to a
+   terminal Complete outcome. *)
+let test_mid_phase2_checkpoint () =
+  let cleanup = ref [] in
+  let write bytes =
+    let path = Filename.temp_file "shs-checkpoint" ".state" in
+    cleanup := path :: !cleanup;
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    path
+  in
+  let ga = Scheme1.default_authority ~rng:(rng_of 630) () in
+  let alice, _ = Option.get (Scheme1.admit ga ~uid:"alice" ~member_rng:(rng_of 6301)) in
+  let bob, upd = Option.get (Scheme1.admit ga ~uid:"bob" ~member_rng:(rng_of 6302)) in
+  assert (Scheme1.update alice upd);
+  let fmt = Scheme1.default_format ga in
+  let d =
+    Scheme1.engine_driver ~fmt
+      [| Scheme1.participant_of_member alice; Scheme1.participant_of_member bob |]
+  in
+  (* hand-deliver messages until seat 0 holds K' — past Phase I, no
+     terminal outcome: the middle of Phase II — then stop (the crash) *)
+  let q = Queue.create () in
+  let push src msgs =
+    List.iter
+      (fun (dst, payload) ->
+        for j = 0 to 1 do
+          if j <> src && (dst = None || dst = Some j) then
+            Queue.push (j, src, payload) q
+        done)
+      msgs
+  in
+  push 0 (d.Gcd_types.dr_start 0);
+  push 1 (d.Gcd_types.dr_start 1);
+  let rec pump () =
+    if d.Gcd_types.dr_phase 0 < 1 then
+      match Queue.take_opt q with
+      | None -> Alcotest.fail "ran out of messages before Phase II"
+      | Some (dst, src, payload) ->
+        push dst (d.Gcd_types.dr_receive dst ~src ~payload);
+        pump ()
+  in
+  pump ();
+  Alcotest.(check int) "seat 0 is mid-Phase-II" 1 (d.Gcd_types.dr_phase 0);
+  Alcotest.(check bool) "no terminal outcome yet" true
+    (d.Gcd_types.dr_outcome 0 = None);
+  (* checkpoint the durable state at this instant *)
+  let ga_path = write (Persist.Scheme1_store.export_authority ga) in
+  let a_path = write (Persist.Scheme1_store.export_member alice) in
+  let b_path = write (Persist.Scheme1_store.export_member bob) in
+  (* the interrupted session is forced to the §7 indistinguishable abort *)
+  for seat = 0 to 1 do
+    for _ = 1 to 4 do
+      if d.Gcd_types.dr_outcome seat = None then
+        ignore (d.Gcd_types.dr_force seat)
+    done;
+    match d.Gcd_types.dr_outcome seat with
+    | Some o ->
+      Alcotest.(check bool) "interrupted session aborts" true
+        (o.Gcd_types.termination = Gcd_types.Aborted)
+    | None -> Alcotest.fail "interrupted seat leaked without an outcome"
+  done;
+  (* reload everything through the typed load_error path *)
+  let ok what = function
+    | Ok v -> v
+    | Error e ->
+      Alcotest.fail (what ^ ": " ^ Persist.load_error_to_string e)
+  in
+  let ga' =
+    ok "authority" (Persist.Scheme1_store.load_authority ~rng:(rng_of 6303) ga_path)
+  in
+  let alice' =
+    ok "alice" (Persist.Scheme1_store.load_member ~rng:(rng_of 6304) a_path)
+  in
+  let bob' =
+    ok "bob" (Persist.Scheme1_store.load_member ~rng:(rng_of 6305) b_path)
+  in
+  (* the restored world's session reaches a terminal Complete outcome *)
+  let fmt' = Scheme1.default_format ga' in
+  let r =
+    Scheme1.run_session ~fmt:fmt'
+      [| Scheme1.participant_of_member alice'; Scheme1.participant_of_member bob' |]
+  in
+  (match (r.Gcd_types.outcomes.(0), r.Gcd_types.outcomes.(1)) with
+   | Some o0, Some o1 ->
+     Alcotest.(check bool) "restored session completes" true
+       (o0.Gcd_types.termination = Gcd_types.Complete
+       && o0.Gcd_types.accepted && o1.Gcd_types.accepted)
+   | _ -> Alcotest.fail "restored session left seats without outcomes");
   List.iter Sys.remove !cleanup
 
 (* cross-scheme confusion must be rejected *)
@@ -385,5 +506,7 @@ let () =
           Alcotest.test_case "scheme2 saved member, byte by byte" `Slow
             test_corrupt_saved_world_scheme2;
           Alcotest.test_case "typed load errors" `Quick test_typed_load_errors;
+          Alcotest.test_case "mid-Phase-II checkpoint recovery" `Slow
+            test_mid_phase2_checkpoint;
         ] );
     ]
