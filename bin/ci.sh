@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI entry point: full build, test suite, the shs_lint static-analysis
-# gate (plus an injected-violation check proving the gate can fail, and
-# a JSON-determinism check), the bench regression gate
+# gates — untyped and typed whole-program passes, each with an
+# injected-violation check proving the gate can fail, and a
+# JSON-determinism check per pass — the bench regression gate
 # against the checked-in baseline (plus a perturbation check proving the
 # gate can fail), a bounded protocol-fuzz smoke, a 1000-session
 # concurrent-swarm determinism + isolation smoke, a deterministic
@@ -32,7 +33,7 @@ prom=$(mktemp /tmp/shs_prom_XXXXXX.txt)
 lintbad=$(mktemp -d /tmp/shs_lintbad_XXXXXX)
 swarm1=$(mktemp /tmp/shs_swarm1_XXXXXX.txt)
 swarm2=$(mktemp /tmp/shs_swarm2_XXXXXX.txt)
-trap 'rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2" "$prom" "$swarm1" "$swarm2"; rm -rf "$lintbad" "$prof1" "$prof2" "$dash1" "$dash2"' EXIT
+trap 'if [ -f "$lintbad/dhies.ml.orig" ]; then mv "$lintbad/dhies.ml.orig" lib/pke/dhies.ml; fi; rm -f "$out" "$perturbed" "$trace1" "$trace2" "$fuzz1" "$fuzz2" "$lint1" "$lint2" "$prom" "$swarm1" "$swarm2"; rm -rf "$lintbad" "$prof1" "$prof2" "$dash1" "$dash2"' EXIT
 
 echo "== lint gate: zero non-baselined findings =="
 dune build @lint
@@ -64,7 +65,38 @@ echo "== lint determinism: identical JSON across runs =="
 dune exec bin/shs_lint.exe -- --json > "$lint1"
 dune exec bin/shs_lint.exe -- --json > "$lint2"
 cmp "$lint1" "$lint2"
-grep -q '"schema": "shs-lint/1"' "$lint1"
+grep -q '"schema": "shs-lint/2"' "$lint1"
+grep -q '"actionable": 0' "$lint1"
+
+echo "== typed lint gate: zero non-baselined findings =="
+dune build @lint-typed
+
+echo "== typed lint gate: injected secret-flow leak must fail =="
+# temporarily patch dhies to print the [@shs.secret]-tagged decryption
+# exponent: the whole-program taint pass must trace the flow through
+# Bigint.to_hex into Format.printf and fail the gate; the patch is
+# reverted (also by the EXIT trap) before any later step runs
+cp lib/pke/dhies.ml "$lintbad/dhies.ml.orig"
+awk '{ print } /\[@shs\.secret\]\) in$/ { print "  Format.printf \"x=%s@.\" (B.to_hex x);" }' \
+  "$lintbad/dhies.ml.orig" > lib/pke/dhies.ml
+if cmp -s "$lintbad/dhies.ml.orig" lib/pke/dhies.ml; then
+  echo "ci: leak injection did not change dhies.ml" >&2
+  exit 1
+fi
+dune build @all 2> /dev/null
+if dune exec bin/shs_lint.exe -- --typed --no-baseline --quiet > /dev/null; then
+  echo "ci: typed gate failed to flag an injected secret-print leak" >&2
+  exit 1
+fi
+mv "$lintbad/dhies.ml.orig" lib/pke/dhies.ml
+dune build @all
+
+echo "== typed lint determinism: identical JSON across whole-program runs =="
+dune exec bin/shs_lint.exe -- --typed --json > "$lint1"
+dune exec bin/shs_lint.exe -- --typed --json > "$lint2"
+cmp "$lint1" "$lint2"
+grep -q '"schema": "shs-lint/2"' "$lint1"
+grep -q '"pass": "typed"' "$lint1"
 grep -q '"actionable": 0' "$lint1"
 
 echo "== bench regression gate: compare vs BENCH_8.json =="
@@ -131,32 +163,14 @@ if dune exec bench/main.exe -- --compare BENCH_3.json --against "$perturbed"; th
   exit 1
 fi
 
-echo "== bench regression gate: pre-multi-exp baseline must fail =="
-# BENCH_5.json predates the multi-exponentiation fast path; its e13
-# per-frame mul counts are ~3x today's, and the gate must say so
-if dune exec bench/main.exe -- --compare BENCH_5.json --against "$out"; then
-  echo "ci: compare gate failed to flag the multi-exp mul-count shift" >&2
-  exit 1
-fi
-
-echo "== bench regression gate: pre-bounded-retx baseline must fail =="
-# BENCH_7.json predates the bounded watchdog retransmission history:
-# stale-phase eviction changes every lossy-channel trajectory, so its
-# e10/e11/e12 rows are frozen pre-eviction numbers — the gate must say
-# so (its e14 churn rows still hold; see the perturbation check below)
-if dune exec bench/main.exe -- --compare BENCH_7.json --against "$out"; then
-  echo "ci: compare gate failed to flag the bounded-retx trajectory shift" >&2
-  exit 1
-fi
-
 echo "== bench regression gate: perturbed churn telemetry must fail =="
 # flip the e14 tracked-delivery counts; the gate must flag the drift
-sed 's/"value": 2304,/"value": 999,/' BENCH_7.json > "$perturbed"
-if cmp -s BENCH_7.json "$perturbed"; then
+sed 's/"value": 2304,/"value": 999,/' BENCH_8.json > "$perturbed"
+if cmp -s BENCH_8.json "$perturbed"; then
   echo "ci: perturbation did not change the churn baseline" >&2
   exit 1
 fi
-if dune exec bench/main.exe -- --compare BENCH_7.json --against "$perturbed"; then
+if dune exec bench/main.exe -- --compare BENCH_8.json --against "$perturbed"; then
   echo "ci: compare gate failed to flag perturbed churn telemetry" >&2
   exit 1
 fi

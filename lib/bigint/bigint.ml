@@ -335,6 +335,47 @@ let compare a b =
   else Nat.compare b.mag a.mag
 
 let equal a b = compare a b = 0
+
+(* Constant-time comparisons.  [compare]/[equal] above go through
+   [Nat.compare], which early-exits on the first differing limb — fine
+   for public values, an exploitable timing oracle when either operand
+   is (derived from) a secret.  These variants scan every limb of the
+   longer magnitude unconditionally, so their running time depends only
+   on max(limb count), which is public (bounded by the modulus width);
+   signs and limb counts themselves are treated as public. *)
+
+let equal_ct a b =
+  let la = Array.length a.mag and lb = Array.length b.mag in
+  let n = if la > lb then la else lb in
+  let acc = ref (a.sign lxor b.sign) in
+  for i = 0 to n - 1 do
+    let av = if i < la then a.mag.(i) else 0 in
+    let bv = if i < lb then b.mag.(i) else 0 in
+    acc := !acc lor (av lxor bv)
+  done;
+  !acc = 0
+
+let compare_ct a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else begin
+    (* Magnitude compare without early exit: visit every limb from the
+       bottom up, keeping the most-significant difference seen.  The
+       select is arithmetic, not a branch, so the loop body's timing is
+       limb-value independent (limbs are < 2^26, differences fit). *)
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let n = if la > lb then la else lb in
+    let r = ref 0 in
+    for i = 0 to n - 1 do
+      let av = if i < la then a.mag.(i) else 0 in
+      let bv = if i < lb then b.mag.(i) else 0 in
+      let d = av - bv in
+      (* s = sign d in {-1, 0, 1}: bit 62 is the native-int sign bit *)
+      let s = (d asr 62) lor ((-d) lsr 62) in
+      r := (s * s * s) + ((1 - (s * s)) * !r)
+    done;
+    if a.sign >= 0 then !r else - !r
+  end
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
@@ -449,7 +490,9 @@ let ext_gcd a b =
 let invert a m =
   if !Prof.active then Prof.charge Prof.Inv ~words:(Array.length m.mag);
   let g, u, _ = ext_gcd (erem a m) m in
-  if not (equal g one) then raise Not_found;
+  (* [a] is routinely a secret trapdoor (group orders, tracing keys);
+     the invertibility check must not leak how close g is to 1. *)
+  if not (equal_ct g one) then raise Not_found;
   erem u m
 
 let pow_mod_naive b e m =

@@ -40,7 +40,25 @@ val pp : Format.formatter -> t -> unit
 (** {1 Comparison} *)
 
 val compare : t -> t -> int
+(** Total order; early-exits on the first differing limb, so its timing
+    leaks where two values diverge.  Public values only — use
+    {!compare_ct} when either operand derives from a secret. *)
+
 val equal : t -> t -> bool
+(** [compare a b = 0]; same timing caveat as {!compare}. *)
+
+val compare_ct : t -> t -> int
+(** Like {!compare}, but scans every limb with no early exit: running
+    time depends only on the larger operand's limb count (public —
+    bounded by the modulus width), never on limb values.  Signs and
+    limb counts are treated as public. *)
+
+val equal_ct : t -> t -> bool
+(** Constant-time equality, same public-shape model as {!compare_ct}.
+    This is the comparison decode/verify paths must use on anything
+    attacker-supplied vs. secret (tokens vs. trapdoors, key
+    fingerprints, revocation handles). *)
+
 val sign : t -> int
 val is_zero : t -> bool
 val min : t -> t -> t

@@ -61,14 +61,21 @@ let record t ~phase msgs =
       t.bytes <- t.bytes + String.length payload;
       Obs.gauge_add bytes_gauge (String.length payload))
     msgs;
-  while t.count > t.cap do
-    match t.frames with
-    | [] -> assert false  (* count > cap >= 1 implies a frame *)
-    | oldest :: rest ->
-      t.frames <- rest;
-      forget t oldest;
-      Obs.incr evictions_counter
-  done
+  (* Total eviction loop: if the count/frames invariant ever breaks we
+     resync the counters instead of crashing mid-delivery. *)
+  let rec evict () =
+    if t.count > t.cap then
+      match t.frames with
+      | [] ->
+        t.count <- 0;
+        t.bytes <- 0
+      | oldest :: rest ->
+        t.frames <- rest;
+        forget t oldest;
+        Obs.incr evictions_counter;
+        evict ()
+  in
+  evict ()
 
 let evict_stale t ~min_peer_phase =
   let keep, drop =

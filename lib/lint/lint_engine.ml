@@ -1,10 +1,13 @@
 (** Driving loop of [shs_lint]: file discovery, per-file rule dispatch,
-    the suppression/baseline ledger, and both renderings of the result
-    (human lines and the ["shs-lint/1"] JSON document).
+    the typed-pass merge, the suppression/baseline ledger, and both
+    renderings of the result (human lines and the ["shs-lint/2"] JSON
+    document).
 
     The engine is deliberately pure over [source] values — the driver
     reads files, tests feed fixture strings — so every code path here is
-    exercised by the unit suite without touching the filesystem. *)
+    exercised by the unit suite without touching the filesystem.  The
+    typed pass, which needs build artifacts, hands its findings in
+    pre-computed through [lint ~typed]. *)
 
 open Lint_types
 
@@ -19,31 +22,33 @@ type source = { path : string; code : string }
 (* Baseline entries are line-number independent on purpose: an unrelated
    edit that shifts a legacy finding must not wake the gate.  A finding
    is accounted for by (rule, file, binding, construct), with [b_count]
-   allowing that many occurrences in that binding. *)
+   allowing that many occurrences in that binding and [b_pass]
+   restricting the allowance to one analysis pass ("any" covers both —
+   the v1 schema's implicit behaviour). *)
 type baseline_entry = {
   b_rule : string;
   b_file : string;
   b_binding : string;
   b_construct : string;
   b_count : int;
+  b_pass : string;  (** "untyped" | "typed" | "any" *)
 }
 
 type baseline = baseline_entry list
 
-let baseline_schema = "shs-lint-baseline/1"
-
-let bucket_of_finding f = (f.rule, f.file, f.binding, f.construct)
+let baseline_schema = "shs-lint-baseline/2"
+let baseline_schema_v1 = "shs-lint-baseline/1"
 
 let baseline_of_findings findings =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun f ->
-      let b = bucket_of_finding f in
+      let b = (f.rule, f.file, f.binding, f.construct, f.pass) in
       Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
     findings;
   Hashtbl.fold
-    (fun (b_rule, b_file, b_binding, b_construct) b_count acc ->
-      { b_rule; b_file; b_binding; b_construct; b_count } :: acc)
+    (fun (b_rule, b_file, b_binding, b_construct, b_pass) b_count acc ->
+      { b_rule; b_file; b_binding; b_construct; b_count; b_pass } :: acc)
     tbl []
   |> List.sort compare
 
@@ -61,20 +66,27 @@ let baseline_to_string entries =
                       ("binding", Obs_json.Str e.b_binding);
                       ("construct", Obs_json.Str e.b_construct);
                       ("count", Obs_json.Int e.b_count);
+                      ("pass", Obs_json.Str e.b_pass);
                     ])
                 entries) );
        ])
   ^ "\n"
 
 (* Total: [None] on anything that is not a well-formed baseline
-   document, including a wrong schema tag. *)
+   document.  Both schemas are accepted: v1 entries carry no "pass"
+   field and are read as pass-agnostic ("any"), which is exactly what
+   the one-shot [--migrate-baseline] conversion writes out. *)
 let baseline_of_string s =
   let str = function Some (Obs_json.Str v) -> Some v | _ -> None in
   let int = function Some (Obs_json.Int v) -> Some v | _ -> None in
   match Obs_json.of_string s with
   | None -> None
   | Some doc ->
-    if not (String.equal (Option.value ~default:"" (str (Obs_json.member "schema" doc))) baseline_schema)
+    let schema = Option.value ~default:"" (str (Obs_json.member "schema" doc)) in
+    if
+      not
+        (String.equal schema baseline_schema
+        || String.equal schema baseline_schema_v1)
     then None
     else (
       match Obs_json.member "entries" doc with
@@ -89,7 +101,16 @@ let baseline_of_string s =
           with
           | Some b_rule, Some b_file, Some b_binding, Some b_construct, Some b_count
             when b_count > 0 ->
-            Some { b_rule; b_file; b_binding; b_construct; b_count }
+            let b_pass =
+              match str (Obs_json.member "pass" item) with
+              | Some ("untyped" | "typed" | "any") as p -> p
+              | Some _ -> None
+              | None -> Some "any"
+            in
+            Option.map
+              (fun b_pass ->
+                { b_rule; b_file; b_binding; b_construct; b_count; b_pass })
+              b_pass
           | _ -> None
         in
         let entries = List.map entry items in
@@ -102,20 +123,27 @@ let apply_baseline entries findings =
   let allow = Hashtbl.create 16 in
   List.iter
     (fun e ->
-      let b = (e.b_rule, e.b_file, e.b_binding, e.b_construct) in
+      let b = (e.b_rule, e.b_file, e.b_binding, e.b_construct, e.b_pass) in
       Hashtbl.replace allow b
         (e.b_count + Option.value ~default:0 (Hashtbl.find_opt allow b)))
     entries;
+  let take b =
+    match Hashtbl.find_opt allow b with
+    | Some n when n > 0 ->
+      Hashtbl.replace allow b (n - 1);
+      true
+    | _ -> false
+  in
   (* findings arrive sorted, so the allowance is consumed in source
-     order and the split is deterministic *)
+     order and the split is deterministic; a pass-specific entry is
+     consulted before a pass-agnostic one *)
   List.partition_map
     (fun f ->
-      let b = bucket_of_finding f in
-      match Hashtbl.find_opt allow b with
-      | Some n when n > 0 ->
-        Hashtbl.replace allow b (n - 1);
-        Either.Right f
-      | _ -> Either.Left f)
+      if
+        take (f.rule, f.file, f.binding, f.construct, f.pass)
+        || take (f.rule, f.file, f.binding, f.construct, "any")
+      then Either.Right f
+      else Either.Left f)
     findings
 
 (* ------------------------------------------------------------------ *)
@@ -130,7 +158,10 @@ type outcome = {
   parse_failures : parse_failure list;
 }
 
-let lint ?(rules = Lint_rules.all) ?(baseline = []) sources =
+(* [typed] carries the whole-program pass's pre-computed findings
+   (Lint_typed_rules.run over the cmt program); they ride the same
+   suppression/baseline ledger as the per-file rules. *)
+let lint ?(rules = Lint_rules.all) ?(typed = []) ?(baseline = []) sources =
   let parse_failures = ref [] in
   let raw = ref [] in
   let supp = ref [] in
@@ -152,6 +183,10 @@ let lint ?(rules = Lint_rules.all) ?(baseline = []) sources =
                  (r.check ~file:s.path ast))
              applicable))
     sources;
+  List.iter
+    (fun (f, is_suppressed) ->
+      if is_suppressed then supp := f :: !supp else raw := f :: !raw)
+    typed;
   let sorted l = List.sort compare_finding l in
   let actionable, baselined = apply_baseline baseline (sorted !raw) in
   { files_scanned = !scanned;
@@ -209,20 +244,23 @@ let finding_json f =
       ("binding", Obs_json.Str f.binding);
       ("construct", Obs_json.Str f.construct);
       ("message", Obs_json.Str f.message);
+      ("pass", Obs_json.Str f.pass);
+      ("path", Obs_json.List (List.map (fun s -> Obs_json.Str s) f.path));
     ]
 
-let report_json ?(rules = Lint_rules.all) o =
+let report_json ?(rules = List.map info_of_rule Lint_rules.all) o =
   Obs_json.Obj
-    [ ("schema", Obs_json.Str "shs-lint/1");
+    [ ("schema", Obs_json.Str "shs-lint/2");
       ("files_scanned", Obs_json.Int o.files_scanned);
       ( "rules",
         Obs_json.List
           (List.map
              (fun r ->
                Obs_json.Obj
-                 [ ("id", Obs_json.Str r.id);
-                   ("severity", Obs_json.Str (severity_to_string r.severity));
-                   ("doc", Obs_json.Str r.doc);
+                 [ ("id", Obs_json.Str r.ri_id);
+                   ("severity", Obs_json.Str (severity_to_string r.ri_severity));
+                   ("doc", Obs_json.Str r.ri_doc);
+                   ("pass", Obs_json.Str r.ri_pass);
                  ])
              rules) );
       ("findings", Obs_json.List (List.map finding_json o.actionable));
@@ -255,7 +293,12 @@ let finding_line f =
 let render_human ?(quiet = false) o =
   let b = Buffer.create 256 in
   let line s = Buffer.add_string b s; Buffer.add_char b '\n' in
-  List.iter (fun f -> line (finding_line f)) o.actionable;
+  List.iter
+    (fun f ->
+      line (finding_line f);
+      (* typed findings carry their source→sink witness *)
+      List.iter (fun s -> line ("    " ^ s)) f.path)
+    o.actionable;
   if not quiet then begin
     List.iter (fun f -> line ("baselined: " ^ finding_line f)) o.baselined;
     List.iter (fun f -> line ("suppressed: " ^ finding_line f)) o.suppressed

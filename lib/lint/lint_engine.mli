@@ -12,19 +12,26 @@ type source = { path : string; code : string }
 (** Line-number-independent allowance: up to [b_count] findings of
     [b_rule] on [b_construct] inside [b_binding] of [b_file] are
     "baselined" rather than actionable, so unrelated edits that shift
-    line numbers cannot wake the CI gate. *)
+    line numbers cannot wake the CI gate.  [b_pass] scopes the allowance
+    to one analysis pass; ["any"] (what v1 documents migrate to) covers
+    both. *)
 type baseline_entry = {
   b_rule : string;
   b_file : string;
   b_binding : string;
   b_construct : string;
   b_count : int;
+  b_pass : string;  (** "untyped" | "typed" | "any" *)
 }
 
 type baseline = baseline_entry list
 
 val baseline_schema : string
-(** ["shs-lint-baseline/1"]. *)
+(** ["shs-lint-baseline/2"]. *)
+
+val baseline_schema_v1 : string
+(** ["shs-lint-baseline/1"] — still accepted by {!baseline_of_string};
+    [--migrate-baseline] rewrites such documents to the v2 schema. *)
 
 val baseline_of_findings : Lint_types.finding list -> baseline
 (** Bless the given findings: group and count them, sorted. *)
@@ -33,8 +40,9 @@ val baseline_to_string : baseline -> string
 (** Serialize to the checked-in JSON document (trailing newline). *)
 
 val baseline_of_string : string -> baseline option
-(** Total parser; [None] on malformed documents, wrong schema, or
-    non-positive counts. *)
+(** Total parser; [None] on malformed documents, unknown schemas, or
+    non-positive counts.  Accepts both the v1 and v2 schemas — v1
+    entries come back with [b_pass = "any"]. *)
 
 (** {1 Linting} *)
 
@@ -49,13 +57,16 @@ type outcome = {
 
 val lint :
   ?rules:Lint_types.rule list ->
+  ?typed:(Lint_types.finding * bool) list ->
   ?baseline:baseline ->
   source list ->
   outcome
 (** Run [rules] (default {!Lint_rules.all}) over every source a rule
-    applies to.  Finding lists come back sorted by
-    [Lint_types.compare_finding], and the baseline allowance is consumed
-    in that order, so equal inputs yield byte-equal reports. *)
+    applies to, merging in [typed] — the whole-program pass's findings
+    ({!Lint_typed_rules.run}), each paired with its suppression flag.
+    Finding lists come back sorted by [Lint_types.compare_finding], and
+    the baseline allowance is consumed in that order, so equal inputs
+    yield byte-equal reports. *)
 
 val discover : string -> string list
 (** Every [.ml] under the root as sorted root-relative paths, skipping
@@ -67,8 +78,9 @@ val read_source : string -> string -> source
 
 (** {1 Rendering} *)
 
-val report_json : ?rules:Lint_types.rule list -> outcome -> Obs_json.t
-(** The deterministic ["shs-lint/1"] document. *)
+val report_json : ?rules:Lint_types.rule_info list -> outcome -> Obs_json.t
+(** The deterministic ["shs-lint/2"] document; findings carry their
+    [pass] and (for typed findings) their source→sink [path] witness. *)
 
 val finding_line : Lint_types.finding -> string
 (** ["file:line:col: [RULE] (binding) construct — message"]. *)

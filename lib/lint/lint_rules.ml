@@ -76,7 +76,8 @@ let positional args =
 
 let mk rule severity ~file ~binding ~construct ~message e =
   let line, col = Lint_ast.loc_of e in
-  { rule; severity; file; line; col; binding; construct; message }
+  { rule; severity; file; line; col; binding; construct; message;
+    pass = "untyped"; path = [] }
 
 (* ------------------------------------------------------------------ *)
 (* CT-EQ                                                               *)
@@ -147,10 +148,12 @@ let no_ambient_entropy =
     doc =
       "no Random.*, Sys.time or Unix.gettimeofday/Unix.time outside the \
        designated clock (lib/obs/obs.ml) and DRBG (lib/hashing/drbg.ml) \
-       modules";
+       modules; bin/ and bench/ are held to the same discipline";
     applies =
       (fun file ->
-        starts_with "lib/" file && not (List.mem file entropy_allowed_files));
+        (starts_with "lib/" file || starts_with "bin/" file
+        || starts_with "bench/" file)
+        && not (List.mem file entropy_allowed_files));
     check =
       (fun ~file str ->
         let out = ref [] in
@@ -265,9 +268,13 @@ let taxonomy =
   { id = "TAXONOMY";
     severity = Error;
     doc =
-      "every Error _ constructed under lib/ carries a typed reason \
-       (Shs_error.reason or a module error variant), never a bare string";
-    applies = starts_with "lib/";
+      "every Error _ constructed under lib/, bin/ or bench/ carries a \
+       typed reason (Shs_error.reason or a module error variant), never a \
+       bare string";
+    applies =
+      (fun file ->
+        starts_with "lib/" file || starts_with "bin/" file
+        || starts_with "bench/" file);
     check =
       (fun ~file str ->
         let out = ref [] in

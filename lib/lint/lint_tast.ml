@@ -1,0 +1,327 @@
+(** Typed program model for the cmt-based pass: loading [.cmt]
+    Typedtrees ([Cmt_format]), flattening every compilation unit into a
+    list of top-level bindings, and resolving [Path.t] references to a
+    whole-program qualified namespace.
+
+    Resolution semantics (probed against this repo's own cmts):
+    - references to global compilation units appear directly
+      (["Hkdf.derive"], ["Secretbox.seal"]) — every repo library is
+      [(wrapped false)];
+    - [Stdlib] members appear as ["Stdlib.compare"],
+      ["Stdlib.String.sub"] — the leading ["Stdlib."] is stripped;
+    - local module aliases ([module B = Bigint]) are {e not} resolved in
+      paths (the head stays the non-global [B]) — we rebuild the alias
+      map per unit from [Tstr_module] bindings;
+    - functor-parameter members ([C.rekey] inside [Gcd.Make]) have a
+      non-global head that no alias explains — those fall back to
+      resolution by last name across every scanned unit, capped so an
+      overly common name resolves to nothing rather than to everything. *)
+
+type unit_info = {
+  u_path : string;  (** source path relative to the repo root *)
+  u_modname : string;  (** compilation unit name, e.g. ["Gcd"] *)
+  u_str : Typedtree.structure;
+}
+
+type top = {
+  t_unit : string;  (** owning unit's [u_path] *)
+  t_qual : string;  (** qualified name, e.g. ["Gcd.admit"] *)
+  t_name : string;  (** last component of [t_qual] *)
+  t_ids : Ident.t list;  (** idents the binding's pattern introduces *)
+  t_attrs : Parsetree.attributes;
+  t_expr : Typedtree.expression;
+}
+
+(* ------------------------------------------------------------------ *)
+(* cmt discovery and loading                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every .cmt under the dune build tree (or [root] itself when running
+   from inside _build/default).  Unlike source discovery, dot-directories
+   must be walked: dune keeps cmts in .objs/byte. *)
+let discover_cmts root =
+  let base =
+    let d = Filename.concat (Filename.concat root "_build") "default" in
+    if Sys.file_exists d && Sys.is_directory d then d else root
+  in
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          if not (String.equal name ".git") then begin
+            let p = Filename.concat dir name in
+            if Sys.is_directory p then walk p
+            else if Filename.check_suffix name ".cmt" then acc := p :: !acc
+          end)
+        names
+  in
+  walk base;
+  List.rev !acc
+
+(* Load the Implementation cmts whose recorded source lives under one of
+   [dirs] (dune records sources root-relative, e.g. "lib/core/gcd.ml").
+   Unreadable or foreign cmts are skipped, not fatal: the typed gate
+   must stay total over whatever the build tree holds. *)
+let load_units ?(dirs = [ "lib/" ]) root =
+  let keep src =
+    Filename.check_suffix src ".ml"
+    && List.exists
+         (fun d ->
+           String.length src >= String.length d
+           && String.equal (String.sub src 0 (String.length d)) d)
+         dirs
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | exception _ -> None
+      | cmt ->
+        (match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+         | Cmt_format.Implementation str, Some src
+           when keep src && not (Hashtbl.mem seen src) ->
+           Hashtbl.add seen src ();
+           Some { u_path = src; u_modname = cmt.Cmt_format.cmt_modname; u_str = str }
+         | _ -> None))
+    (discover_cmts root)
+  |> List.sort (fun a b -> compare a.u_path b.u_path)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern and expression helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pattern_idents (type k) (p : k Typedtree.general_pattern) =
+  let acc = ref [] in
+  let f : type a. Tast_iterator.iterator -> a Typedtree.general_pattern -> unit
+      =
+   fun self p ->
+    (match p.pat_desc with
+     | Typedtree.Tpat_var (id, { txt; _ }) -> acc := (id, txt) :: !acc
+     | Typedtree.Tpat_alias (_, id, { txt; _ }) -> acc := (id, txt) :: !acc
+     | _ -> ());
+    Tast_iterator.default_iterator.pat self p
+  in
+  let it = { Tast_iterator.default_iterator with pat = f } in
+  it.pat it p;
+  List.rev !acc
+
+(* Direct sub-expressions of [e], one level deep — the generic join in
+   the taint evaluator and the generic descent in the graph walk. *)
+let expr_children (e : Typedtree.expression) =
+  let acc = ref [] in
+  let it =
+    { Tast_iterator.default_iterator with
+      expr = (fun _ c -> acc := c :: !acc);
+      (* a [let module]/[let open] body is still this expression's
+         child, but do not descend into module expressions here *)
+      module_expr = (fun _ _ -> ());
+    }
+  in
+  Tast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+let loc_of (e : Typedtree.expression) =
+  let p = e.exp_loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* Stable per-binder key ("name_stamp"): [Ident] does not expose stamps,
+   but [unique_name] embeds one, and a reference to a binder carries the
+   binder's own ident. *)
+let ident_key (id : Ident.t) = Ident.unique_name id
+
+(* ------------------------------------------------------------------ *)
+(* Flattening units into top-level bindings                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec tops_of_str ~u ~mpath ~aliases (str : Typedtree.structure) acc =
+  List.fold_left
+    (fun acc (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.fold_left
+          (fun acc (vb : Typedtree.value_binding) ->
+            let ids = pattern_idents vb.vb_pat in
+            let name = match ids with (_, n) :: _ -> n | [] -> "<pattern>" in
+            { t_unit = u.u_path;
+              t_qual = String.concat "." (List.rev (name :: mpath));
+              t_name = name;
+              t_ids = List.map fst ids;
+              t_attrs = vb.vb_attributes;
+              t_expr = vb.vb_expr;
+            }
+            :: acc)
+          acc vbs
+      | Tstr_eval (e, attrs) ->
+        { t_unit = u.u_path;
+          t_qual = String.concat "." (List.rev ("<toplevel>" :: mpath));
+          t_name = "<toplevel>";
+          t_ids = [];
+          t_attrs = attrs;
+          t_expr = e;
+        }
+        :: acc
+      | Tstr_module mb -> tops_of_mb ~u ~mpath ~aliases mb acc
+      | Tstr_recmodule mbs ->
+        List.fold_left (fun acc mb -> tops_of_mb ~u ~mpath ~aliases mb acc) acc mbs
+      | Tstr_include incl -> tops_of_me ~u ~mpath ~aliases incl.incl_mod acc
+      | _ -> acc)
+    acc str.str_items
+
+and tops_of_mb ~u ~mpath ~aliases (mb : Typedtree.module_binding) acc =
+  let name =
+    match (mb.mb_name.Location.txt, mb.mb_id) with
+    | Some n, _ -> n
+    | None, Some id -> Ident.name id
+    | None, None -> "_"
+  in
+  (match mb.mb_expr.mod_desc with
+   | Tmod_ident (p, _) ->
+     (* [module B = Bigint]-style alias: later paths keep the head [B] *)
+     Hashtbl.replace aliases name (Path.name p)
+   | _ -> ());
+  tops_of_me ~u ~mpath:(name :: mpath) ~aliases mb.mb_expr acc
+
+and tops_of_me ~u ~mpath ~aliases (me : Typedtree.module_expr) acc =
+  match me.mod_desc with
+  | Tmod_structure str -> tops_of_str ~u ~mpath ~aliases str acc
+  | Tmod_functor (_, body) -> tops_of_me ~u ~mpath ~aliases body acc
+  | Tmod_constraint (me, _, _, _) -> tops_of_me ~u ~mpath ~aliases me acc
+  | _ -> acc
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program index                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type program = {
+  p_units : unit_info list;
+  p_tops : top list;  (** source order within each unit, units sorted *)
+  p_by_qual : (string, top) Hashtbl.t;
+  p_by_local : (string * string, top) Hashtbl.t;
+      (** (unit path, {!ident_key}) — same-structure references are plain
+          non-global [Pident]s carrying the definition's own ident *)
+  p_by_name : (string, top list) Hashtbl.t;  (** last name → candidates *)
+  p_aliases : (string, (string, string) Hashtbl.t) Hashtbl.t;
+      (** unit path → local module alias map *)
+}
+
+let index units =
+  let p_by_qual = Hashtbl.create 256 in
+  let p_by_local = Hashtbl.create 256 in
+  let p_by_name = Hashtbl.create 256 in
+  let p_aliases = Hashtbl.create 64 in
+  let p_tops =
+    List.concat_map
+      (fun u ->
+        let aliases = Hashtbl.create 8 in
+        Hashtbl.replace p_aliases u.u_path aliases;
+        let tops =
+          List.rev (tops_of_str ~u ~mpath:[ u.u_modname ] ~aliases u.u_str [])
+        in
+        List.iter
+          (fun t ->
+            if not (Hashtbl.mem p_by_qual t.t_qual) then
+              Hashtbl.add p_by_qual t.t_qual t;
+            List.iter
+              (fun id ->
+                Hashtbl.replace p_by_local (u.u_path, ident_key id) t)
+              t.t_ids;
+            Hashtbl.replace p_by_name t.t_name
+              (Option.value ~default:[] (Hashtbl.find_opt p_by_name t.t_name)
+              @ [ t ]))
+          tops;
+        tops)
+      units
+  in
+  { p_units = units; p_tops; p_by_qual; p_by_local; p_by_name; p_aliases }
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec head_ident = function
+  | Path.Pident id -> Some id
+  | Path.Pdot (p, _) -> head_ident p
+  | _ -> None
+
+let strip_stdlib name =
+  let pre = "Stdlib." in
+  if
+    String.length name > String.length pre
+    && String.equal (String.sub name 0 (String.length pre)) pre
+  then String.sub name (String.length pre) (String.length name - String.length pre)
+  else name
+
+(* Normalized dotted name of a reference as the rest of the linter
+   matches it: Stdlib-stripped and local-alias-expanded. *)
+let normalize prog ~unit path =
+  let name = strip_stdlib (Path.name path) in
+  match head_ident path with
+  | Some id when Ident.global id -> name
+  | _ ->
+    (match String.index_opt name '.' with
+     | None -> name
+     | Some i ->
+       let head = String.sub name 0 i in
+       let rest = String.sub name i (String.length name - i) in
+       (match Hashtbl.find_opt prog.p_aliases unit with
+        | Some aliases ->
+          (match Hashtbl.find_opt aliases head with
+           | Some target -> strip_stdlib target ^ rest
+           | None -> name)
+        | None -> name))
+
+(* How many same-last-name candidates the functor-parameter fallback may
+   return before we refuse to guess. *)
+let fallback_cap = 8
+
+type resolution =
+  | Fn of top list  (** program functions this reference may denote *)
+  | Extern of string  (** normalized dotted name outside the program *)
+  | Local of Ident.t  (** a genuinely local value (parameter, let) *)
+
+let resolve prog ~unit path =
+  match path with
+  | Path.Pident id when not (Ident.global id) ->
+    (match Hashtbl.find_opt prog.p_by_local (unit, ident_key id) with
+     | Some t -> Fn [ t ]
+     | None -> Local id)
+  | _ ->
+    let name = normalize prog ~unit path in
+    (match Hashtbl.find_opt prog.p_by_qual name with
+     | Some t -> Fn [ t ]
+     | None ->
+       let head_global =
+         match head_ident path with Some id -> Ident.global id | None -> false
+       in
+       let aliased =
+         (* an alias-expanded head is as good as a global one *)
+         not (String.equal name (strip_stdlib (Path.name path)))
+       in
+       if head_global || aliased || not (String.contains name '.') then
+         Extern name
+       else
+         (* non-global dotted head: a functor parameter or local module —
+            fall back to every unit's binding with the same last name *)
+         let last =
+           match String.rindex_opt name '.' with
+           | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+           | None -> name
+         in
+         (match Hashtbl.find_opt prog.p_by_name last with
+          | Some cands when cands <> [] && List.length cands <= fallback_cap ->
+            Fn cands
+          | _ -> Extern name))
+
+(* The normalized names a reference can answer to: the exact dotted name
+   plus, for [Fn] resolutions, every candidate's qualified name.  Source
+   and sink membership tests run over this set. *)
+let names_of prog ~unit path =
+  let n = normalize prog ~unit path in
+  match resolve prog ~unit path with
+  | Fn cands -> n :: List.map (fun t -> t.t_qual) cands
+  | Extern n' -> if String.equal n n' then [ n ] else [ n; n' ]
+  | Local _ -> [ n ]

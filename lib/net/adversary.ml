@@ -181,7 +181,10 @@ let corrupt_field t payload =
           end)
         fields
     in
-    Some (Wire.encode ~tag fields')
+    (* suppression: the "secret" reaching this encode is the adversary's
+       own DRBG draw used to corrupt fields — attack-fixture randomness,
+       not protocol key material. *)
+    Some (Wire.encode ~tag fields' [@shs.lint_ignore "NO-PLAINTEXT-WIRE"])
 
 let replay_capture t =
   let n = min t.pool_n pool_cap in
@@ -242,7 +245,10 @@ let tap t : Engine.adversary =
     | Some kind ->
       (match apply t kind ~payload with
        | None -> Engine.Deliver
-       | Some p when String.equal p payload ->
+       (* suppression: [p] is tainted only by the adversary's own DRBG;
+          comparing a mutated frame against the live one is fixture
+          bookkeeping, not a secret-dependent branch. *)
+       | Some p when (String.equal p payload [@shs.lint_ignore "NO-POLY-COMPARE"]) ->
          Engine.Deliver (* e.g. a replay that picked the live payload *)
        | Some p ->
          let i = kind_index kind in

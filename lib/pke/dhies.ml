@@ -66,8 +66,11 @@ let import_public ~group s =
 let export_secret sk = B.to_bytes_be sk.x
 
 let import_secret ~group s =
-  let x = B.of_bytes_be s in
-  if B.sign x <= 0 || B.compare x group.Groupgen.q >= 0 then None
+  (* [@shs.secret] marks the imported exponent for the typed taint pass:
+     it does not come from a declared source function, but it IS the
+     long-term decryption key once loaded. *)
+  let x = (B.of_bytes_be s [@shs.secret]) in
+  if B.compare_ct x B.zero <= 0 || B.compare_ct x group.Groupgen.q >= 0 then None
   else begin
     let y = B.pow_mod group.Groupgen.g x group.Groupgen.p in
     Some { pk = { grp = group; y }; x }

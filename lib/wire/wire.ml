@@ -88,7 +88,12 @@ let expect ~tag s =
 
 let trace_tag = "trc"
 
-let wrap_trace ~trace_id ~flow_id payload =
+(* TOTAL-DECODE suppression: wrap_trace sits on the *send* path — both
+   ids come from the engine's own monotone counters, never off the wire,
+   so the negative-id invalid_arg documents a programmer error rather
+   than a reachable parse of attacker input (unwrap_trace, the receive
+   side, is total). *)
+let[@shs.lint_ignore "TOTAL-DECODE"] wrap_trace ~trace_id ~flow_id payload =
   if trace_id < 0 || flow_id < 0 then invalid_arg "Wire.wrap_trace: negative id";
   encode ~tag:trace_tag [ string_of_int trace_id; string_of_int flow_id; payload ]
 

@@ -1,11 +1,20 @@
-(* Tests for shs_lint (lib/lint): each rule fires on a minimal fixture
-   exactly once, a clean fixture yields nothing, suppression attributes
-   and the baseline each retire findings without hiding new ones, and
-   the JSON report is byte-deterministic. *)
+(* Tests for shs_lint (lib/lint), both passes.
+
+   Untyped: each rule fires on a minimal fixture exactly once, a clean
+   fixture yields nothing, suppression attributes and the baseline each
+   retire findings without hiding new ones, and the JSON report is
+   byte-deterministic.
+
+   Typed: fixtures are typechecked in-process (Typemod over a threaded
+   Env, no filesystem) and fed to the same whole-program analysis the
+   driver runs over .cmt files — cross-module taint, recursive summary
+   convergence, suppression scoping, the [@shs.secret] attribute, and
+   cross-module TOTAL-DECODE. *)
 
 let src path code = { Lint_engine.path; code }
 
-let run ?rules ?baseline sources = Lint_engine.lint ?rules ?baseline sources
+let run ?rules ?typed ?baseline sources =
+  Lint_engine.lint ?rules ?typed ?baseline sources
 
 let rules_of (o : Lint_engine.outcome) =
   List.map (fun f -> f.Lint_types.rule) o.actionable
@@ -21,8 +30,15 @@ let check_counts label (o : Lint_engine.outcome) ~actionable ~baselined
   Alcotest.(check int) (label ^ ": parse failures") 0
     (List.length o.parse_failures)
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m = 0 || go 0
+
 (* ------------------------------------------------------------------ *)
-(* One fixture per rule                                                *)
+(* One fixture per untyped rule                                        *)
 (* ------------------------------------------------------------------ *)
 
 let ct_eq_fixture =
@@ -36,6 +52,7 @@ let test_ct_eq () =
   let f = List.hd o.actionable in
   Alcotest.(check string) "construct" "String.equal" f.Lint_types.construct;
   Alcotest.(check string) "binding" "check" f.Lint_types.binding;
+  Alcotest.(check string) "pass" "untyped" f.Lint_types.pass;
   Alcotest.(check int) "line" 1 f.Lint_types.line
 
 let test_ct_eq_needs_secret_operand () =
@@ -61,6 +78,11 @@ let test_entropy () =
   in
   check_counts "entropy" o ~actionable:1 ~baselined:0 ~suppressed:0;
   Alcotest.(check (list string)) "rule id" [ "NO-AMBIENT-ENTROPY" ] (rules_of o);
+  (* the rule patrols bin/ and bench/ too, not just lib/ *)
+  let bench =
+    run [ src "bench/fixture.ml" "let now () = Unix.gettimeofday ()\n" ]
+  in
+  check_counts "bench in scope" bench ~actionable:1 ~baselined:0 ~suppressed:0;
   (* the designated DRBG module is allowed to touch the ambient sources *)
   let allowed =
     run [ src "lib/hashing/drbg.ml" "let jitter () = Random.float 1.0\n" ]
@@ -119,6 +141,19 @@ let test_clean_fixture () =
   in
   check_counts "clean" o ~actionable:0 ~baselined:0 ~suppressed:0
 
+let test_superseded_catalogue () =
+  (* every rule the typed pass supersedes really is an untyped rule, and
+     the typed catalogue is consistently tagged *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("superseded rule exists: " ^ id) true
+        (Lint_rules.find id <> None))
+    Lint_typed_rules.superseded;
+  List.iter
+    (fun (i : Lint_types.rule_info) ->
+      Alcotest.(check string) ("typed pass tag: " ^ i.ri_id) "typed" i.ri_pass)
+    Lint_typed_rules.catalogue
+
 (* ------------------------------------------------------------------ *)
 (* Suppression and baseline                                            *)
 (* ------------------------------------------------------------------ *)
@@ -144,7 +179,11 @@ let test_baseline_roundtrip () =
   let o = run [ ct_eq_fixture ] in
   let entries = Lint_engine.baseline_of_findings o.actionable in
   Alcotest.(check int) "one entry" 1 (List.length entries);
+  Alcotest.(check string) "entry carries its pass" "untyped"
+    (List.hd entries).Lint_engine.b_pass;
   let text = Lint_engine.baseline_to_string entries in
+  Alcotest.(check bool) "v2 schema written" true
+    (contains_sub text Lint_engine.baseline_schema);
   (match Lint_engine.baseline_of_string text with
    | None -> Alcotest.fail "baseline did not round-trip"
    | Some parsed ->
@@ -161,6 +200,67 @@ let test_baseline_roundtrip () =
      check_counts "baseline does not grow" o2 ~actionable:1 ~baselined:1
        ~suppressed:0)
 
+let v1_baseline_doc =
+  "{\"schema\": \"shs-lint-baseline/1\", \"entries\": [{\"rule\": \"CT-EQ\", \
+   \"file\": \"lib/core/fixture.ml\", \"binding\": \"check\", \"construct\": \
+   \"String.equal\", \"count\": 1}]}"
+
+let test_baseline_migration () =
+  (* a v1 document parses, its entries come back pass-agnostic, and
+     re-serializing yields the v2 schema that parses to the same
+     entries — the --migrate-baseline round trip *)
+  match Lint_engine.baseline_of_string v1_baseline_doc with
+  | None -> Alcotest.fail "v1 baseline rejected"
+  | Some entries ->
+    Alcotest.(check int) "one entry" 1 (List.length entries);
+    let e = List.hd entries in
+    Alcotest.(check string) "v1 entries are pass-agnostic" "any"
+      e.Lint_engine.b_pass;
+    let migrated = Lint_engine.baseline_to_string entries in
+    Alcotest.(check bool) "migration writes v2" true
+      (contains_sub migrated Lint_engine.baseline_schema);
+    Alcotest.(check bool) "migration is lossless" true
+      (Lint_engine.baseline_of_string migrated = Some entries);
+    (* a pass-agnostic allowance still absorbs the untyped finding *)
+    let o = run ~baseline:entries [ ct_eq_fixture ] in
+    check_counts "v1 allowance still applies" o ~actionable:0 ~baselined:1
+      ~suppressed:0
+
+let fabricated_typed_finding =
+  { Lint_types.rule = "NO-POLY-COMPARE";
+    severity = Lint_types.Error;
+    file = "lib/gsig/fx.ml";
+    line = 3;
+    col = 2;
+    binding = "cmp";
+    construct = "String.equal";
+    message = "structural comparison over secret-tainted data";
+    pass = "typed";
+    path = [ "lib/gsig/fx.ml:3: String.equal" ];
+  }
+
+let test_baseline_pass_specific () =
+  (* an allowance scoped to the untyped pass must not retire a typed
+     finding; "typed" and "any" allowances must *)
+  let entry pass =
+    { Lint_engine.b_rule = "NO-POLY-COMPARE";
+      b_file = "lib/gsig/fx.ml";
+      b_binding = "cmp";
+      b_construct = "String.equal";
+      b_count = 1;
+      b_pass = pass;
+    }
+  in
+  let with_pass pass =
+    run ~typed:[ (fabricated_typed_finding, false) ] ~baseline:[ entry pass ] []
+  in
+  check_counts "untyped allowance misses typed finding" (with_pass "untyped")
+    ~actionable:1 ~baselined:0 ~suppressed:0;
+  check_counts "typed allowance applies" (with_pass "typed") ~actionable:0
+    ~baselined:1 ~suppressed:0;
+  check_counts "any allowance applies" (with_pass "any") ~actionable:0
+    ~baselined:1 ~suppressed:0
+
 let test_baseline_malformed () =
   Alcotest.(check bool) "empty object rejected" true
     (Lint_engine.baseline_of_string "{}" = None);
@@ -169,7 +269,165 @@ let test_baseline_malformed () =
   Alcotest.(check bool) "wrong schema rejected" true
     (Lint_engine.baseline_of_string
        "{\"schema\": \"shs-bench/1\", \"entries\": []}"
+    = None);
+  Alcotest.(check bool) "bad pass value rejected" true
+    (Lint_engine.baseline_of_string
+       "{\"schema\": \"shs-lint-baseline/2\", \"entries\": [{\"rule\": \
+        \"CT-EQ\", \"file\": \"f.ml\", \"binding\": \"b\", \"construct\": \
+        \"c\", \"count\": 1, \"pass\": \"sideways\"}]}"
     = None)
+
+(* ------------------------------------------------------------------ *)
+(* Typed pass: in-process fixtures                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Typecheck a list of (path, module name, code) fixtures in order,
+   threading the environment so later units see earlier ones as
+   persistent modules — the same cross-module shape the driver gets
+   from .cmt files, without touching the filesystem. *)
+let typecheck units =
+  Compmisc.init_path ();
+  let env0 = Compmisc.initial_env () in
+  let _, infos =
+    List.fold_left
+      (fun (env, acc) (path, modname, code) ->
+        let lexbuf = Lexing.from_string code in
+        Location.init lexbuf path;
+        let ast = Parse.implementation lexbuf in
+        let str, sg, _, _, _ = Typemod.type_structure env ast in
+        let env =
+          Env.add_module
+            (Ident.create_persistent modname)
+            Types.Mp_present (Types.Mty_signature sg) env
+        in
+        ( env,
+          { Lint_tast.u_path = path; u_modname = modname; u_str = str } :: acc ))
+      (env0, []) units
+  in
+  Lint_tast.index (List.rev infos)
+
+(* Minimal policy for the fixtures: one source, one print sink, one
+   compare sink. *)
+let typed_config : Lint_taint.config =
+  { sources = [ "A.gen" ];
+    secret_fields = [];
+    transparent_mods = [];
+    transparent_fns = [];
+    compare_sinks = [ "String.equal" ];
+    print_sinks = [ "print_string" ];
+    wire_sinks = [];
+    wire_exempt_files = [];
+  }
+
+let run_typed units = Lint_typed_rules.run ~config:typed_config (typecheck units)
+
+let cross_module_units =
+  [ ("lib/gsig/a.ml", "A", "let gen () = \"k\"\n");
+    ("lib/gsig/c.ml", "C", "let pass x = x\n");
+    ("lib/gsig/b.ml", "B", "let leak () = print_string (C.pass (A.gen ()))\n");
+  ]
+
+let test_typed_cross_module () =
+  (* the secret born in A flows through C's summary into B's sink — no
+     single module shows the whole path *)
+  match run_typed cross_module_units with
+  | [ (f, suppressed) ] ->
+    Alcotest.(check bool) "not suppressed" false suppressed;
+    Alcotest.(check string) "rule" "NO-SECRET-PRINT" f.Lint_types.rule;
+    Alcotest.(check string) "file" "lib/gsig/b.ml" f.Lint_types.file;
+    Alcotest.(check string) "binding" "leak" f.Lint_types.binding;
+    Alcotest.(check string) "pass" "typed" f.Lint_types.pass;
+    let witness = String.concat " | " f.Lint_types.path in
+    Alcotest.(check bool) "witness names the source" true
+      (contains_sub witness "A.gen");
+    Alcotest.(check bool) "witness crosses through C" true
+      (contains_sub witness "C.pass");
+    Alcotest.(check bool) "witness reaches the sink" true
+      (contains_sub witness "print_string")
+  | fs ->
+    Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_typed_recursive_summary () =
+  (* the taint survives a recursive carrier: the fixpoint must converge
+     (this test terminating is half the point) and still report *)
+  let fs =
+    run_typed
+      [ ("lib/gsig/a.ml", "A", "let gen () = \"k\"\n");
+        ( "lib/gsig/r.ml",
+          "R",
+          "let rec churn n x = if n = 0 then x else churn (n - 1) x\n" );
+        ( "lib/gsig/b.ml",
+          "B",
+          "let leak () = print_string (R.churn 3 (A.gen ()))\n" );
+      ]
+  in
+  match fs with
+  | [ (f, false) ] ->
+    Alcotest.(check string) "rule" "NO-SECRET-PRINT" f.Lint_types.rule;
+    Alcotest.(check string) "file" "lib/gsig/b.ml" f.Lint_types.file;
+    Alcotest.(check bool) "witness goes through churn" true
+      (contains_sub (String.concat " | " f.Lint_types.path) "R.churn")
+  | fs ->
+    Alcotest.failf "expected exactly one live finding, got %d" (List.length fs)
+
+let test_typed_suppression_scoping () =
+  (* a correctly named suppression retires the typed finding; naming a
+     different rule does not *)
+  let leak attr =
+    [ ("lib/gsig/a.ml", "A", "let gen () = \"k\"\n");
+      ( "lib/gsig/b.ml",
+        "B",
+        Printf.sprintf
+          "let leak () = (print_string (A.gen ()) [@shs.lint_ignore %S])\n" attr
+      );
+    ]
+  in
+  (match run_typed (leak "NO-SECRET-PRINT") with
+   | [ (_, true) ] -> ()
+   | fs ->
+     Alcotest.failf "expected one suppressed finding, got %d" (List.length fs));
+  match run_typed (leak "CT-EQ") with
+  | [ (_, false) ] -> ()
+  | fs ->
+    Alcotest.failf "expected one live finding, got %d" (List.length fs)
+
+let test_typed_secret_attribute () =
+  (* [@shs.secret] makes a local binding a source without any declared
+     source function in the program *)
+  let fs =
+    run_typed
+      [ ( "lib/gsig/m.ml",
+          "M",
+          "let show () = let x = (\"k\" [@shs.secret]) in print_string x\n" );
+      ]
+  in
+  match fs with
+  | [ (f, false) ] ->
+    Alcotest.(check string) "rule" "NO-SECRET-PRINT" f.Lint_types.rule;
+    Alcotest.(check bool) "witness names the attribute" true
+      (contains_sub (String.concat " | " f.Lint_types.path) "[@shs.secret]")
+  | fs ->
+    Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_typed_total_decode_cross_module () =
+  (* the partial construct lives in H, the decode entry in D: only the
+     cross-module walk connects them *)
+  let fs =
+    run_typed
+      [ ("lib/core/h.ml", "H", "let boom s = failwith s\n");
+        ("lib/core/d.ml", "D", "let decode_frame s = H.boom s\n");
+      ]
+  in
+  match fs with
+  | [ (f, false) ] ->
+    Alcotest.(check string) "rule" "TOTAL-DECODE" f.Lint_types.rule;
+    Alcotest.(check string) "file" "lib/core/h.ml" f.Lint_types.file;
+    Alcotest.(check string) "construct" "failwith" f.Lint_types.construct;
+    Alcotest.(check string) "pass" "typed" f.Lint_types.pass;
+    Alcotest.(check bool) "witness names the entry" true
+      (contains_sub (String.concat " | " f.Lint_types.path) "decode_frame")
+  | fs ->
+    Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                         *)
@@ -189,8 +447,21 @@ let test_json_determinism () =
   Alcotest.(check string) "byte-identical reports" a b;
   Alcotest.(check bool) "schema tagged" true
     (match Obs_json.of_string a with
-     | Some doc -> Obs_json.member "schema" doc = Some (Obs_json.Str "shs-lint/1")
+     | Some doc -> Obs_json.member "schema" doc = Some (Obs_json.Str "shs-lint/2")
      | None -> false)
+
+let test_typed_json_determinism () =
+  (* the whole pipeline — typecheck, fixpoint, report — twice from
+     scratch; hashtable iteration anywhere inside would break this *)
+  let render () =
+    let typed = run_typed cross_module_units in
+    Obs_json.to_string ~pretty:true
+      (Lint_engine.report_json (run ~typed [ ct_eq_fixture ]))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical typed reports" a b;
+  Alcotest.(check bool) "typed finding carries its witness" true
+    (contains_sub a "A.gen")
 
 let test_parse_failure_exit_path () =
   let o = run [ src "lib/core/broken.ml" "let let let\n" ] in
@@ -210,15 +481,35 @@ let () =
           Alcotest.test_case "TAXONOMY" `Quick test_taxonomy;
           Alcotest.test_case "NO-SECRET-PRINT" `Quick test_no_secret_print;
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+          Alcotest.test_case "superseded/catalogue consistency" `Quick
+            test_superseded_catalogue;
         ] );
       ( "mechanisms",
         [ Alcotest.test_case "suppression attribute" `Quick
             test_suppression_attribute;
           Alcotest.test_case "baseline round-trip" `Quick
             test_baseline_roundtrip;
+          Alcotest.test_case "baseline v1 migration" `Quick
+            test_baseline_migration;
+          Alcotest.test_case "baseline pass scoping" `Quick
+            test_baseline_pass_specific;
           Alcotest.test_case "malformed baseline" `Quick test_baseline_malformed;
           Alcotest.test_case "deterministic JSON" `Quick test_json_determinism;
           Alcotest.test_case "parse failure surfaces" `Quick
             test_parse_failure_exit_path;
+        ] );
+      ( "typed",
+        [ Alcotest.test_case "cross-module taint A->C->B" `Quick
+            test_typed_cross_module;
+          Alcotest.test_case "recursive summary converges" `Quick
+            test_typed_recursive_summary;
+          Alcotest.test_case "suppression scoping" `Quick
+            test_typed_suppression_scoping;
+          Alcotest.test_case "[@shs.secret] attribute" `Quick
+            test_typed_secret_attribute;
+          Alcotest.test_case "cross-module TOTAL-DECODE" `Quick
+            test_typed_total_decode_cross_module;
+          Alcotest.test_case "deterministic typed JSON" `Quick
+            test_typed_json_determinism;
         ] );
     ]
